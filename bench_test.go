@@ -1,0 +1,360 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact, per DESIGN.md's experiment index), plus
+// pipeline-stage and ablation benchmarks. The shared systems are built
+// once; the per-figure benchmarks measure the analysis+rendering cost of
+// regenerating each artifact from the collected data.
+//
+// Run with: go test -bench=. -benchmem
+package iotmap_test
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"iotmap"
+	"iotmap/internal/core/discovery"
+	"iotmap/internal/core/flows"
+	"iotmap/internal/core/patterns"
+	"iotmap/internal/core/validate"
+	"iotmap/internal/dnsdb"
+	"iotmap/internal/figures"
+	"iotmap/internal/isp"
+	"iotmap/internal/netflow"
+	"iotmap/internal/world"
+)
+
+var (
+	onceMain sync.Once
+	mainSys  *iotmap.System
+
+	onceOutage sync.Once
+	outageSys  *iotmap.System
+)
+
+func mainSystem(b *testing.B) *iotmap.System {
+	b.Helper()
+	onceMain.Do(func() {
+		sys, err := iotmap.New(iotmap.Config{Seed: 71, Scale: 0.05, Lines: 5000})
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.RunAll(context.Background()); err != nil {
+			panic(err)
+		}
+		mainSys = sys
+	})
+	return mainSys
+}
+
+func outageSystem(b *testing.B) *iotmap.System {
+	b.Helper()
+	onceOutage.Do(func() {
+		sys, err := iotmap.New(iotmap.Config{
+			Seed: 71, Scale: 0.05, Lines: 5000,
+			Days:   iotmap.OutageStudyDays(),
+			Outage: iotmap.AWSOutageScenario(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.RunAll(context.Background()); err != nil {
+			panic(err)
+		}
+		outageSys = sys
+	})
+	return outageSys
+}
+
+func benchRender(b *testing.B, render func() string) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := render(); len(out) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// --- One benchmark per paper artifact -----------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Table1(sys) })
+}
+
+func BenchmarkTable2(b *testing.B) {
+	benchRender(b, figures.Table2)
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure3(sys) })
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure4(sys) })
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure5(sys) })
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure6(sys) })
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure7(sys) })
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure8(sys) })
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure9(sys) })
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure10(sys) })
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure11(sys) })
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure12(sys) })
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure13(sys) })
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Figure14(sys) })
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	sys := outageSystem(b)
+	benchRender(b, func() string { return figures.Figure15(sys) })
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	sys := outageSystem(b)
+	benchRender(b, func() string { return figures.Figure16(sys) })
+}
+
+func BenchmarkSection62(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.Section62(sys) })
+}
+
+func BenchmarkValidationReport(b *testing.B) {
+	sys := mainSystem(b)
+	benchRender(b, func() string { return figures.ValidationReport(sys) })
+}
+
+// --- Pipeline stage benchmarks -------------------------------------------
+
+// BenchmarkStageWorldBuild measures ground-truth construction.
+func BenchmarkStageWorldBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := world.Build(world.Config{Seed: 5, Scale: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageDiscovery measures the four-channel source fusion
+// (without the live IPv6 scan, whose cost is the TLS handshakes).
+func BenchmarkStageDiscovery(b *testing.B) {
+	sys, err := iotmap.New(iotmap.Config{Seed: 5, Scale: 0.05, SkipLiveScan: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Discover(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageTrafficDay measures one simulated ISP day through the
+// collector.
+func BenchmarkStageTrafficDay(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: 5, Lines: 5000}, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := flows.NewCollector(idx, w.Days, flows.Options{SamplingRate: 100})
+		net.SimulateDay(0, col.Ingest)
+	}
+}
+
+// BenchmarkStageNetFlowExport measures the v5 wire path end-to-end:
+// simulate a day, encode every IPv4 record into v5 packets, decode back.
+func BenchmarkStageNetFlowExport(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: 5, Lines: 2000}, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recs []netflow.Record
+	net.SimulateDay(0, func(r netflow.Record) {
+		if r.IsV4() {
+			recs = append(recs, r)
+		}
+	})
+	if len(recs) == 0 {
+		b.Fatal("no records")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(recs); off += netflow.V5MaxRecords {
+			end := off + netflow.V5MaxRecords
+			if end > len(recs) {
+				end = len(recs)
+			}
+			pkt, err := netflow.EncodeV5(netflow.V5Header{}, recs[off:end])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := netflow.DecodeV5(pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) --------------------------------------------
+
+// BenchmarkAblationSources compares single-source discovery against the
+// full fusion; the reported custom metric is the discovered-address
+// count, the quantity Figure 3 is about.
+func BenchmarkAblationSources(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	censysSvc := w.BuildCensys()
+	pdns := w.BuildDNSDB()
+	cases := []struct {
+		name string
+		in   discovery.Inputs
+	}{
+		{"certs-only", discovery.Inputs{Patterns: patterns.All(), Censys: censysSvc, Days: w.Days, Seed: 5}},
+		{"pdns-only", discovery.Inputs{Patterns: patterns.All(), PDNS: pdns, Days: w.Days, Seed: 5}},
+		{"fusion", discovery.Inputs{
+			Patterns: patterns.All(), Censys: censysSvc, PDNS: pdns,
+			Zones: w.ZoneStore, Views: world.VantagePointViews, Days: w.Days, Seed: 5,
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				res, err := discovery.Run(context.Background(), c.in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = 0
+				for _, r := range res {
+					total += len(r.UnionAddrs())
+				}
+			}
+			b.ReportMetric(float64(total), "addrs")
+		})
+	}
+}
+
+// BenchmarkAblationScannerThreshold sweeps the Figure 5 threshold and
+// reports the excluded-line count per choice.
+func BenchmarkAblationScannerThreshold(b *testing.B) {
+	sys := mainSystem(b)
+	for _, threshold := range []int{10, 100, 1000} {
+		b.Run(benchName("threshold", threshold), func(b *testing.B) {
+			b.ReportAllocs()
+			var scanners int
+			for i := 0; i < b.N; i++ {
+				scanners = len(sys.Contacts.Scanners(threshold))
+			}
+			b.ReportMetric(float64(scanners), "scanners")
+		})
+	}
+}
+
+// BenchmarkAblationSharedThreshold sweeps the §3.4 shared-IP threshold.
+func BenchmarkAblationSharedThreshold(b *testing.B) {
+	sys := mainSystem(b)
+	period := dnsdb.TimeRange{}
+	addrs := sys.Discovery["google"].UnionAddrs()
+	for _, threshold := range []int{2, 5, 20} {
+		b.Run(benchName("threshold", threshold), func(b *testing.B) {
+			b.ReportAllocs()
+			var shared int
+			for i := 0; i < b.N; i++ {
+				_, sh, _ := validateFilter(addrs, sys.PDNS, period, threshold)
+				shared = len(sh)
+			}
+			b.ReportMetric(float64(shared), "shared")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	switch v {
+	case 10:
+		return prefix + "-10"
+	case 100:
+		return prefix + "-100"
+	case 1000:
+		return prefix + "-1000"
+	case 2:
+		return prefix + "-2"
+	case 5:
+		return prefix + "-5"
+	case 20:
+		return prefix + "-20"
+	default:
+		return prefix
+	}
+}
+
+// validateFilter adapts the §3.4 filter for the ablation bench.
+func validateFilter(addrs []netip.Addr, pdns *dnsdb.DB, tr dnsdb.TimeRange, threshold int) ([]netip.Addr, []netip.Addr, []validate.Classification) {
+	return validate.FilterShared(addrs, patterns.All(), pdns, tr, threshold)
+}

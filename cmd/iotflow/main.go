@@ -1,0 +1,55 @@
+// Command iotflow runs the full pipeline including the ISP traffic study
+// and prints the Section 5 figures (5 through 14).
+//
+// Usage:
+//
+//	iotflow [-seed N] [-scale F] [-lines N] [-threshold N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"iotmap"
+	"iotmap/internal/figures"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	scale := flag.Float64("scale", 0.1, "deployment scale (1.0 = paper-sized)")
+	lines := flag.Int("lines", 10000, "simulated subscriber lines")
+	threshold := flag.Int("threshold", 100, "scanner exclusion threshold (Figure 5)")
+	flag.Parse()
+
+	sys, err := iotmap.New(iotmap.Config{
+		Seed: *seed, Scale: *scale, Lines: *lines, ScannerThreshold: *threshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	ctx := context.Background()
+	if err := sys.Discover(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrafficStudy(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(figures.Figure5(sys))
+	fmt.Println(figures.Figure6(sys))
+	fmt.Println(figures.Figure7(sys))
+	fmt.Println(figures.Figure8(sys))
+	fmt.Println(figures.Figure9(sys))
+	fmt.Println(figures.Figure10(sys))
+	fmt.Println(figures.Figure11(sys))
+	fmt.Println(figures.Figure12(sys))
+	fmt.Println(figures.Figure13(sys))
+	fmt.Println(figures.Figure14(sys))
+}

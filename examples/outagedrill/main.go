@@ -1,0 +1,66 @@
+// Outagedrill: replay the December 7, 2021 AWS us-east-1 outage against
+// the simulated ISP and report what the paper's Figures 15/16 show —
+// then run a what-if drill with a full-day outage, quantifying the
+// cascading-effects question Section 6.2 raises.
+//
+//	go run ./examples/outagedrill
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"iotmap"
+	"iotmap/internal/outage"
+)
+
+func run(sc *outage.Scenario) (iotmap.OutageReport, error) {
+	sys, err := iotmap.New(iotmap.Config{
+		Seed:   13,
+		Scale:  0.05,
+		Lines:  6000,
+		Days:   iotmap.OutageStudyDays(),
+		Outage: sc,
+	})
+	if err != nil {
+		return iotmap.OutageReport{}, err
+	}
+	defer sys.Close()
+	if err := sys.RunAll(context.Background()); err != nil {
+		return iotmap.OutageReport{}, err
+	}
+	return *sys.OutageReport, nil
+}
+
+func main() {
+	// Drill 1: the historical event.
+	base := iotmap.AWSOutageScenario()
+	rep, err := run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport("historical Dec 7 outage (8h window)", rep)
+
+	// Drill 2: what if the same failure had lasted the whole day?
+	longer := *base
+	longer.Name = "what-if-full-day"
+	longer.StartHour, longer.EndHour = 0, 24
+	rep2, err := run(&longer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport("what-if: full-day outage", rep2)
+}
+
+func printReport(title string, rep iotmap.OutageReport) {
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("  window: %s .. %s UTC\n",
+		rep.WindowStart.Format("Jan 2 15:04"), rep.WindowEnd.Format("Jan 2 15:04"))
+	fmt.Printf("  us-east-1 downstream drop: %.1f%% (below prior minimum: %v)\n",
+		rep.RegionDropPct, rep.BelowPriorMin)
+	fmt.Printf("  EU downstream dip:         %.1f%%\n", rep.EUDipPct)
+	fmt.Printf("  us-east-1 line dip:        %.1f%% (devices keep retrying)\n", rep.RegionLinesDipPct)
+	fmt.Printf("  EU line dip:               %.1f%%\n", rep.EULinesDipPct)
+	fmt.Printf("  EU/us-east volume factor:  %.1fx\n\n", rep.EUOverRegionFactor)
+}

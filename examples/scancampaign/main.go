@@ -1,0 +1,107 @@
+// Scancampaign: run the ethically-constrained IPv6 measurement campaign
+// of Section 3.3/3.7 in isolation — deploy the world's IPv6 gateways
+// onto the virtual fabric, sample a hitlist, and probe with rate
+// limiting and randomized target order, then compare what certificates
+// alone could and could not see.
+//
+//	go run ./examples/scancampaign
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"iotmap/internal/certmodel"
+	"iotmap/internal/core/patterns"
+	"iotmap/internal/proto"
+	"iotmap/internal/vnet"
+	"iotmap/internal/world"
+	"iotmap/internal/zgrab"
+)
+
+func main() {
+	w, err := world.Build(world.Config{Seed: 17, Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fabric := vnet.New()
+	defer fabric.Close()
+	ca, err := certmodel.NewCA("Scan Campaign CA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.DeployServers(fabric, ca, w.V6Servers()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 80% hitlist coverage: the scan can only find what the hitlist
+	// knows about (the paper's stated IPv6 limitation).
+	hl := w.BuildHitlist(0.8)
+	var targets []zgrab.Target
+	for _, e := range hl.WithIoTPorts() {
+		for _, port := range e.Ports {
+			var pr proto.Protocol
+			switch port {
+			case 443:
+				pr = proto.HTTPS
+			case 8883:
+				pr = proto.MQTTS
+			case 1883:
+				pr = proto.MQTT
+			case 5671:
+				pr = proto.AMQPS
+			default:
+				continue
+			}
+			targets = append(targets, zgrab.Target{Addr: e.Addr, Port: port, Protocol: pr})
+		}
+	}
+
+	// Ethical controls: one probe per target, randomized order, global
+	// rate limit (Section 3.7: "a single packet per destination" with a
+	// "randomized spread of load").
+	sc := &zgrab.Scanner{
+		Dialer:      fabric,
+		Timeout:     2 * time.Second,
+		Rate:        500,
+		Concurrency: 8,
+		Seed:        17,
+	}
+	start := time.Now()
+	results := sc.Scan(context.Background(), targets)
+	elapsed := time.Since(start)
+
+	connected, tlsDone, withCert := 0, 0, 0
+	perProvider := map[string]int{}
+	for _, r := range results {
+		if r.Connected {
+			connected++
+		}
+		if r.TLSDone {
+			tlsDone++
+		}
+		if r.Cert == nil {
+			continue
+		}
+		withCert++
+		for _, p := range patterns.All() {
+			if r.Cert.MatchesRegexp(p.Regex) {
+				perProvider[p.ProviderID()]++
+			}
+		}
+	}
+	fmt.Printf("targets: %d  (hitlist %d of %d IPv6 gateways)\n",
+		len(targets), hl.Len(), len(w.V6Servers()))
+	fmt.Printf("connected: %d, TLS handshakes completed: %d, certificates: %d\n",
+		connected, tlsDone, withCert)
+	fmt.Printf("elapsed: %v under the %.0f probes/s limit\n\n", elapsed.Round(time.Millisecond), sc.Rate)
+
+	fmt.Println("provider attribution via certificate SANs:")
+	for id, n := range perProvider {
+		fmt.Printf("  %-10s %d endpoints\n", id, n)
+	}
+	fmt.Println("\nnote: SNI-guarded and mutual-TLS endpoints yield no certificates —")
+	fmt.Println("those backends are only discoverable through the DNS channels.")
+}

@@ -1,0 +1,62 @@
+// Trafficstudy: the Section 5 analysis on its own — simulate the
+// European ISP's week, exclude scanners, and print activity shapes,
+// volume relations, and port mixes per anonymized platform.
+//
+//	go run ./examples/trafficstudy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"iotmap"
+	"iotmap/internal/analysis"
+)
+
+func main() {
+	sys, err := iotmap.New(iotmap.Config{Seed: 11, Scale: 0.05, Lines: 8000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	if err := sys.Discover(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrafficStudy(); err != nil {
+		log.Fatal(err)
+	}
+	study := sys.Study
+
+	// Scanner exclusion sweep (Figure 5's two axes).
+	fmt.Println("scanner exclusion sweep:")
+	for _, pt := range sys.Contacts.Curve([]int{10, 100, 1000}) {
+		fmt.Printf("  threshold %4d: coverage %.1f%%, %d lines excluded\n",
+			pt.Threshold, pt.CoveragePct, pt.Scanners)
+	}
+
+	fmt.Println("\nper-platform view (anonymized):")
+	fmt.Printf("  %-5s %10s %10s %12s %7s %s\n", "alias", "lines", "visible%", "volume", "ratio", "top port")
+	for _, alias := range study.Aliases() {
+		l4, _ := study.LineCount(alias)
+		if l4 == 0 {
+			continue
+		}
+		vis, _ := study.Visibility(alias)
+		vol := study.Downstream(alias).Total()
+		top := ""
+		if shares := study.PortShares(alias); len(shares) > 0 {
+			top = fmt.Sprintf("%s (%.0f%%)", shares[0].Port, 100*shares[0].Share)
+		}
+		fmt.Printf("  %-5s %10d %9.1f%% %12s %7.2f %s\n",
+			alias, l4, vis, analysis.HumanBytes(vol), study.OverallRatio(alias), top)
+	}
+
+	lines := study.LineContinentShares()
+	fmt.Printf("\nwhere the data goes: EU-only=%.0f%%  US-only=%.0f%%  EU+US=%.0f%%  Asia/other=%.0f%%\n",
+		100*lines["EU-only"], 100*lines["US-only"], 100*lines["EU+US"], 100*lines["Asia/Other"])
+}

@@ -1,0 +1,218 @@
+// Package analysis provides the statistical helpers the figure
+// reproductions share: empirical CDFs (Figure 12), hourly time series
+// (Figures 8-10, 15-16), share normalization (Figures 13-14), and
+// set-comparison utilities (Figure 4's stability bars).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over float64
+// samples.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF; the input is copied.
+func NewECDF(samples []float64) *ECDF {
+	cp := append([]float64(nil), samples...)
+	sort.Float64s(cp)
+	return &ECDF{sorted: cp}
+}
+
+// Len returns the sample count.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile (0..1).
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(q * float64(len(e.sorted)-1))
+	return e.sorted[idx]
+}
+
+// Between returns P(lo < X <= hi).
+func (e *ECDF) Between(lo, hi float64) float64 { return e.At(hi) - e.At(lo) }
+
+// Points samples the ECDF at logarithmically spaced xs for plotting.
+func (e *ECDF) Points(lo, hi float64, n int) []Point {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return nil
+	}
+	out := make([]Point, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := 0; i < n; i++ {
+		out[i] = Point{X: x, Y: e.At(x)}
+		x *= ratio
+	}
+	return out
+}
+
+// Point is one (x, y) plot sample.
+type Point struct{ X, Y float64 }
+
+// Series is an hour-indexed time series.
+type Series struct {
+	Label string
+	// Values holds one value per hour of the study period.
+	Values []float64
+}
+
+// NewSeries allocates a zeroed series of n hours.
+func NewSeries(label string, n int) *Series {
+	return &Series{Label: label, Values: make([]float64, n)}
+}
+
+// Add accumulates v at hour index i (out-of-range is ignored).
+func (s *Series) Add(i int, v float64) {
+	if i >= 0 && i < len(s.Values) {
+		s.Values[i] += v
+	}
+}
+
+// Max returns the series maximum.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum over a half-open hour range [lo, hi); it
+// ignores zero hours (unobserved) unless everything is zero.
+func (s *Series) Min(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.Values) {
+		hi = len(s.Values)
+	}
+	m := math.Inf(1)
+	for i := lo; i < hi; i++ {
+		if s.Values[i] > 0 && s.Values[i] < m {
+			m = s.Values[i]
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Sum totals a half-open hour range [lo, hi).
+func (s *Series) Sum(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.Values) {
+		hi = len(s.Values)
+	}
+	t := 0.0
+	for i := lo; i < hi; i++ {
+		t += s.Values[i]
+	}
+	return t
+}
+
+// Total sums the whole series.
+func (s *Series) Total() float64 { return s.Sum(0, len(s.Values)) }
+
+// Normalize scales the series so its maximum is 1 (no-op when empty).
+func (s *Series) Normalize() {
+	m := s.Max()
+	if m <= 0 {
+		return
+	}
+	for i := range s.Values {
+		s.Values[i] /= m
+	}
+}
+
+// Shares normalizes a weighted map into fractions summing to 1.
+func Shares[K comparable](weights map[K]float64) map[K]float64 {
+	total := 0.0
+	for _, v := range weights {
+		total += v
+	}
+	out := make(map[K]float64, len(weights))
+	for k, v := range weights {
+		if total > 0 {
+			out[k] = v / total
+		} else {
+			out[k] = 0
+		}
+	}
+	return out
+}
+
+// SetDiff compares two sets of comparable items (Figure 4's reference vs
+// current snapshot comparison).
+type SetDiff struct {
+	Both, OnlyRef, OnlyCur int
+}
+
+// Fractions returns the three bars of Figure 4 relative to the union.
+func (d SetDiff) Fractions() (both, onlyRef, onlyCur float64) {
+	total := float64(d.Both + d.OnlyRef + d.OnlyCur)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(d.Both) / total, float64(d.OnlyRef) / total, float64(d.OnlyCur) / total
+}
+
+// Compare computes the diff between a reference and a current set.
+func Compare[K comparable](ref, cur map[K]struct{}) SetDiff {
+	var d SetDiff
+	for k := range ref {
+		if _, ok := cur[k]; ok {
+			d.Both++
+		} else {
+			d.OnlyRef++
+		}
+	}
+	for k := range cur {
+		if _, ok := ref[k]; !ok {
+			d.OnlyCur++
+		}
+	}
+	return d
+}
+
+// HumanBytes renders a byte count the way the paper's axes do.
+func HumanBytes(v float64) string {
+	switch {
+	case v >= 1e12:
+		return fmt.Sprintf("%.1fTB", v/1e12)
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fGB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fMB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fKB", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	if e.Len() != 4 {
+		t.Fatalf("len = %d", e.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Between(1, 3) != 0.5 {
+		t.Fatalf("Between = %v", e.Between(1, 3))
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	var samples []float64
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, float64(i))
+	}
+	e := NewECDF(samples)
+	if q := e.Quantile(0.5); q < 49 || q > 52 {
+		t.Fatalf("median = %v", q)
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 100 {
+		t.Fatalf("extremes = %v, %v", e.Quantile(0), e.Quantile(1))
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 || e.Quantile(0.5) != 0 {
+		t.Fatal("empty ECDF should be zero")
+	}
+	if pts := e.Points(1, 10, 5); len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestECDFPointsLogSpaced(t *testing.T) {
+	e := NewECDF([]float64{10, 100, 1000})
+	pts := e.Points(1, 1e4, 9)
+	if len(pts) != 9 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].X != 1 {
+		t.Fatalf("first x = %v", pts[0].X)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatal("xs not increasing")
+		}
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("ECDF not monotone")
+		}
+	}
+	if last := pts[len(pts)-1]; math.Abs(last.X-1e4) > 1 || last.Y != 1 {
+		t.Fatalf("last point = %+v", last)
+	}
+}
+
+func TestPropertyECDFMonotone(t *testing.T) {
+	f := func(raw []float64, probe float64) bool {
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		e := NewECDF(clean)
+		a := e.At(probe)
+		b := e.At(probe + 1)
+		return a >= 0 && b <= 1 && a <= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("T1", 24)
+	s.Add(0, 5)
+	s.Add(1, 10)
+	s.Add(30, 99) // ignored
+	s.Add(-1, 99) // ignored
+	if s.Max() != 10 || s.Total() != 15 {
+		t.Fatalf("max=%v total=%v", s.Max(), s.Total())
+	}
+	if s.Min(0, 24) != 5 {
+		t.Fatalf("min = %v", s.Min(0, 24))
+	}
+	if s.Sum(0, 1) != 5 {
+		t.Fatalf("sum = %v", s.Sum(0, 1))
+	}
+	s.Normalize()
+	if s.Max() != 1 {
+		t.Fatalf("normalized max = %v", s.Max())
+	}
+	empty := NewSeries("x", 3)
+	empty.Normalize() // must not panic or NaN
+	if empty.Min(0, 3) != 0 {
+		t.Fatal("empty min")
+	}
+}
+
+func TestShares(t *testing.T) {
+	s := Shares(map[string]float64{"EU": 62, "US": 35, "AS": 3})
+	if math.Abs(s["EU"]-0.62) > 1e-9 || math.Abs(s["AS"]-0.03) > 1e-9 {
+		t.Fatalf("shares = %v", s)
+	}
+	z := Shares(map[string]float64{"a": 0})
+	if z["a"] != 0 {
+		t.Fatal("zero-total shares")
+	}
+}
+
+func TestCompareSets(t *testing.T) {
+	ref := map[string]struct{}{"a": {}, "b": {}, "c": {}}
+	cur := map[string]struct{}{"b": {}, "c": {}, "d": {}}
+	d := Compare(ref, cur)
+	if d.Both != 2 || d.OnlyRef != 1 || d.OnlyCur != 1 {
+		t.Fatalf("diff = %+v", d)
+	}
+	both, onlyRef, onlyCur := d.Fractions()
+	if math.Abs(both-0.5) > 1e-9 || math.Abs(onlyRef-0.25) > 1e-9 || math.Abs(onlyCur-0.25) > 1e-9 {
+		t.Fatalf("fractions = %v %v %v", both, onlyRef, onlyCur)
+	}
+	if z := (SetDiff{}); func() bool { a, b, c := z.Fractions(); return a == 0 && b == 0 && c == 0 }() == false {
+		t.Fatal("zero diff fractions")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[float64]string{
+		500:    "500B",
+		1500:   "1.5KB",
+		2.5e6:  "2.5MB",
+		3.2e9:  "3.2GB",
+		1.1e12: "1.1TB",
+	}
+	for v, want := range cases {
+		if got := HumanBytes(v); got != want {
+			t.Fatalf("HumanBytes(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

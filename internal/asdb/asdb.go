@@ -1,0 +1,303 @@
+// Package asdb implements the BGP routing-table substrate: an AS registry,
+// prefix announcements, and a longest-prefix-match table equivalent to the
+// "RouteViews Prefix to AS mapping dataset from CAIDA" the paper uses to
+// map IP addresses to prefixes and AS numbers (Section 4.3).
+package asdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String renders the conventional AS notation.
+func (a ASN) String() string { return "AS" + strconv.FormatUint(uint64(a), 10) }
+
+// AS describes one autonomous system.
+type AS struct {
+	Number ASN
+	Name   string
+	// Org is the operating organization, used to classify deployments as
+	// Dedicated Infrastructure (provider-managed AS) or Public Resources
+	// (cloud/CDN AS) in Section 4.2.
+	Org string
+}
+
+// Announcement is one prefix originated by an AS.
+type Announcement struct {
+	Prefix netip.Prefix
+	Origin ASN
+}
+
+// Table is a longest-prefix-match routing table for IPv4 and IPv6,
+// implemented as two binary tries. Lookups walk at most 32 or 128 nodes,
+// the classic unibit-trie bound; a micro-benchmark against linear scan
+// lives in the package benchmarks (DESIGN.md ablation list).
+type Table struct {
+	v4, v6   *trieNode
+	ases     map[ASN]AS
+	prefixes int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	// ann is non-nil when a prefix terminates at this node.
+	ann *Announcement
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{v4: &trieNode{}, v6: &trieNode{}, ases: make(map[ASN]AS)}
+}
+
+// RegisterAS records AS metadata. Announcing from an unregistered AS is
+// allowed (the registry is advisory, as in the real routing system).
+func (t *Table) RegisterAS(as AS) { t.ases[as.Number] = as }
+
+// LookupAS returns the metadata registered for a number.
+func (t *Table) LookupAS(n ASN) (AS, bool) {
+	as, ok := t.ases[n]
+	return as, ok
+}
+
+// ASes returns all registered ASes sorted by number.
+func (t *Table) ASes() []AS {
+	out := make([]AS, 0, len(t.ases))
+	for _, as := range t.ases {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Len reports the number of installed announcements.
+func (t *Table) Len() int { return t.prefixes }
+
+// Announce installs a prefix announcement, replacing any previous origin
+// for the exact same prefix (as a newer BGP update would).
+func (t *Table) Announce(pfx netip.Prefix, origin ASN) error {
+	if !pfx.IsValid() {
+		return fmt.Errorf("asdb: invalid prefix")
+	}
+	pfx = pfx.Masked()
+	root := t.v6
+	if pfx.Addr().Is4() {
+		root = t.v4
+	}
+	n := root
+	addr := pfx.Addr().AsSlice()
+	for i := 0; i < pfx.Bits(); i++ {
+		b := bit(addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode{}
+		}
+		n = n.child[b]
+	}
+	if n.ann == nil {
+		t.prefixes++
+	}
+	n.ann = &Announcement{Prefix: pfx, Origin: origin}
+	return nil
+}
+
+// Withdraw removes the announcement for exactly pfx, reporting whether an
+// entry existed. Interior nodes are not pruned; tables in this simulation
+// are built once and queried many times.
+func (t *Table) Withdraw(pfx netip.Prefix) bool {
+	pfx = pfx.Masked()
+	root := t.v6
+	if pfx.Addr().Is4() {
+		root = t.v4
+	}
+	n := root
+	addr := pfx.Addr().AsSlice()
+	for i := 0; i < pfx.Bits(); i++ {
+		n = n.child[bit(addr, i)]
+		if n == nil {
+			return false
+		}
+	}
+	if n.ann == nil {
+		return false
+	}
+	n.ann = nil
+	t.prefixes--
+	return true
+}
+
+// Lookup returns the longest matching announcement for addr.
+func (t *Table) Lookup(addr netip.Addr) (Announcement, bool) {
+	if !addr.IsValid() {
+		return Announcement{}, false
+	}
+	addr = addr.Unmap()
+	root := t.v6
+	if addr.Is4() {
+		root = t.v4
+	}
+	var best *Announcement
+	n := root
+	raw := addr.AsSlice()
+	maxBits := addr.BitLen()
+	for i := 0; ; i++ {
+		if n.ann != nil {
+			best = n.ann
+		}
+		if i >= maxBits {
+			break
+		}
+		n = n.child[bit(raw, i)]
+		if n == nil {
+			break
+		}
+	}
+	if best == nil {
+		return Announcement{}, false
+	}
+	return *best, true
+}
+
+// Origin is shorthand for Lookup(...).Origin.
+func (t *Table) Origin(addr netip.Addr) (ASN, bool) {
+	ann, ok := t.Lookup(addr)
+	return ann.Origin, ok
+}
+
+// Announcements returns every installed announcement, sorted by prefix
+// string. Intended for dumps and tests, not hot paths.
+func (t *Table) Announcements() []Announcement {
+	var out []Announcement
+	var walk func(n *trieNode)
+	walk = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		if n.ann != nil {
+			out = append(out, *n.ann)
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(t.v4)
+	walk(t.v6)
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	return out
+}
+
+// DistinctOrigins returns the set of origin ASNs covering addrs — the
+// paper's network-diversity metric ("typically more than one AS").
+func (t *Table) DistinctOrigins(addrs []netip.Addr) []ASN {
+	seen := map[ASN]struct{}{}
+	for _, a := range addrs {
+		if asn, ok := t.Origin(a); ok {
+			seen[asn] = struct{}{}
+		}
+	}
+	out := make([]ASN, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DistinctPrefixes returns the distinct announced prefixes covering addrs.
+func (t *Table) DistinctPrefixes(addrs []netip.Addr) []netip.Prefix {
+	seen := map[netip.Prefix]struct{}{}
+	for _, a := range addrs {
+		if ann, ok := t.Lookup(a); ok {
+			seen[ann.Prefix] = struct{}{}
+		}
+	}
+	out := make([]netip.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// WriteDump serializes the table in the two-column "prefix origin" text
+// format RouteViews-style tools exchange.
+func (t *Table) WriteDump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ann := range t.Announcements() {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", ann.Prefix, ann.Origin); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDump parses the format written by WriteDump into a fresh table.
+func ReadDump(r io.Reader) (*Table, error) {
+	t := NewTable()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("asdb: dump line %d: want 2 fields, got %d", line, len(fields))
+		}
+		pfx, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("asdb: dump line %d: %v", line, err)
+		}
+		origin, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("asdb: dump line %d: %v", line, err)
+		}
+		if err := t.Announce(pfx, ASN(origin)); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LinearTable is the naive O(n) matcher used only as an ablation baseline
+// for the trie (see bench in this package).
+type LinearTable struct {
+	anns []Announcement
+}
+
+// NewLinearTable builds a LinearTable from announcements.
+func NewLinearTable(anns []Announcement) *LinearTable {
+	cp := make([]Announcement, len(anns))
+	copy(cp, anns)
+	return &LinearTable{anns: cp}
+}
+
+// Lookup scans every announcement for the longest match.
+func (l *LinearTable) Lookup(addr netip.Addr) (Announcement, bool) {
+	best := Announcement{}
+	found := false
+	for _, ann := range l.anns {
+		if ann.Prefix.Contains(addr) {
+			if !found || ann.Prefix.Bits() > best.Prefix.Bits() {
+				best = ann
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// bit extracts bit i (MSB first) from a byte slice.
+func bit(b []byte, i int) int {
+	return int(b[i/8]>>(7-i%8)) & 1
+}

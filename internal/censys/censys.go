@@ -1,0 +1,146 @@
+// Package censys models the Internet-wide IPv4 scan dataset the
+// methodology consumes (Section 3.3): daily snapshots of per-endpoint
+// scan records with TLS certificate metadata and scan-provider
+// geolocation, plus the certificate search the pipeline runs its domain
+// regexes through.
+//
+// Records carry exactly what an IPv4-wide zmap+zgrab pass would have
+// produced against the synthetic world: endpoints whose TLS policy
+// prevents certificate collection (SNI-required, client-cert-required)
+// appear with a nil Cert, and plaintext services carry banners only.
+package censys
+
+import (
+	"fmt"
+	"net/netip"
+	"regexp"
+	"sort"
+	"time"
+
+	"iotmap/internal/certmodel"
+	"iotmap/internal/geo"
+	"iotmap/internal/proto"
+)
+
+// Record is one (address, port) scan observation.
+type Record struct {
+	Addr      netip.Addr
+	Port      uint16
+	Transport proto.Transport
+	Protocol  proto.Protocol
+	// Cert is nil when no certificate could be collected.
+	Cert *certmodel.Spec
+	// Banner is the protocol fingerprint, when any.
+	Banner string
+	// Location is the scan provider's geolocation opinion — imperfect,
+	// one of the majority-vote inputs (Section 4.2).
+	Location geo.Location
+}
+
+// Endpoint returns the record's addr:port.
+func (r Record) Endpoint() netip.AddrPort { return netip.AddrPortFrom(r.Addr, r.Port) }
+
+// Snapshot is one daily scan result set.
+type Snapshot struct {
+	Date    time.Time
+	records []Record
+	byAddr  map[netip.Addr][]int
+}
+
+// NewSnapshot builds a snapshot for date from records.
+func NewSnapshot(date time.Time, records []Record) *Snapshot {
+	s := &Snapshot{Date: date, records: append([]Record(nil), records...)}
+	sort.Slice(s.records, func(i, j int) bool {
+		a, b := s.records[i], s.records[j]
+		if a.Addr != b.Addr {
+			return a.Addr.Less(b.Addr)
+		}
+		return a.Port < b.Port
+	})
+	s.byAddr = make(map[netip.Addr][]int)
+	for i, r := range s.records {
+		s.byAddr[r.Addr] = append(s.byAddr[r.Addr], i)
+	}
+	return s
+}
+
+// Len returns the record count.
+func (s *Snapshot) Len() int { return len(s.records) }
+
+// Records returns all records (shared slice; callers must not mutate).
+func (s *Snapshot) Records() []Record { return s.records }
+
+// ByAddr returns the records for one address.
+func (s *Snapshot) ByAddr(a netip.Addr) []Record {
+	idx := s.byAddr[a]
+	out := make([]Record, len(idx))
+	for i, j := range idx {
+		out[i] = s.records[j]
+	}
+	return out
+}
+
+// SearchCerts returns records whose certificate names match re and whose
+// certificate is valid on the snapshot date — the paper only uses
+// certificates "valid during the study period".
+func (s *Snapshot) SearchCerts(re *regexp.Regexp) []Record {
+	var out []Record
+	for _, r := range s.records {
+		if r.Cert == nil {
+			continue
+		}
+		if !r.Cert.ValidAt(s.Date) {
+			continue
+		}
+		if r.Cert.MatchesRegexp(re) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Addrs extracts the unique addresses in records.
+func Addrs(records []Record) []netip.Addr {
+	seen := map[netip.Addr]struct{}{}
+	var out []netip.Addr
+	for _, r := range records {
+		if _, dup := seen[r.Addr]; !dup {
+			seen[r.Addr] = struct{}{}
+			out = append(out, r.Addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Service stores the daily snapshots of a study period, keyed by UTC day.
+type Service struct {
+	snaps map[string]*Snapshot
+}
+
+// NewService returns an empty snapshot store.
+func NewService() *Service { return &Service{snaps: map[string]*Snapshot{}} }
+
+func dayKey(t time.Time) string { return t.UTC().Format("2006-01-02") }
+
+// Put stores a snapshot under its date.
+func (sv *Service) Put(s *Snapshot) { sv.snaps[dayKey(s.Date)] = s }
+
+// Get fetches the snapshot for a day.
+func (sv *Service) Get(day time.Time) (*Snapshot, error) {
+	s, ok := sv.snaps[dayKey(day)]
+	if !ok {
+		return nil, fmt.Errorf("censys: no snapshot for %s", dayKey(day))
+	}
+	return s, nil
+}
+
+// Days lists the stored snapshot dates in order.
+func (sv *Service) Days() []time.Time {
+	var out []time.Time
+	for _, s := range sv.snaps {
+		out = append(out, s.Date)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

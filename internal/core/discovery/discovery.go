@@ -1,0 +1,424 @@
+// Package discovery implements the source-fusion stage of the
+// methodology (Section 3.3): TLS certificates from the IPv4-wide scan
+// snapshots, the custom ZGrab IPv6 scan over the hitlists, passive DNS
+// queries with the provider regexes, and daily active DNS resolution of
+// every DNSDB-identified name from three vantage points. Each discovered
+// address carries its source tags, the raw material of Figure 3 and of
+// the per-source ablations in DESIGN.md.
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"iotmap/internal/censys"
+	"iotmap/internal/core/patterns"
+	"iotmap/internal/dnsdb"
+	"iotmap/internal/dnsmsg"
+	"iotmap/internal/dnszone"
+	"iotmap/internal/hitlist"
+	"iotmap/internal/proto"
+	"iotmap/internal/zgrab"
+)
+
+// Source is a discovery channel bitmask.
+type Source uint8
+
+// Sources; SrcCert covers both the IPv4 snapshot certificates and the
+// custom IPv6 scan (Figure 3 groups them as "Censys/Active Meas.").
+const (
+	SrcCert Source = 1 << iota
+	SrcPDNS
+	SrcActive
+)
+
+// Has reports whether the set contains s.
+func (s Source) Has(q Source) bool { return s&q != 0 }
+
+// Count returns the number of distinct sources in the set.
+func (s Source) Count() int {
+	n := 0
+	for _, b := range []Source{SrcCert, SrcPDNS, SrcActive} {
+		if s.Has(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the set.
+func (s Source) String() string {
+	switch {
+	case s.Count() > 1:
+		return "multiple"
+	case s.Has(SrcCert):
+		return "certificates"
+	case s.Has(SrcPDNS):
+		return "passive-dns"
+	case s.Has(SrcActive):
+		return "active-dns"
+	default:
+		return "none"
+	}
+}
+
+// AddrInfo aggregates what discovery learned about one address.
+type AddrInfo struct {
+	Sources Source
+	// Names observed mapping to the address (certificate SANs, DNSDB
+	// rrnames, actively resolved names).
+	Names map[string]struct{}
+	// Ports seen open with their protocol fingerprints (scan channels).
+	Ports map[proto.PortKey]proto.Protocol
+}
+
+func newAddrInfo() *AddrInfo {
+	return &AddrInfo{Names: map[string]struct{}{}, Ports: map[proto.PortKey]proto.Protocol{}}
+}
+
+// DayResult is one provider's discovery set for one day.
+type DayResult struct {
+	Provider string
+	Day      time.Time
+	Addrs    map[netip.Addr]*AddrInfo
+}
+
+func (d *DayResult) info(a netip.Addr) *AddrInfo {
+	ai, ok := d.Addrs[a]
+	if !ok {
+		ai = newAddrInfo()
+		d.Addrs[a] = ai
+	}
+	return ai
+}
+
+// All returns the discovered addresses sorted.
+func (d *DayResult) All() []netip.Addr {
+	out := make([]netip.Addr, 0, len(d.Addrs))
+	for a := range d.Addrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// WithSource returns the addresses carrying source s.
+func (d *DayResult) WithSource(s Source) []netip.Addr {
+	var out []netip.Addr
+	for a, ai := range d.Addrs {
+		if ai.Sources.Has(s) {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Result is one provider's discovery across the whole study period.
+type Result struct {
+	Provider string
+	Days     []*DayResult
+	// VPGain is the coverage gain of using all three DNS vantage points
+	// versus the first (Section 3.3's ≈17%).
+	VPGain float64
+}
+
+// Union merges every day's addresses with fused source tags and names.
+func (r *Result) Union() map[netip.Addr]*AddrInfo {
+	out := map[netip.Addr]*AddrInfo{}
+	for _, d := range r.Days {
+		for a, ai := range d.Addrs {
+			dst, ok := out[a]
+			if !ok {
+				dst = newAddrInfo()
+				out[a] = dst
+			}
+			dst.Sources |= ai.Sources
+			for n := range ai.Names {
+				dst.Names[n] = struct{}{}
+			}
+			for k, v := range ai.Ports {
+				dst.Ports[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// UnionAddrs returns the sorted union address list.
+func (r *Result) UnionAddrs() []netip.Addr {
+	u := r.Union()
+	out := make([]netip.Addr, 0, len(u))
+	for a := range u {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Inputs wires the observation channels into the pipeline.
+type Inputs struct {
+	Patterns []*patterns.Pattern
+	Censys   *censys.Service
+	PDNS     *dnsdb.DB
+	// Hitlist and Fabric drive the custom IPv6 scan; either may be nil
+	// to skip it.
+	Hitlist *hitlist.Hitlist
+	Fabric  zgrab.Dialer
+	// Zones builds the authoritative view for one study day (active
+	// resolution). Nil skips active DNS.
+	Zones func(dayIdx int) *dnszone.Store
+	// Views are the vantage-point view names (first one is the
+	// single-VP baseline for the gain metric).
+	Views []string
+	Days  []time.Time
+	Seed  int64
+}
+
+// Run executes discovery for every provider pattern.
+func Run(ctx context.Context, in Inputs) (map[string]*Result, error) {
+	if len(in.Days) == 0 {
+		return nil, fmt.Errorf("discovery: no study days")
+	}
+	results := map[string]*Result{}
+	for _, p := range in.Patterns {
+		results[p.ProviderID()] = &Result{Provider: p.ProviderID()}
+	}
+
+	// The custom IPv6 scan runs once for the study period.
+	v6ByProvider, err := runV6Scan(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+
+	for di, day := range in.Days {
+		// Build the day's authoritative servers once, shared across
+		// providers.
+		var zoneSrvs []*dnszone.Server
+		if in.Zones != nil {
+			store := in.Zones(di)
+			for _, view := range in.Views {
+				zoneSrvs = append(zoneSrvs, dnszone.NewLocalServer(store, view))
+			}
+		}
+		var snap *censys.Snapshot
+		if in.Censys != nil {
+			snap, err = in.Censys.Get(day)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, p := range in.Patterns {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			dr := &DayResult{Provider: p.ProviderID(), Day: day, Addrs: map[netip.Addr]*AddrInfo{}}
+			res := results[p.ProviderID()]
+
+			// (1) Certificates from the IPv4 snapshots.
+			if snap != nil {
+				for _, rec := range snap.SearchCerts(p.Regex) {
+					ai := dr.info(rec.Addr)
+					ai.Sources |= SrcCert
+					ai.Ports[proto.PortKey{Transport: rec.Transport, Port: rec.Port}] = rec.Protocol
+					for _, n := range rec.Cert.AllNames() {
+						ai.Names[dnsmsg.CanonicalName(n)] = struct{}{}
+					}
+					// Harvest co-located open ports for the protocol
+					// column (the scan saw the whole endpoint).
+					for _, sib := range snap.ByAddr(rec.Addr) {
+						ai.Ports[proto.PortKey{Transport: sib.Transport, Port: sib.Port}] = sib.Protocol
+					}
+				}
+			}
+			// (2) Custom IPv6 scan results apply to every day.
+			for _, hit := range v6ByProvider[p.ProviderID()] {
+				ai := dr.info(hit.addr)
+				ai.Sources |= SrcCert
+				ai.Ports[hit.port] = hit.protocol
+				for _, n := range hit.names {
+					ai.Names[n] = struct{}{}
+				}
+			}
+			// (3) Passive DNS.
+			names := map[string]struct{}{}
+			if in.PDNS != nil {
+				tr := dnsdb.TimeRange{From: day, To: day.Add(24 * time.Hour)}
+				obs, err := queryPDNS(in.PDNS, p, tr)
+				if err != nil {
+					return nil, err
+				}
+				for _, o := range obs {
+					names[o.RRName] = struct{}{}
+					if a, ok := o.Addr(); ok {
+						ai := dr.info(a)
+						ai.Sources |= SrcPDNS
+						ai.Names[o.RRName] = struct{}{}
+					}
+				}
+				// Active resolution targets every name DNSDB has ever
+				// seen for the provider, not just today's sightings.
+				whole, err := queryPDNS(in.PDNS, p, dnsdb.TimeRange{})
+				if err != nil {
+					return nil, err
+				}
+				for _, o := range whole {
+					names[o.RRName] = struct{}{}
+				}
+			}
+			// (4) Daily active resolution from every vantage point.
+			if len(zoneSrvs) > 0 && len(names) > 0 {
+				perVP := resolveAll(zoneSrvs, in.Views, sortedNames(names), in.Seed+int64(di))
+				firstVP := map[netip.Addr]struct{}{}
+				allVP := map[netip.Addr]struct{}{}
+				for vi, view := range in.Views {
+					for name, addrs := range perVP[view] {
+						for _, a := range addrs {
+							ai := dr.info(a)
+							ai.Sources |= SrcActive
+							ai.Names[name] = struct{}{}
+							allVP[a] = struct{}{}
+							if vi == 0 {
+								firstVP[a] = struct{}{}
+							}
+						}
+					}
+				}
+				if len(firstVP) > 0 {
+					gain := float64(len(allVP))/float64(len(firstVP)) - 1
+					// Track the mean daily gain.
+					res.VPGain += gain / float64(len(in.Days))
+				}
+			}
+			res.Days = append(res.Days, dr)
+		}
+		for _, s := range zoneSrvs {
+			_ = s.Close()
+		}
+	}
+	return results, nil
+}
+
+// queryPDNS runs the provider's documented query style: Basic Search for
+// fixed-FQDN providers, Flexible Search otherwise.
+func queryPDNS(db *dnsdb.DB, p *patterns.Pattern, tr dnsdb.TimeRange) ([]dnsdb.Observation, error) {
+	if fixed := p.Doc.FixedFQDNs; len(fixed) > 0 {
+		var out []dnsdb.Observation
+		for _, f := range fixed {
+			out = append(out, db.BasicSearch(f, 0, tr)...)
+		}
+		return out, nil
+	}
+	return db.FlexibleSearch(p.Regex.String(), 0, tr)
+}
+
+func sortedNames(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolveAll resolves names through each vantage point's authoritative
+// view, exercising the full DNS wire codec via HandleWire.
+func resolveAll(srvs []*dnszone.Server, views []string, names []string, seed int64) map[string]map[string][]netip.Addr {
+	out := map[string]map[string][]netip.Addr{}
+	id := uint16(seed)
+	for vi, view := range views {
+		perName := map[string][]netip.Addr{}
+		srv := srvs[vi]
+		for _, name := range names {
+			var addrs []netip.Addr
+			for _, typ := range []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA} {
+				id++
+				q := &dnsmsg.Message{
+					Header:    dnsmsg.Header{ID: id, RecursionDesired: true},
+					Questions: []dnsmsg.Question{{Name: name, Type: typ, Class: dnsmsg.ClassIN}},
+				}
+				wire, err := q.Pack()
+				if err != nil {
+					continue
+				}
+				resp := srv.HandleWire(wire)
+				if resp == nil {
+					continue
+				}
+				m, err := dnsmsg.Unpack(resp)
+				if err != nil || m.Header.RCode != dnsmsg.RCodeSuccess {
+					continue
+				}
+				for _, rr := range m.Answers {
+					if rr.Type == dnsmsg.TypeA || rr.Type == dnsmsg.TypeAAAA {
+						addrs = append(addrs, rr.Addr)
+					}
+				}
+			}
+			if len(addrs) > 0 {
+				perName[name] = addrs
+			}
+		}
+		out[view] = perName
+	}
+	return out
+}
+
+// v6Hit is one IPv6 scan discovery.
+type v6Hit struct {
+	addr     netip.Addr
+	port     proto.PortKey
+	protocol proto.Protocol
+	names    []string
+}
+
+// runV6Scan performs the custom ZGrab scan over the hitlist and matches
+// harvested certificates against every provider pattern.
+func runV6Scan(ctx context.Context, in Inputs) (map[string][]v6Hit, error) {
+	out := map[string][]v6Hit{}
+	if in.Hitlist == nil || in.Fabric == nil {
+		return out, nil
+	}
+	var targets []zgrab.Target
+	for _, e := range in.Hitlist.WithIoTPorts() {
+		for _, port := range e.Ports {
+			var pr proto.Protocol
+			switch port {
+			case 443:
+				pr = proto.HTTPS
+			case 8883:
+				pr = proto.MQTTS
+			case 1883:
+				pr = proto.MQTT
+			case 5671:
+				pr = proto.AMQPS
+			default:
+				continue
+			}
+			targets = append(targets, zgrab.Target{Addr: e.Addr, Port: port, Protocol: pr})
+		}
+	}
+	sc := &zgrab.Scanner{Dialer: in.Fabric, Timeout: 3 * time.Second, Concurrency: 8, Seed: in.Seed}
+	results := sc.Scan(ctx, targets)
+	for _, r := range zgrab.WithCerts(results) {
+		for _, p := range in.Patterns {
+			if !r.Cert.MatchesRegexp(p.Regex) {
+				continue
+			}
+			var names []string
+			for _, n := range r.Cert.AllNames() {
+				names = append(names, dnsmsg.CanonicalName(n))
+			}
+			out[p.ProviderID()] = append(out[p.ProviderID()], v6Hit{
+				addr:     r.Target.Addr,
+				port:     proto.PortKey{Transport: r.Target.Protocol.DefaultTransport(), Port: r.Target.Port},
+				protocol: r.Target.Protocol,
+				names:    names,
+			})
+		}
+	}
+	return out, nil
+}

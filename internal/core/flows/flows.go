@@ -1,0 +1,431 @@
+// Package flows implements the ISP traffic analyses of Section 5 and the
+// outage view of Section 6.1. It consumes sampled NetFlow records in two
+// passes: a cheap contact-counting pass that finds scanner lines
+// (Figure 5, following Richter et al.), and a full aggregation pass —
+// with scanners excluded — that produces backend visibility (Figure 6),
+// TLS-only detectability (Figure 7), hourly activity and volume series
+// (Figures 8-10, 15-16), port mixes (Figure 11), per-line daily volume
+// distributions (Figure 12), and the cross-continent breakdowns
+// (Figures 13-14).
+//
+// Provider identities are anonymized to their aliases (T1..T4, D1..D6,
+// O1..O6) before anything enters the collector, mirroring the paper's
+// agreement with the ISP (Section 3.7).
+package flows
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"iotmap/internal/analysis"
+	"iotmap/internal/geo"
+	"iotmap/internal/netflow"
+	"iotmap/internal/proto"
+)
+
+// BackendIndex is the collector's view of the discovered, validated
+// backend IPs: owner alias, location, region code, and whether the
+// TLS-certificate channel alone would have found the address.
+type BackendIndex struct {
+	owner     map[netip.Addr]string
+	cont      map[netip.Addr]geo.Continent
+	region    map[netip.Addr]string
+	certFound map[netip.Addr]bool
+}
+
+// NewBackendIndex returns an empty index.
+func NewBackendIndex() *BackendIndex {
+	return &BackendIndex{
+		owner:     map[netip.Addr]string{},
+		cont:      map[netip.Addr]geo.Continent{},
+		region:    map[netip.Addr]string{},
+		certFound: map[netip.Addr]bool{},
+	}
+}
+
+// Add registers one backend address under its anonymized alias.
+func (b *BackendIndex) Add(addr netip.Addr, alias string, cont geo.Continent, region string, certFound bool) {
+	b.owner[addr] = alias
+	b.cont[addr] = cont
+	b.region[addr] = region
+	b.certFound[addr] = certFound
+}
+
+// Owner returns the alias owning addr ("" if unknown).
+func (b *BackendIndex) Owner(addr netip.Addr) string { return b.owner[addr] }
+
+// Size returns the number of indexed addresses.
+func (b *BackendIndex) Size() int { return len(b.owner) }
+
+// Aliases returns the sorted alias list.
+func (b *BackendIndex) Aliases() []string {
+	seen := map[string]struct{}{}
+	for _, a := range b.owner {
+		seen[a] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalPerAlias counts indexed addresses per alias, split by family.
+func (b *BackendIndex) TotalPerAlias() map[string][2]int {
+	out := map[string][2]int{}
+	for addr, alias := range b.owner {
+		c := out[alias]
+		if addr.Is4() || addr.Is4In6() {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		out[alias] = c
+	}
+	return out
+}
+
+// --- Pass 1: scanner identification ------------------------------------
+
+// ContactCounter tallies how many distinct backend IPs each subscriber
+// line contacts (the Richter et al. scanner heuristic of Section 5.2).
+type ContactCounter struct {
+	idx *BackendIndex
+	// contacts maps a line address to its contacted backend set.
+	contacts map[netip.Addr]map[netip.Addr]struct{}
+}
+
+// NewContactCounter returns a counter over idx.
+func NewContactCounter(idx *BackendIndex) *ContactCounter {
+	return &ContactCounter{idx: idx, contacts: map[netip.Addr]map[netip.Addr]struct{}{}}
+}
+
+// Ingest processes one record.
+func (c *ContactCounter) Ingest(r netflow.Record) {
+	var line, backend netip.Addr
+	switch {
+	case c.idx.owner[r.Dst] != "":
+		line, backend = r.Src, r.Dst
+	case c.idx.owner[r.Src] != "":
+		line, backend = r.Dst, r.Src
+	default:
+		return
+	}
+	set, ok := c.contacts[line]
+	if !ok {
+		set = map[netip.Addr]struct{}{}
+		c.contacts[line] = set
+	}
+	set[backend] = struct{}{}
+}
+
+// Scanners returns the lines contacting more than threshold backend IPs.
+func (c *ContactCounter) Scanners(threshold int) map[netip.Addr]struct{} {
+	out := map[netip.Addr]struct{}{}
+	for line, set := range c.contacts {
+		if len(set) > threshold {
+			out[line] = struct{}{}
+		}
+	}
+	return out
+}
+
+// CurvePoint is one x-position of Figure 5.
+type CurvePoint struct {
+	Threshold int
+	// Scanners is the number of excluded subscriber lines.
+	Scanners int
+	// CoveragePct is the share of identified IPv4 backends contacted by
+	// the remaining lines.
+	CoveragePct float64
+}
+
+// Curve sweeps scanner thresholds (Figure 5's two axes).
+func (c *ContactCounter) Curve(thresholds []int) []CurvePoint {
+	totalV4 := 0
+	for addr := range c.idx.owner {
+		if addr.Is4() || addr.Is4In6() {
+			totalV4++
+		}
+	}
+	out := make([]CurvePoint, 0, len(thresholds))
+	for _, t := range thresholds {
+		visible := map[netip.Addr]struct{}{}
+		scanners := 0
+		for _, set := range c.contacts {
+			if len(set) > t {
+				scanners++
+				continue
+			}
+			for b := range set {
+				if b.Is4() || b.Is4In6() {
+					visible[b] = struct{}{}
+				}
+			}
+		}
+		pct := 0.0
+		if totalV4 > 0 {
+			pct = 100 * float64(len(visible)) / float64(totalV4)
+		}
+		out = append(out, CurvePoint{Threshold: t, Scanners: scanners, CoveragePct: pct})
+	}
+	return out
+}
+
+// --- Pass 2: full aggregation -------------------------------------------
+
+// Collector aggregates everything the figures need, with scanner lines
+// excluded up front.
+type Collector struct {
+	idx      *BackendIndex
+	days     []time.Time
+	hours    int
+	rate     float64
+	excluded map[netip.Addr]struct{}
+	// focusAlias drives the regional outage series (Figures 15/16).
+	focusAlias  string
+	focusRegion string
+
+	// visibility.
+	visible map[string]map[netip.Addr]struct{}
+	// per-alias per-hour active line sets.
+	linesHour map[string][]map[netip.Addr]struct{}
+	// per-alias hourly volumes.
+	downHour, upHour map[string]*analysis.Series
+	// per-alias port volumes.
+	portVol map[string]map[proto.PortKey]float64
+	// per-line daily totals [day][down,up].
+	lineDaily map[netip.Addr][][2]float64
+	// per-line-alias daily downstream.
+	lineAliasDaily map[lineAliasKey][]float64
+	// per-line-port daily downstream.
+	linePortDaily map[linePortKey][]float64
+	// per-line alias set and cert-only detectability.
+	lineAliases  map[lineAliasKey]struct{}
+	lineCertSeen map[lineAliasKey]struct{}
+	// per-line contacted-continent mask.
+	lineConts map[netip.Addr]uint8
+	// traffic per server continent.
+	contVol map[geo.Continent]float64
+	// traffic per backend address (the §3.4 traffic cross-check).
+	backendVol map[netip.Addr]float64
+	// focus series.
+	focusDownAll, focusDownRegion, focusDownEU    *analysis.Series
+	focusLinesAll, focusLinesRegion, focusLinesEU []map[netip.Addr]struct{}
+}
+
+type lineAliasKey struct {
+	line  netip.Addr
+	alias string
+}
+
+type linePortKey struct {
+	line netip.Addr
+	port proto.PortKey
+}
+
+// Options tune a Collector.
+type Options struct {
+	// Excluded lines (pass-1 scanners).
+	Excluded map[netip.Addr]struct{}
+	// SamplingRate scales sampled bytes back to estimates.
+	SamplingRate uint32
+	// FocusAlias/FocusRegion select the outage deep-dive provider and
+	// region (Figures 15/16: T1, us-east-1).
+	FocusAlias  string
+	FocusRegion string
+}
+
+// NewCollector builds a collector for a study period.
+func NewCollector(idx *BackendIndex, days []time.Time, opts Options) *Collector {
+	hours := len(days) * 24
+	c := &Collector{
+		idx:            idx,
+		days:           days,
+		hours:          hours,
+		rate:           float64(opts.SamplingRate),
+		excluded:       opts.Excluded,
+		focusAlias:     opts.FocusAlias,
+		focusRegion:    opts.FocusRegion,
+		visible:        map[string]map[netip.Addr]struct{}{},
+		linesHour:      map[string][]map[netip.Addr]struct{}{},
+		downHour:       map[string]*analysis.Series{},
+		upHour:         map[string]*analysis.Series{},
+		portVol:        map[string]map[proto.PortKey]float64{},
+		lineDaily:      map[netip.Addr][][2]float64{},
+		lineAliasDaily: map[lineAliasKey][]float64{},
+		linePortDaily:  map[linePortKey][]float64{},
+		lineAliases:    map[lineAliasKey]struct{}{},
+		lineCertSeen:   map[lineAliasKey]struct{}{},
+		lineConts:      map[netip.Addr]uint8{},
+		contVol:        map[geo.Continent]float64{},
+		backendVol:     map[netip.Addr]float64{},
+	}
+	if c.rate <= 0 {
+		c.rate = 1
+	}
+	if c.focusAlias != "" {
+		c.focusDownAll = analysis.NewSeries(c.focusAlias+": All", hours)
+		c.focusDownRegion = analysis.NewSeries(c.focusAlias+": "+c.focusRegion, hours)
+		c.focusDownEU = analysis.NewSeries(c.focusAlias+": EU", hours)
+		c.focusLinesAll = makeHourSets(hours)
+		c.focusLinesRegion = makeHourSets(hours)
+		c.focusLinesEU = makeHourSets(hours)
+	}
+	return c
+}
+
+func makeHourSets(hours int) []map[netip.Addr]struct{} {
+	out := make([]map[netip.Addr]struct{}, hours)
+	for i := range out {
+		out[i] = map[netip.Addr]struct{}{}
+	}
+	return out
+}
+
+func contBit(c geo.Continent) uint8 {
+	switch c {
+	case geo.Europe:
+		return 1
+	case geo.NorthAmerica:
+		return 2
+	case geo.Asia:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Ingest processes one sampled record.
+func (c *Collector) Ingest(r netflow.Record) {
+	var line, backend netip.Addr
+	var downstream bool
+	switch {
+	case c.idx.owner[r.Src] != "":
+		backend, line = r.Src, r.Dst
+		downstream = true
+	case c.idx.owner[r.Dst] != "":
+		line, backend = r.Src, r.Dst
+	default:
+		return
+	}
+	if _, skip := c.excluded[line]; skip {
+		return
+	}
+	alias := c.idx.owner[backend]
+	hour := int(r.Start.Sub(c.days[0]).Hours())
+	if hour < 0 || hour >= c.hours {
+		return
+	}
+	day := hour / 24
+	bytes := float64(r.Bytes) * c.rate
+
+	// Visibility.
+	vs, ok := c.visible[alias]
+	if !ok {
+		vs = map[netip.Addr]struct{}{}
+		c.visible[alias] = vs
+	}
+	vs[backend] = struct{}{}
+
+	// Hourly activity.
+	lh, ok := c.linesHour[alias]
+	if !ok {
+		lh = makeHourSets(c.hours)
+		c.linesHour[alias] = lh
+	}
+	lh[hour][line] = struct{}{}
+
+	// Hourly volumes.
+	if downstream {
+		s, ok := c.downHour[alias]
+		if !ok {
+			s = analysis.NewSeries(alias, c.hours)
+			c.downHour[alias] = s
+		}
+		s.Add(hour, bytes)
+	} else {
+		s, ok := c.upHour[alias]
+		if !ok {
+			s = analysis.NewSeries(alias, c.hours)
+			c.upHour[alias] = s
+		}
+		s.Add(hour, bytes)
+	}
+
+	// Port mix: the backend-side port identifies the service.
+	port := proto.PortKey{Port: r.SrcPort}
+	if !downstream {
+		port = proto.PortKey{Port: r.DstPort}
+	}
+	if r.Proto == netflow.ProtoUDP {
+		port.Transport = proto.UDP
+	}
+	pv, ok := c.portVol[alias]
+	if !ok {
+		pv = map[proto.PortKey]float64{}
+		c.portVol[alias] = pv
+	}
+	pv[port] += bytes
+
+	// Per-line dailies.
+	ld, ok := c.lineDaily[line]
+	if !ok {
+		ld = make([][2]float64, len(c.days))
+		c.lineDaily[line] = ld
+	}
+	if downstream {
+		ld[day][0] += bytes
+	} else {
+		ld[day][1] += bytes
+	}
+	lak := lineAliasKey{line: line, alias: alias}
+	c.lineAliases[lak] = struct{}{}
+	if c.idx.certFound[backend] {
+		c.lineCertSeen[lak] = struct{}{}
+	}
+	if downstream {
+		lad, ok := c.lineAliasDaily[lak]
+		if !ok {
+			lad = make([]float64, len(c.days))
+			c.lineAliasDaily[lak] = lad
+		}
+		lad[day] += bytes
+		lpk := linePortKey{line: line, port: port}
+		lpd, ok := c.linePortDaily[lpk]
+		if !ok {
+			lpd = make([]float64, len(c.days))
+			c.linePortDaily[lpk] = lpd
+		}
+		lpd[day] += bytes
+	}
+
+	c.backendVol[backend] += bytes
+
+	// Continent bookkeeping.
+	cont := c.idx.cont[backend]
+	c.lineConts[line] |= contBit(cont)
+	c.contVol[cont] += bytes
+
+	// Outage focus.
+	if c.focusAlias != "" && alias == c.focusAlias {
+		if downstream {
+			c.focusDownAll.Add(hour, bytes)
+		}
+		c.focusLinesAll[hour][line] = struct{}{}
+		switch {
+		case c.idx.region[backend] == c.focusRegion:
+			if downstream {
+				c.focusDownRegion.Add(hour, bytes)
+			}
+			c.focusLinesRegion[hour][line] = struct{}{}
+		case cont == geo.Europe:
+			if downstream {
+				c.focusDownEU.Add(hour, bytes)
+			}
+			c.focusLinesEU[hour][line] = struct{}{}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package patterns implements Section 3.2 of the paper: turning each IoT
+// backend provider's public documentation into the regular expressions
+// and search queries that drive discovery. The domain-name taxonomy is
+// <subdomain>.<region>.<second-level-domain>; the generator replaces
+// unique subdomains with wildcards and region labels with the provider's
+// region-code scheme, then anchors on the second-level domain — exactly
+// the construction the paper describes, with Appendix A's Table 2 as the
+// reference output.
+package patterns
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"iotmap/internal/dnsmsg"
+)
+
+// SubdomainForm describes the <subdomain> part of the taxonomy.
+type SubdomainForm uint8
+
+// Subdomain forms.
+const (
+	// SubdomainUnique is a customer hash or random identifier.
+	SubdomainUnique SubdomainForm = iota
+	// SubdomainNone means the name starts at the protocol/region label.
+	SubdomainNone
+)
+
+// RegionForm describes the <region> part.
+type RegionForm uint8
+
+// Region forms.
+const (
+	// RegionNone: the provider does not encode regions in names.
+	RegionNone RegionForm = iota
+	// RegionHyphenated: AWS-style codes with at least one hyphen.
+	RegionHyphenated
+	// RegionAnyLabel: one free-form label (possibly hyphenated).
+	RegionAnyLabel
+	// RegionEnum: a fixed list of codes.
+	RegionEnum
+)
+
+// Doc is the documentation model of one provider's backend namespace —
+// what Section 3.2 extracts from "publicly available documentation".
+type Doc struct {
+	ProviderID   string
+	ProviderName string
+	// SLD is the second-level domain (or deeper fixed suffix).
+	SLD string
+	// Subdomain is the leading-part form.
+	Subdomain SubdomainForm
+	// ProtocolLabels are service labels between subdomain and region
+	// (e.g. Huawei's iot-mqtts/iot-coaps, Alibaba's iot-as-mqtt).
+	ProtocolLabels []string
+	// FixedLabel is a single static label (e.g. "iot", "messaging").
+	FixedLabel string
+	// Region is the region-code form.
+	Region RegionForm
+	// RegionCodes enumerates codes for RegionEnum.
+	RegionCodes []string
+	// FixedFQDNs lists exact names for providers that use the same
+	// FQDNs for all customers (Google).
+	FixedFQDNs []string
+	// Ports are the documented service ports (Table 1's protocol
+	// column).
+	Ports []string
+}
+
+// BuildRegex generates the provider's domain regex following the
+// Section 3.2 recipe. FixedFQDN docs get an exact-match alternation.
+func (d Doc) BuildRegex() (string, error) {
+	if len(d.FixedFQDNs) > 0 {
+		var alts []string
+		for _, f := range d.FixedFQDNs {
+			alts = append(alts, regexp.QuoteMeta(strings.TrimSuffix(f, "."))+`\.`)
+		}
+		return `^(` + strings.Join(alts, `|`) + `)$`, nil
+	}
+	if d.SLD == "" {
+		return "", fmt.Errorf("patterns: %s: no SLD", d.ProviderID)
+	}
+	var sb strings.Builder
+	sb.WriteString(`^`)
+	switch d.Subdomain {
+	case SubdomainUnique:
+		sb.WriteString(`(.+)\.`)
+	case SubdomainNone:
+		// nothing before the label
+	}
+	switch {
+	case len(d.ProtocolLabels) > 0:
+		sb.WriteString(`(` + strings.Join(quoteAll(d.ProtocolLabels), `|`) + `)\.`)
+	case d.FixedLabel != "":
+		sb.WriteString(regexp.QuoteMeta(d.FixedLabel) + `\.`)
+	}
+	switch d.Region {
+	case RegionHyphenated:
+		sb.WriteString(`(?P<region>[[:alnum:]]+(-[[:alnum:]]+)+)\.`)
+	case RegionAnyLabel:
+		sb.WriteString(`(?P<region>[[:alnum:]]+(-[[:alnum:]]+)*)\.`)
+	case RegionEnum:
+		sb.WriteString(`(?P<region>` + strings.Join(quoteAll(d.RegionCodes), `|`) + `)\.`)
+	case RegionNone:
+		// no region label
+	}
+	sb.WriteString(regexp.QuoteMeta(d.SLD) + `\.$`)
+	return sb.String(), nil
+}
+
+func quoteAll(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = regexp.QuoteMeta(s)
+	}
+	return out
+}
+
+// Pattern is a compiled provider pattern.
+type Pattern struct {
+	Doc   Doc
+	Regex *regexp.Regexp
+	// regionIdx is the index of the named region group (0 = none).
+	regionIdx int
+}
+
+// Compile builds the Pattern for a Doc.
+func Compile(d Doc) (*Pattern, error) {
+	src, err := d.BuildRegex()
+	if err != nil {
+		return nil, err
+	}
+	re, err := regexp.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("patterns: %s: %w", d.ProviderID, err)
+	}
+	p := &Pattern{Doc: d, Regex: re}
+	for i, name := range re.SubexpNames() {
+		if name == "region" {
+			p.regionIdx = i
+		}
+	}
+	return p, nil
+}
+
+// ProviderID returns the pattern's provider.
+func (p *Pattern) ProviderID() string { return p.Doc.ProviderID }
+
+// MatchFQDN reports whether a canonicalized FQDN belongs to the
+// provider's backend namespace.
+func (p *Pattern) MatchFQDN(name string) bool {
+	return p.Regex.MatchString(dnsmsg.CanonicalName(name))
+}
+
+// RegionHint extracts the region code embedded in a matching FQDN, or ""
+// when the name does not match or carries no region (Section 4.2's
+// footprint hints).
+func (p *Pattern) RegionHint(name string) string {
+	if p.regionIdx == 0 {
+		return ""
+	}
+	m := p.Regex.FindStringSubmatch(dnsmsg.CanonicalName(name))
+	if m == nil || p.regionIdx >= len(m) {
+		return ""
+	}
+	return m[p.regionIdx]
+}
+
+// All compiles the full pattern table for the 16 providers of Table 1.
+// It panics only on programmer error (the table is static and covered by
+// tests).
+func All() []*Pattern {
+	var out []*Pattern
+	for _, d := range Docs() {
+		p, err := Compile(d)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ByProvider indexes the compiled table.
+func ByProvider() map[string]*Pattern {
+	out := map[string]*Pattern{}
+	for _, p := range All() {
+		out[p.ProviderID()] = p
+	}
+	return out
+}
+
+// Docs returns the documentation models for the 16 providers —
+// the inputs the paper compiled by hand from provider documentation.
+func Docs() []Doc {
+	return []Doc{
+		{
+			ProviderID: "alibaba", ProviderName: "Alibaba IoT", SLD: "aliyuncs.com",
+			Subdomain:      SubdomainUnique,
+			ProtocolLabels: []string{"iot-as-mqtt", "iot-amqp", "iot-as-http", "iot-as-coap"},
+			Region:         RegionAnyLabel,
+			Ports:          []string{"MQTT(1883)", "HTTPS(443)", "CoAP(5682)"},
+		},
+		{
+			ProviderID: "amazon", ProviderName: "Amazon IoT", SLD: "amazonaws.com",
+			Subdomain: SubdomainUnique, FixedLabel: "iot",
+			Region: RegionHyphenated,
+			Ports:  []string{"MQTT(8883, 443)", "HTTPS(443, 8443)"},
+		},
+		{
+			ProviderID: "baidu", ProviderName: "Baidu IoT", SLD: "baidubce.com",
+			Subdomain: SubdomainUnique, FixedLabel: "iot",
+			Region: RegionAnyLabel,
+			Ports:  []string{"MQTT(1883, 1884, 443)", "HTTP(80, 443)", "CoAP(5682, 5683)"},
+		},
+		{
+			ProviderID: "bosch", ProviderName: "Bosch IoT Hub", SLD: "bosch-iot-hub.com",
+			Subdomain: SubdomainUnique, Region: RegionNone,
+			Ports: []string{"MQTT(8883)", "HTTPS(443)", "AMQP(5671)", "CoAP(5684)"},
+		},
+		{
+			ProviderID: "cisco", ProviderName: "Cisco Kinetic", SLD: "ciscokinetic.io",
+			Subdomain: SubdomainUnique, Region: RegionNone,
+			Ports: []string{"MQTT(8883, 443)", "TCP(9123, 9124)"},
+		},
+		{
+			ProviderID: "fujitsu", ProviderName: "Fujitsu IoT", SLD: "paas.cloud.global.fujitsu.com",
+			Subdomain: SubdomainNone, FixedLabel: "iot",
+			Region: RegionHyphenated,
+			Ports:  []string{"MQTT(8883)", "HTTPS(443)"},
+		},
+		{
+			ProviderID: "google", ProviderName: "Google IoT core", SLD: "googleapis.com",
+			FixedFQDNs: []string{"mqtt.googleapis.com", "cloudiotdevice.googleapis.com"},
+			Ports:      []string{"MQTT(8883, 443)", "HTTPS(443)"},
+		},
+		{
+			ProviderID: "huawei", ProviderName: "Huawei IoT", SLD: "myhuaweicloud.com",
+			Subdomain:      SubdomainUnique,
+			ProtocolLabels: []string{"iot-coaps", "iot-mqtts", "iot-https", "iot-amqps", "iot-api", "iot-da"},
+			Region:         RegionAnyLabel,
+			Ports:          []string{"MQTT(8883, 443)", "HTTPS(8943)", "CoAP"},
+		},
+		{
+			ProviderID: "ibm", ProviderName: "IBM IoT", SLD: "internetofthings.ibmcloud.com",
+			Subdomain: SubdomainUnique, FixedLabel: "messaging",
+			Region: RegionNone,
+			Ports:  []string{"MQTT(8883, 1883)", "HTTP(S)(80, 443)"},
+		},
+		{
+			ProviderID: "microsoft", ProviderName: "Microsoft Azure IoT Hub", SLD: "azure-devices.net",
+			Subdomain: SubdomainUnique, Region: RegionNone,
+			Ports: []string{"MQTT(8883)", "HTTPS(443)", "AMQP(5671)"},
+		},
+		{
+			ProviderID: "oracle", ProviderName: "Oracle IoT", SLD: "oraclecloud.com",
+			Subdomain: SubdomainUnique, FixedLabel: "iot",
+			Region: RegionAnyLabel,
+			Ports:  []string{"MQTT(8883)", "HTTPS(443)"},
+		},
+		{
+			ProviderID: "ptc", ProviderName: "PTC ThingWorx", SLD: "cloud.thingworx.com",
+			Subdomain: SubdomainUnique, Region: RegionNone,
+			Ports: []string{"Protocol Agnostic"},
+		},
+		{
+			ProviderID: "sap", ProviderName: "SAP IoT", SLD: "iot.sap",
+			Subdomain: SubdomainUnique, Region: RegionNone,
+			Ports: []string{"MQTT(8883)", "HTTPS(443)"},
+		},
+		{
+			ProviderID: "siemens", ProviderName: "Siemens Mindsphere", SLD: "mindsphere.io",
+			Subdomain: SubdomainUnique,
+			Region:    RegionEnum, RegionCodes: []string{"eu1", "us1", "cn1"},
+			Ports: []string{"MQTT(8883)", "HTTPS(443)", "OPC-UA"},
+		},
+		{
+			ProviderID: "sierra", ProviderName: "Sierra Wireless", SLD: "airvantage.net",
+			Subdomain: SubdomainNone,
+			Region:    RegionEnum, RegionCodes: []string{"na", "eu", "as", "ot"},
+			Ports: []string{"MQTT(8883, 1883)", "HTTP(S)(80, 443)", "CoAP(5682, 5686)"},
+		},
+		{
+			ProviderID: "tencent", ProviderName: "Tencent IoT", SLD: "tencentdevices.com",
+			Subdomain: SubdomainUnique, FixedLabel: "iotcloud",
+			Region: RegionNone,
+			Ports:  []string{"MQTT(8883, 1883)", "HTTP(S)(80, 443)", "CoAP(5684)"},
+		},
+	}
+}
+
+// Table2Row is one row of the Appendix A excerpt.
+type Table2Row struct {
+	Provider string
+	Source   string
+	API      string
+	Query    string
+}
+
+// Table2 renders the Appendix A query table from the compiled patterns:
+// flexible-search regexes for the regex-driven providers and
+// basic-search / Censys string queries for the fixed-name ones.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, p := range All() {
+		d := p.Doc
+		if len(d.FixedFQDNs) > 0 {
+			for _, f := range d.FixedFQDNs {
+				rows = append(rows, Table2Row{
+					Provider: d.ProviderName, Source: "DNSDB", API: "Basic Search",
+					Query: "rrset/name/" + f + "./A",
+				})
+			}
+			continue
+		}
+		rows = append(rows, Table2Row{
+			Provider: d.ProviderName, Source: "DNSDB", API: "Flexible Search",
+			Query: p.Regex.String() + "/A",
+		})
+	}
+	return rows
+}

@@ -1,0 +1,179 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"iotmap/internal/world"
+)
+
+func TestAllCompile(t *testing.T) {
+	ps := All()
+	if len(ps) != 16 {
+		t.Fatalf("patterns = %d, want 16", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.ProviderID()] {
+			t.Fatalf("duplicate provider %s", p.ProviderID())
+		}
+		seen[p.ProviderID()] = true
+	}
+}
+
+func TestBuildRegexShapes(t *testing.T) {
+	docs := map[string]Doc{}
+	for _, d := range Docs() {
+		docs[d.ProviderID] = d
+	}
+	amazon, err := docs["amazon"].BuildRegex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(amazon, `\.iot\.`) || !strings.Contains(amazon, `amazonaws\.com`) {
+		t.Fatalf("amazon regex = %s", amazon)
+	}
+	google, err := docs["google"].BuildRegex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(google, "mqtt") || !strings.Contains(google, "|") {
+		t.Fatalf("google regex = %s", google)
+	}
+	if _, err := (Doc{ProviderID: "x"}).BuildRegex(); err == nil {
+		t.Fatal("empty doc accepted")
+	}
+}
+
+func TestMatchPositive(t *testing.T) {
+	byID := ByProvider()
+	cases := map[string][]string{
+		"amazon":    {"a1b2c3.iot.us-east-1.amazonaws.com", "xyz.iot.eu-central-1.amazonaws.com."},
+		"alibaba":   {"cust7.iot-as-mqtt.cn-shanghai.aliyuncs.com", "k.iot-amqp.eu-central-1.aliyuncs.com"},
+		"baidu":     {"dev.iot.cn-north-1.baidubce.com"},
+		"bosch":     {"hub42.bosch-iot-hub.com"},
+		"cisco":     {"plant9.ciscokinetic.io"},
+		"fujitsu":   {"iot.ap-northeast-1.paas.cloud.global.fujitsu.com"},
+		"google":    {"mqtt.googleapis.com", "cloudiotdevice.googleapis.com"},
+		"huawei":    {"c1.iot-mqtts.cn-north-1.myhuaweicloud.com"},
+		"ibm":       {"org77.messaging.internetofthings.ibmcloud.com"},
+		"microsoft": {"myhub.azure-devices.net"},
+		"oracle":    {"x.iot.us-phoenix-1.oraclecloud.com"},
+		"ptc":       {"factory.cloud.thingworx.com"},
+		"sap":       {"tenant3.iot.sap"},
+		"siemens":   {"cust.eu1.mindsphere.io"},
+		"sierra":    {"na.airvantage.net", "eu.airvantage.net"},
+		"tencent":   {"prod9.iotcloud.tencentdevices.com"},
+	}
+	for id, names := range cases {
+		p := byID[id]
+		if p == nil {
+			t.Fatalf("no pattern for %s", id)
+		}
+		for _, n := range names {
+			if !p.MatchFQDN(n) {
+				t.Errorf("%s: %q should match %s", id, n, p.Regex)
+			}
+		}
+	}
+}
+
+func TestMatchNegative(t *testing.T) {
+	byID := ByProvider()
+	cases := map[string][]string{
+		"amazon":    {"www.amazon.com", "s3.us-east-1.amazonaws.com", "iot.us-east-1.amazonaws.com.evil.example"},
+		"google":    {"www.googleapis.com", "mqtt.googleapis.com.phish.example"},
+		"microsoft": {"azure-devices.net.attacker.io", "portal.azure.com"},
+		"sap":       {"www.sap.com"},
+		"siemens":   {"cust.eu2.mindsphere.io"},
+	}
+	for id, names := range cases {
+		p := byID[id]
+		for _, n := range names {
+			if p.MatchFQDN(n) {
+				t.Errorf("%s: %q must NOT match %s", id, n, p.Regex)
+			}
+		}
+	}
+}
+
+func TestRegionHint(t *testing.T) {
+	byID := ByProvider()
+	cases := []struct {
+		id, name, want string
+	}{
+		{"amazon", "a1.iot.us-east-1.amazonaws.com", "us-east-1"},
+		{"amazon", "a1.iot.eu-central-1.amazonaws.com.", "eu-central-1"},
+		{"alibaba", "c.iot-as-mqtt.cn-shanghai.aliyuncs.com", "cn-shanghai"},
+		{"huawei", "c1.iot-mqtts.cn-north-1.myhuaweicloud.com", "cn-north-1"},
+		{"siemens", "x.eu1.mindsphere.io", "eu1"},
+		{"sierra", "na.airvantage.net", "na"},
+		{"microsoft", "hub.azure-devices.net", ""},
+		{"google", "mqtt.googleapis.com", ""},
+	}
+	for _, c := range cases {
+		if got := byID[c.id].RegionHint(c.name); got != c.want {
+			t.Errorf("%s RegionHint(%q) = %q, want %q", c.id, c.name, got, c.want)
+		}
+	}
+	if hint := byID["amazon"].RegionHint("not.matching.example.com"); hint != "" {
+		t.Fatalf("hint from non-match: %q", hint)
+	}
+}
+
+// Every name the world mints must match its provider's pattern and no
+// other provider's (the patterns are the selectors of the whole
+// pipeline).
+func TestPatternsAgainstWorldNames(t *testing.T) {
+	w, err := world.Build(world.Config{Seed: 13, Scale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := All()
+	for _, id := range w.Order {
+		for _, name := range w.Providers[id].Names() {
+			matches := 0
+			for _, p := range ps {
+				if p.MatchFQDN(name) {
+					matches++
+					if p.ProviderID() != id {
+						t.Errorf("name %q of %s matched pattern of %s", name, id, p.ProviderID())
+					}
+				}
+			}
+			if matches != 1 {
+				t.Errorf("name %q matched %d patterns", name, matches)
+			}
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2()
+	if len(rows) < 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hasBasic, hasFlexible := false, false
+	for _, r := range rows {
+		switch r.API {
+		case "Basic Search":
+			hasBasic = true
+		case "Flexible Search":
+			hasFlexible = true
+		}
+		if r.Query == "" || r.Provider == "" {
+			t.Fatalf("empty row: %+v", r)
+		}
+	}
+	if !hasBasic || !hasFlexible {
+		t.Fatal("Table 2 must carry both API kinds")
+	}
+}
+
+func BenchmarkMatchFQDN(b *testing.B) {
+	p := ByProvider()["amazon"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.MatchFQDN("a1b2c3.iot.us-east-1.amazonaws.com.")
+	}
+}

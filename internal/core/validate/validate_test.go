@@ -1,0 +1,115 @@
+package validate
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotmap/internal/core/patterns"
+	"iotmap/internal/dnsdb"
+)
+
+func t0() time.Time { return time.Date(2022, 2, 28, 0, 0, 0, 0, time.UTC) }
+
+func TestFilterShared(t *testing.T) {
+	db := dnsdb.New()
+	dedicated := netip.MustParseAddr("52.0.0.1")
+	shared := netip.MustParseAddr("52.0.0.2")
+	db.RecordAddr("a1.iot.us-east-1.amazonaws.com", dedicated, t0())
+	db.RecordAddr("a2.iot.us-east-1.amazonaws.com", shared, t0())
+	for i := 0; i < 10; i++ {
+		db.RecordAddr("www.site"+string(rune('a'+i))+".example", shared, t0())
+	}
+	// One stray vanity name on the dedicated IP must not flip it.
+	db.RecordAddr("vanity.example.org", dedicated, t0())
+
+	ded, sh, detail := FilterShared(
+		[]netip.Addr{dedicated, shared}, patterns.All(), db, dnsdb.TimeRange{}, DefaultSharedThreshold)
+	if len(ded) != 1 || ded[0] != dedicated {
+		t.Fatalf("dedicated = %v", ded)
+	}
+	if len(sh) != 1 || sh[0] != shared {
+		t.Fatalf("shared = %v", sh)
+	}
+	for _, c := range detail {
+		if c.Addr == shared && c.NonIoTNames < 10 {
+			t.Fatalf("shared count = %d", c.NonIoTNames)
+		}
+		if c.Addr == dedicated && c.NonIoTNames != 1 {
+			t.Fatalf("dedicated count = %d", c.NonIoTNames)
+		}
+	}
+}
+
+func TestFilterSharedThresholdSensitivity(t *testing.T) {
+	db := dnsdb.New()
+	a := netip.MustParseAddr("10.0.0.1")
+	db.RecordAddr("x.iot.us-east-1.amazonaws.com", a, t0())
+	for i := 0; i < 3; i++ {
+		db.RecordAddr("other"+string(rune('a'+i))+".example", a, t0())
+	}
+	// 3 non-IoT names: dedicated at threshold 5, shared at threshold 2.
+	ded, _, _ := FilterShared([]netip.Addr{a}, patterns.All(), db, dnsdb.TimeRange{}, 5)
+	if len(ded) != 1 {
+		t.Fatal("threshold 5 should keep the address")
+	}
+	_, sh, _ := FilterShared([]netip.Addr{a}, patterns.All(), db, dnsdb.TimeRange{}, 2)
+	if len(sh) != 1 {
+		t.Fatal("threshold 2 should drop the address")
+	}
+	// Zero/negative threshold falls back to the default.
+	ded, _, _ = FilterShared([]netip.Addr{a}, patterns.All(), db, dnsdb.TimeRange{}, 0)
+	if len(ded) != 1 {
+		t.Fatal("default threshold should keep the address")
+	}
+}
+
+func TestAgainstIPs(t *testing.T) {
+	found := []netip.Addr{netip.MustParseAddr("1.1.1.1"), netip.MustParseAddr("2.2.2.2")}
+	disclosed := []netip.Addr{netip.MustParseAddr("1.1.1.1"), netip.MustParseAddr("3.3.3.3")}
+	r := AgainstIPs(found, disclosed)
+	if r.Covered != 1 || r.Disclosed != 2 || r.Found != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Coverage() != 0.5 {
+		t.Fatalf("coverage = %v", r.Coverage())
+	}
+	if len(r.Missing) != 1 || r.Missing[0] != netip.MustParseAddr("3.3.3.3") {
+		t.Fatalf("missing = %v", r.Missing)
+	}
+	if (IPReport{}).Coverage() != 1 {
+		t.Fatal("empty disclosure coverage should be 1")
+	}
+}
+
+func TestAgainstPrefixes(t *testing.T) {
+	prefixes := []netip.Prefix{netip.MustParsePrefix("10.0.0.0/24"), netip.MustParsePrefix("10.0.1.0/24")}
+	found := []netip.Addr{
+		netip.MustParseAddr("10.0.0.5"),
+		netip.MustParseAddr("10.0.1.9"),
+		netip.MustParseAddr("192.0.2.1"),
+	}
+	r := AgainstPrefixes(found, prefixes)
+	if r.Inside != 2 || len(r.Outside) != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.CoveredAddrs != 512 {
+		t.Fatalf("covered addrs = %d", r.CoveredAddrs)
+	}
+}
+
+func TestAgainstTraffic(t *testing.T) {
+	found := []netip.Addr{netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")}
+	active := map[netip.Addr]float64{
+		netip.MustParseAddr("10.0.0.1"): 500,
+		netip.MustParseAddr("10.0.0.2"): 490,
+		netip.MustParseAddr("10.0.0.3"): 10, // missed, tiny volume
+	}
+	r := AgainstTraffic(found, active)
+	if r.Active != 3 || r.FoundActive != 2 || len(r.Missed) != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.VolumeMissFrac < 0.009 || r.VolumeMissFrac > 0.011 {
+		t.Fatalf("volume miss = %v, want 1%%", r.VolumeMissFrac)
+	}
+}

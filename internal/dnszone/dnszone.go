@@ -1,0 +1,336 @@
+// Package dnszone implements an in-memory authoritative DNS server for the
+// synthetic Internet. Provider zones (Section 3.2's
+// <subdomain>.<region>.<second-level-domain> namespaces) are loaded into a
+// Store; a Server answers RFC 1035 queries over UDP.
+//
+// The store is view-aware: providers that steer clients by resolver
+// location (geo-DNS) publish different answer sets per view. The paper
+// exploits exactly this by resolving from three vantage points, which
+// "increases our IP address coverage by ≈ 17%" (Section 3.3); one Server
+// per vantage point reproduces that setup.
+package dnszone
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"iotmap/internal/dnsmsg"
+)
+
+// DefaultView is the answer set used when a name has no view-specific
+// records for the requested view.
+const DefaultView = ""
+
+// rrsetKey identifies one RRset within a view.
+type rrsetKey struct {
+	name string
+	typ  dnsmsg.Type
+}
+
+// Store holds authoritative data. It is safe for concurrent use: reads
+// dominate once the world is built.
+type Store struct {
+	mu sync.RWMutex
+	// views maps view name -> rrset key -> records.
+	views map[string]map[rrsetKey][]dnsmsg.RR
+	// names tracks which canonical names exist in any view/type, for the
+	// NXDOMAIN vs NODATA distinction.
+	names map[string]struct{}
+	// apexes are zone apex names with SOA records, longest-suffix matched
+	// to decide authority.
+	apexes map[string]dnsmsg.SOAData
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		views:  map[string]map[rrsetKey][]dnsmsg.RR{},
+		names:  map[string]struct{}{},
+		apexes: map[string]dnsmsg.SOAData{},
+	}
+}
+
+// AddZone declares an authoritative apex with its SOA.
+func (s *Store) AddZone(apex string, soa dnsmsg.SOAData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	apex = dnsmsg.CanonicalName(apex)
+	s.apexes[apex] = soa
+	s.names[apex] = struct{}{}
+}
+
+// AddAddr registers an A or AAAA record (chosen by address family) for
+// name under view.
+func (s *Store) AddAddr(view, name string, addr netip.Addr, ttl uint32) {
+	typ := dnsmsg.TypeAAAA
+	if addr.Unmap().Is4() {
+		typ = dnsmsg.TypeA
+		addr = addr.Unmap()
+	}
+	s.AddRR(view, dnsmsg.RR{
+		Name: name, Type: typ, Class: dnsmsg.ClassIN, TTL: ttl, Addr: addr,
+	})
+}
+
+// AddCNAME registers a CNAME from name to target under view.
+func (s *Store) AddCNAME(view, name, target string, ttl uint32) {
+	s.AddRR(view, dnsmsg.RR{
+		Name: name, Type: dnsmsg.TypeCNAME, Class: dnsmsg.ClassIN, TTL: ttl,
+		Target: dnsmsg.CanonicalName(target),
+	})
+}
+
+// AddRR registers an arbitrary record under view.
+func (s *Store) AddRR(view string, rr dnsmsg.RR) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rr.Name = dnsmsg.CanonicalName(rr.Name)
+	if rr.Class == 0 {
+		rr.Class = dnsmsg.ClassIN
+	}
+	vm, ok := s.views[view]
+	if !ok {
+		vm = map[rrsetKey][]dnsmsg.RR{}
+		s.views[view] = vm
+	}
+	k := rrsetKey{name: rr.Name, typ: rr.Type}
+	vm[k] = append(vm[k], rr)
+	s.names[rr.Name] = struct{}{}
+}
+
+// RemoveName deletes every record for name in every view; used by the
+// churn model when backends are decommissioned.
+func (s *Store) RemoveName(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name = dnsmsg.CanonicalName(name)
+	for _, vm := range s.views {
+		for k := range vm {
+			if k.name == name {
+				delete(vm, k)
+			}
+		}
+	}
+	delete(s.names, name)
+}
+
+// Names returns every registered owner name, sorted. Used by the world to
+// enumerate its own ground truth.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.names))
+	for n := range s.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Authority returns the closest enclosing zone apex for name, if any.
+func (s *Store) Authority(name string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := dnsmsg.CanonicalName(name)
+	for n != "." {
+		if _, ok := s.apexes[n]; ok {
+			return n, true
+		}
+		i := strings.Index(n, ".")
+		if i < 0 || i == len(n)-1 {
+			break
+		}
+		n = n[i+1:]
+	}
+	return "", false
+}
+
+// Lookup resolves a question under view, following CNAME chains inside
+// the store (up to 8 hops, as resolvers bound chain length). It reports
+// the answer set and the response code.
+func (s *Store) Lookup(view, name string, typ dnsmsg.Type) ([]dnsmsg.RR, dnsmsg.RCode) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var answers []dnsmsg.RR
+	cur := dnsmsg.CanonicalName(name)
+	for hop := 0; hop < 8; hop++ {
+		if rrs := s.lookupLocked(view, cur, typ); len(rrs) > 0 {
+			answers = append(answers, rrs...)
+			return answers, dnsmsg.RCodeSuccess
+		}
+		// Try CNAME indirection unless the caller asked for the CNAME.
+		if typ != dnsmsg.TypeCNAME {
+			if cn := s.lookupLocked(view, cur, dnsmsg.TypeCNAME); len(cn) > 0 {
+				answers = append(answers, cn...)
+				cur = cn[0].Target
+				continue
+			}
+		}
+		if _, exists := s.names[cur]; exists {
+			// Name exists, type absent: NODATA.
+			return answers, dnsmsg.RCodeSuccess
+		}
+		return answers, dnsmsg.RCodeNXDomain
+	}
+	return nil, dnsmsg.RCodeServFail // chain too deep
+}
+
+// lookupLocked fetches the view-specific RRset, falling back to the
+// default view.
+func (s *Store) lookupLocked(view, name string, typ dnsmsg.Type) []dnsmsg.RR {
+	k := rrsetKey{name: name, typ: typ}
+	if vm, ok := s.views[view]; ok {
+		if rrs, ok := vm[k]; ok && len(rrs) > 0 {
+			return rrs
+		}
+	}
+	if view != DefaultView {
+		if vm, ok := s.views[DefaultView]; ok {
+			return vm[k]
+		}
+	}
+	return nil
+}
+
+// Server answers DNS queries over UDP for one view of a Store.
+type Server struct {
+	store *Store
+	view  string
+	conn  *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewServer starts an authoritative server for view on a fresh loopback
+// UDP socket. Callers must Close it.
+func NewServer(store *Store, view string) (*Server, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("dnszone: listen: %w", err)
+	}
+	srv := &Server{store: store, view: view, conn: conn, done: make(chan struct{})}
+	go srv.serve()
+	return srv, nil
+}
+
+// NewLocalServer returns a socket-less server usable only through
+// HandleWire. Large measurement campaigns use it to keep the full wire
+// codec in the loop without paying per-query UDP scheduling.
+func NewLocalServer(store *Store, view string) *Server {
+	done := make(chan struct{})
+	close(done)
+	return &Server{store: store, view: view, done: done, closed: true}
+}
+
+// Addr returns the UDP address the server listens on.
+func (s *Server) Addr() netip.AddrPort {
+	return s.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// View returns the view this server answers for.
+func (s *Server) View() string { return s.view }
+
+// Close shuts the server down and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+// maxUDPPayload is the conventional EDNS-safe response budget.
+const maxUDPPayload = 1232
+
+func (s *Server) serve() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		resp := s.handle(buf[:n])
+		if resp == nil {
+			continue
+		}
+		_, _ = s.conn.WriteToUDP(resp, raddr)
+	}
+}
+
+// handle builds the wire response for one wire query. Exposed through
+// HandleWire for in-process tests that bypass UDP.
+func (s *Server) handle(wire []byte) []byte {
+	q, err := dnsmsg.Unpack(wire)
+	if err != nil || q.Header.Response || len(q.Questions) != 1 {
+		// Unparseable datagrams are dropped; malformed-but-parseable get
+		// FORMERR.
+		if err != nil {
+			return nil
+		}
+		resp := &dnsmsg.Message{Header: q.Header}
+		resp.Header.Response = true
+		resp.Header.RCode = dnsmsg.RCodeFormErr
+		out, _ := resp.Pack()
+		return out
+	}
+	question := q.Questions[0]
+	resp := &dnsmsg.Message{
+		Header: dnsmsg.Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			Authoritative:    true,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: []dnsmsg.Question{question},
+	}
+	if question.Class != dnsmsg.ClassIN {
+		resp.Header.RCode = dnsmsg.RCodeNotImp
+	} else {
+		answers, rcode := s.store.Lookup(s.view, question.Name, question.Type)
+		resp.Header.RCode = rcode
+		resp.Answers = answers
+		if len(answers) == 0 {
+			if apex, ok := s.store.Authority(question.Name); ok {
+				soa := s.store.apexes[apex]
+				resp.Authority = append(resp.Authority, dnsmsg.RR{
+					Name: apex, Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassIN,
+					TTL: soa.Minimum, SOA: &soa,
+				})
+			}
+		}
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	if len(out) > maxUDPPayload {
+		// Truncate: strip answers, set TC, and let the client retry
+		// (our stub resolver treats TC as an error; zones are sized to
+		// avoid this in practice).
+		resp.Answers = nil
+		resp.Authority = nil
+		resp.Header.Truncated = true
+		out, err = resp.Pack()
+		if err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// HandleWire processes one query datagram and returns the response
+// datagram (nil when the query is dropped). It exists for tests and for
+// in-process resolution without sockets.
+func (s *Server) HandleWire(wire []byte) []byte { return s.handle(wire) }

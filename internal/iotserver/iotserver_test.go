@@ -1,0 +1,161 @@
+package iotserver
+
+import (
+	"bufio"
+	"context"
+	"crypto/tls"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"iotmap/internal/certmodel"
+	"iotmap/internal/proto"
+	"iotmap/internal/vnet"
+)
+
+func gateway(t *testing.T) (*vnet.Fabric, *Gateway, *certmodel.CA) {
+	t.Helper()
+	f := vnet.New()
+	t.Cleanup(f.Close)
+	ca, err := certmodel.NewCA("iotserver test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, NewGateway(f, ca), ca
+}
+
+func dialTLS(t *testing.T, f *vnet.Fabric, ep, sni string) (*tls.Conn, error) {
+	t.Helper()
+	raw, err := f.DialContext(context.Background(), "tcp", ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tls.Client(raw, &tls.Config{InsecureSkipVerify: true, ServerName: sni})
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	if err := c.Handshake(); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func TestBindValidation(t *testing.T) {
+	_, gw, _ := gateway(t)
+	err := gw.Bind(Endpoint{
+		Addr: netip.MustParseAddrPort("10.0.0.1:443"), Protocol: proto.HTTPS,
+		Policy: PolicyDefaultCert, // no hostnames
+	})
+	if err == nil {
+		t.Fatal("TLS endpoint without hostnames accepted")
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	f, gw, _ := gateway(t)
+	if err := gw.Bind(Endpoint{
+		Addr: netip.MustParseAddrPort("10.0.0.1:443"), Protocol: proto.HTTPS,
+		Policy: PolicyDefaultCert, Hostnames: []string{"gw.example.test"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := dialTLS(t, f, "10.0.0.1:443", "gw.example.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("GET /status HTTP/1.1\r\nHost: gw.example.test\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "HTTP/1.1 200") {
+		t.Fatalf("status = %q", line)
+	}
+}
+
+func TestHTTPBadRequest(t *testing.T) {
+	f, gw, _ := gateway(t)
+	if err := gw.Bind(Endpoint{
+		Addr: netip.MustParseAddrPort("10.0.0.2:80"), Protocol: proto.HTTP,
+		Policy: PolicyNone,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.DialContext(context.Background(), "tcp", "10.0.0.2:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("NONSENSE\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(raw).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "HTTP/1.1 400") {
+		t.Fatalf("status = %q", line)
+	}
+}
+
+func TestSNIPolicyBothPaths(t *testing.T) {
+	f, gw, _ := gateway(t)
+	if err := gw.Bind(Endpoint{
+		Addr: netip.MustParseAddrPort("10.0.0.3:443"), Protocol: proto.HTTPS,
+		Policy: PolicyRequireSNI, Hostnames: []string{"mqtt.goog.test"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dialTLS(t, f, "10.0.0.3:443", ""); err == nil {
+		t.Fatal("certless handshake against SNI endpoint succeeded")
+	}
+	if _, err := dialTLS(t, f, "10.0.0.3:443", "other.name.test"); err == nil {
+		t.Fatal("wrong-SNI handshake succeeded")
+	}
+	c, err := dialTLS(t, f, "10.0.0.3:443", "mqtt.goog.test")
+	if err != nil {
+		t.Fatalf("correct SNI failed: %v", err)
+	}
+	c.Close()
+}
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[TLSPolicy]string{
+		PolicyNone:              "no-tls",
+		PolicyDefaultCert:       "default-cert",
+		PolicyRequireSNI:        "require-sni",
+		PolicyRequireClientCert: "require-client-cert",
+		TLSPolicy(9):            "unknown",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestBannerEndpoints(t *testing.T) {
+	f, gw, _ := gateway(t)
+	if err := gw.Bind(Endpoint{
+		Addr: netip.MustParseAddrPort("10.0.0.4:61616"), Protocol: proto.ActiveMQ,
+		Policy: PolicyNone,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.DialContext(context.Background(), "tcp", "10.0.0.4:61616")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	buf := make([]byte, 64)
+	n, err := raw.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), "ActiveMQ") {
+		t.Fatalf("banner = %q", buf[:n])
+	}
+}

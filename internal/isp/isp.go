@@ -1,0 +1,417 @@
+// Package isp models the European residential ISP vantage point of
+// Section 5: subscriber lines (IPv4 and IPv6) hosting IoT devices,
+// scanner-infested lines, and the border routers that export packet-
+// sampled NetFlow for every flow exchanged with the identified IoT
+// backends.
+//
+// Only backend-bound traffic is generated — the analyses filter to the
+// discovered backend IPs anyway, so general web traffic would be
+// simulated and immediately discarded. Subscriber addresses are
+// synthetic and the collector anonymizes per line, mirroring the paper's
+// PII handling (Section 3.7).
+package isp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"iotmap/internal/geo"
+	"iotmap/internal/netflow"
+	"iotmap/internal/simrand"
+	"iotmap/internal/traffic"
+	"iotmap/internal/world"
+)
+
+// Config sizes the ISP model.
+type Config struct {
+	// Seed derives all stochastic structure.
+	Seed int64
+	// Lines is the number of broadband subscriber lines (the paper's ISP
+	// has >15M; simulate at 1:100 to 1:1000).
+	Lines int
+	// IoTPenetration is the fraction of lines hosting IoT devices.
+	IoTPenetration float64
+	// V6Fraction of lines also hold an IPv6 prefix.
+	V6Fraction float64
+	// ScannerFraction of lines run Internet-wide scanners (Figure 5).
+	ScannerFraction float64
+	// SamplingRate is the NetFlow packet sampling denominator.
+	SamplingRate uint32
+	// LocalUTCOffset shifts activity shapes to the ISP's local time.
+	LocalUTCOffset int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lines <= 0 {
+		c.Lines = 20000
+	}
+	if c.IoTPenetration <= 0 {
+		c.IoTPenetration = 0.2
+	}
+	if c.V6Fraction <= 0 {
+		c.V6Fraction = 0.3
+	}
+	if c.ScannerFraction < 0 {
+		c.ScannerFraction = 0
+	} else if c.ScannerFraction == 0 {
+		c.ScannerFraction = 0.0035
+	}
+	if c.SamplingRate == 0 {
+		c.SamplingRate = 100
+	}
+	if c.LocalUTCOffset == 0 {
+		c.LocalUTCOffset = 1 // central Europe
+	}
+	return c
+}
+
+// Device is one IoT device on a line.
+type Device struct {
+	Provider  string
+	Continent geo.Continent
+	Heavy     bool
+	// cur is the device's current backend server (daily re-resolution
+	// may move it).
+	cur *world.Server
+}
+
+// Line is one subscriber line.
+type Line struct {
+	ID int
+	V4 netip.Addr
+	// V6 is invalid when the line is IPv4-only.
+	V6      netip.Addr
+	Devices []Device
+	// ScanBreadth is the number of backend IPs a scanner line probes
+	// over the week (0 = not a scanner).
+	ScanBreadth int
+}
+
+// HasV6 reports whether the line holds an IPv6 prefix.
+func (l *Line) HasV6() bool { return l.V6.IsValid() }
+
+// Network is the built ISP model.
+type Network struct {
+	Cfg      Config
+	World    *world.World
+	Lines    []*Line
+	profiles map[string]traffic.Profile
+	// lineAddrs marks subscriber addresses for direction inference.
+	lineAddrs map[netip.Addr]*Line
+	// backendV4 is the flat list of scan targets for scanner lines.
+	backendV4 []netip.Addr
+	// Modifier, when set, adjusts or suppresses flows (outage injection).
+	Modifier FlowModifier
+}
+
+// FlowModifier rewrites one device-hour's volumes; returning emit=false
+// drops the exchange entirely (a device that gave up).
+type FlowModifier func(day, hour int, srv *world.Server, down, up uint64) (newDown, newUp uint64, emit bool)
+
+// NewNetwork builds the subscriber population against a world.
+func NewNetwork(cfg Config, w *world.World) (*Network, error) {
+	cfg = cfg.withDefaults()
+	n := &Network{
+		Cfg:       cfg,
+		World:     w,
+		profiles:  traffic.Profiles(),
+		lineAddrs: map[netip.Addr]*Line{},
+	}
+	for _, s := range w.AllServers() {
+		if !s.IsV6() {
+			n.backendV4 = append(n.backendV4, s.Addr)
+		}
+	}
+	sort.Slice(n.backendV4, func(i, j int) bool { return n.backendV4[i].Less(n.backendV4[j]) })
+
+	ids := traffic.ProviderIDs()
+	shareWeights := make([]float64, len(ids))
+	for i, id := range ids {
+		shareWeights[i] = n.profiles[id].LineShare
+	}
+
+	rng := simrand.Derive(cfg.Seed, "isp")
+	for i := 0; i < cfg.Lines; i++ {
+		line := &Line{
+			ID: i,
+			V4: netip.AddrFrom4([4]byte{95, byte(i >> 16), byte(i >> 8), byte(i)}),
+		}
+		if rng.Bool(cfg.V6Fraction) {
+			var b [16]byte
+			b[0], b[1] = 0x20, 0x03
+			b[4], b[5], b[6] = byte(i>>16), byte(i>>8), byte(i)
+			b[15] = 1
+			line.V6 = netip.AddrFrom16(b)
+		}
+		if rng.Bool(cfg.IoTPenetration) {
+			nDev := 1 + rng.Zipf(1.6, 4) // 1..4, mostly 1
+			for d := 0; d < nDev; d++ {
+				id := ids[rng.WeightedChoice(shareWeights)]
+				prof := n.profiles[id]
+				dev := Device{
+					Provider:  id,
+					Continent: prof.PickContinent(rng),
+					Heavy:     prof.HeavyFrac > 0 && rng.Bool(prof.HeavyFrac),
+				}
+				line.Devices = append(line.Devices, dev)
+			}
+		}
+		if rng.Bool(cfg.ScannerFraction) {
+			b := int(rng.Pareto(10, 0.8))
+			if b > len(n.backendV4) {
+				b = len(n.backendV4)
+			}
+			line.ScanBreadth = b
+		}
+		n.Lines = append(n.Lines, line)
+		n.lineAddrs[line.V4] = line
+		if line.HasV6() {
+			n.lineAddrs[line.V6] = line
+		}
+	}
+	if len(n.Lines) == 0 {
+		return nil, fmt.Errorf("isp: no lines")
+	}
+	return n, nil
+}
+
+// LineByAddr resolves a subscriber address to its line.
+func (n *Network) LineByAddr(a netip.Addr) (*Line, bool) {
+	l, ok := n.lineAddrs[a]
+	return l, ok
+}
+
+// IoTLines counts lines hosting at least one device.
+func (n *Network) IoTLines() int {
+	c := 0
+	for _, l := range n.Lines {
+		if len(l.Devices) > 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// eligibleServers returns the device-reachable backend servers of a
+// provider in a continent on a day: the active servers of that
+// continent, trimmed to the profile's ServerSpread (the part of the
+// fleet that ever serves this ISP — Figure 6's visibility ceiling).
+func (n *Network) eligibleServers(providerID string, cont geo.Continent, day int) []*world.Server {
+	prof := n.profiles[providerID]
+	p := n.World.Providers[providerID]
+	if p == nil {
+		return nil
+	}
+	var inCont []*world.Server
+	for _, s := range p.Servers {
+		if s.ActiveOn(day) && s.Region.Continent == cont {
+			inCont = append(inCont, s)
+		}
+	}
+	if len(inCont) == 0 {
+		// No presence on that continent: devices cross to wherever the
+		// provider lives.
+		for _, s := range p.Servers {
+			if s.ActiveOn(day) {
+				inCont = append(inCont, s)
+			}
+		}
+	}
+	spread := prof.ServerSpread
+	if spread <= 0 || spread > 1 {
+		spread = 1
+	}
+	k := int(float64(len(inCont))*spread + 0.999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(inCont) {
+		k = len(inCont)
+	}
+	return inCont[:k]
+}
+
+// pickServer homes a device onto an eligible server, honoring region
+// bias.
+func (n *Network) pickServer(prof traffic.Profile, eligible []*world.Server, rng *simrand.Source) *world.Server {
+	if len(eligible) == 0 {
+		return nil
+	}
+	if len(prof.RegionBias) == 0 {
+		return eligible[rng.Intn(len(eligible))]
+	}
+	weights := make([]float64, len(eligible))
+	for i, s := range eligible {
+		w := prof.RegionBias[s.Region.Region]
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+	}
+	return eligible[rng.WeightedChoice(weights)]
+}
+
+// SimulateDay generates one study day of sampled flow records into sink.
+func (n *Network) SimulateDay(day int, sink func(netflow.Record)) {
+	sampler := netflow.NewSampler(n.Cfg.SamplingRate, n.Cfg.Seed+int64(day))
+	dayStart := n.World.Days[day]
+	for _, line := range n.Lines {
+		lineRng := simrand.Derive(n.Cfg.Seed, "line", fmt.Sprint(line.ID), fmt.Sprint(day))
+		for di := range line.Devices {
+			dev := &line.Devices[di]
+			n.resolveDevice(dev, line, di, day)
+			if dev.cur == nil {
+				continue
+			}
+			n.deviceDay(line, dev, di, day, dayStart, lineRng, sampler, sink)
+		}
+		if line.ScanBreadth > 0 {
+			n.scannerDay(line, day, dayStart, lineRng, sampler, sink)
+		}
+	}
+}
+
+// resolveDevice performs the device's daily DNS re-resolution.
+func (n *Network) resolveDevice(dev *Device, line *Line, devIdx, day int) {
+	prof := n.profiles[dev.Provider]
+	rng := simrand.Derive(n.Cfg.Seed, "homing", fmt.Sprint(line.ID), fmt.Sprint(devIdx), fmt.Sprint(day))
+	needsNew := dev.cur == nil || !dev.cur.ActiveOn(day)
+	if !needsNew && prof.RemapDaily > 0 && rng.Bool(prof.RemapDaily) {
+		needsNew = true
+	}
+	if needsNew {
+		eligible := n.eligibleServers(dev.Provider, dev.Continent, day)
+		dev.cur = n.pickServer(prof, eligible, rng)
+	}
+}
+
+// deviceDay emits the device's hourly exchanges for one day.
+func (n *Network) deviceDay(line *Line, dev *Device, devIdx, day int, dayStart time.Time, rng *simrand.Source, sampler *netflow.Sampler, sink func(netflow.Record)) {
+	prof := n.profiles[dev.Provider]
+	srv := dev.cur
+	lineAddr := line.V4
+	if srv.IsV6() {
+		if !line.HasV6() {
+			return // v6-only backend unreachable from a v4-only line
+		}
+		lineAddr = line.V6
+	}
+	var heavyHours [24]bool
+	if dev.Heavy {
+		for k := 0; k < 4; k++ {
+			heavyHours[rng.Intn(24)] = true
+		}
+	}
+	for hour := 0; hour < 24; hour++ {
+		localHour := (hour + n.Cfg.LocalUTCOffset + 24) % 24
+		active := prof.ActiveThisHour(rng, localHour)
+		heavy := dev.Heavy && heavyHours[hour]
+		if !active && !heavy {
+			continue
+		}
+		var down, up uint64
+		port := prof.PickPort(rng)
+		if active {
+			down, up = prof.DrawHourVolumes(rng)
+		}
+		if heavy {
+			h := prof.DrawHeavyDaily(rng) / 4
+			down += h
+			up += h / 6
+			port = prof.HeavyPort
+		}
+		if n.Modifier != nil {
+			var emit bool
+			down, up, emit = n.Modifier(day, hour, srv, down, up)
+			if !emit {
+				continue
+			}
+		}
+		at := dayStart.Add(time.Duration(hour) * time.Hour)
+		ephemeral := uint16(40000 + (line.ID*7+devIdx*13+hour)%20000)
+		transport := uint8(netflow.ProtoTCP)
+		if port.Transport == 1 { // proto.UDP
+			transport = netflow.ProtoUDP
+		}
+		emitSampled(sink, sampler, netflow.Record{
+			Src: srv.Addr, Dst: lineAddr,
+			SrcPort: port.Port, DstPort: ephemeral,
+			Proto: transport, Bytes: down, Packets: pktCount(down),
+			Start: at,
+		})
+		emitSampled(sink, sampler, netflow.Record{
+			Src: lineAddr, Dst: srv.Addr,
+			SrcPort: ephemeral, DstPort: port.Port,
+			Proto: transport, Bytes: up, Packets: pktCount(up),
+			Start: at,
+		})
+	}
+}
+
+// scannerDay spreads a scanner's probes across the week.
+func (n *Network) scannerDay(line *Line, day int, dayStart time.Time, rng *simrand.Source, sampler *netflow.Sampler, sink func(netflow.Record)) {
+	days := len(n.World.Days)
+	perDay := line.ScanBreadth / days
+	if rem := line.ScanBreadth % days; day < rem {
+		perDay++
+	}
+	if perDay == 0 {
+		return
+	}
+	// Deterministic disjoint slices of the target list per day.
+	scanRng := simrand.Derive(n.Cfg.Seed, "scan-order", fmt.Sprint(line.ID))
+	start := scanRng.Intn(maxInt(len(n.backendV4), 1))
+	offset := (line.ScanBreadth / days) * day
+	if rem := line.ScanBreadth % days; day < rem {
+		offset += day
+	} else {
+		offset += rem
+	}
+	for i := 0; i < perDay; i++ {
+		target := n.backendV4[(start+offset+i)%len(n.backendV4)]
+		at := dayStart.Add(time.Duration(rng.Intn(24)) * time.Hour)
+		// Aggressive re-probing: enough packets to survive sampling.
+		bytes := uint64(250 * 60)
+		emitSampled(sink, sampler, netflow.Record{
+			Src: line.V4, Dst: target,
+			SrcPort: uint16(50000 + i%10000), DstPort: 8883,
+			Proto: netflow.ProtoTCP, Bytes: bytes, Packets: 250,
+			Start: at,
+		})
+	}
+}
+
+// Simulate runs every study day.
+func (n *Network) Simulate(sink func(netflow.Record)) {
+	for d := range n.World.Days {
+		n.SimulateDay(d, sink)
+	}
+}
+
+func emitSampled(sink func(netflow.Record), s *netflow.Sampler, r netflow.Record) {
+	sb, sp, ok := s.Sample(r.Bytes, r.Packets)
+	if !ok {
+		return
+	}
+	r.Bytes, r.Packets = sb, sp
+	sink(r)
+}
+
+// pktCount estimates the packet count of a byte volume (≈900B payload
+// per packet plus a floor for the handshake).
+func pktCount(bytes uint64) uint64 {
+	p := bytes / 900
+	if p < 3 {
+		p = 3
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package isp
+
+import (
+	"testing"
+
+	"iotmap/internal/geo"
+	"iotmap/internal/netflow"
+	"iotmap/internal/traffic"
+	"iotmap/internal/world"
+)
+
+var (
+	testWorldCache *world.World
+	testNetCache   *Network
+)
+
+func testNetwork(t *testing.T) (*world.World, *Network) {
+	t.Helper()
+	if testNetCache != nil {
+		return testWorldCache, testNetCache
+	}
+	w, err := world.Build(world.Config{Seed: 11, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(Config{Seed: 11, Lines: 4000}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testWorldCache, testNetCache = w, n
+	return w, n
+}
+
+func TestPopulationShape(t *testing.T) {
+	_, n := testNetwork(t)
+	if len(n.Lines) != 4000 {
+		t.Fatalf("lines = %d", len(n.Lines))
+	}
+	iot := n.IoTLines()
+	if iot < 500 || iot > 1200 {
+		t.Fatalf("IoT lines = %d, want ≈20%% of 4000", iot)
+	}
+	v6 := 0
+	scanners := 0
+	for _, l := range n.Lines {
+		if l.HasV6() {
+			v6++
+		}
+		if l.ScanBreadth > 0 {
+			scanners++
+		}
+	}
+	if v6 < 900 || v6 > 1500 {
+		t.Fatalf("v6 lines = %d, want ≈30%%", v6)
+	}
+	if scanners == 0 || scanners > 60 {
+		t.Fatalf("scanners = %d", scanners)
+	}
+}
+
+func TestDeterministicPopulation(t *testing.T) {
+	w, _ := testNetwork(t)
+	a, err := NewNetwork(Config{Seed: 5, Lines: 500}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNetwork(Config{Seed: 5, Lines: 500}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Lines {
+		la, lb := a.Lines[i], b.Lines[i]
+		if len(la.Devices) != len(lb.Devices) || la.ScanBreadth != lb.ScanBreadth {
+			t.Fatalf("line %d differs", i)
+		}
+		for d := range la.Devices {
+			if la.Devices[d].Provider != lb.Devices[d].Provider {
+				t.Fatalf("line %d device %d differs", i, d)
+			}
+		}
+	}
+}
+
+func TestDeviceProvidersFollowShares(t *testing.T) {
+	_, n := testNetwork(t)
+	counts := map[string]int{}
+	total := 0
+	for _, l := range n.Lines {
+		for _, d := range l.Devices {
+			counts[d.Provider]++
+			total++
+		}
+	}
+	if counts["baidu"] != 0 || counts["huawei"] != 0 {
+		t.Fatal("China-only providers must not appear on EU lines")
+	}
+	if counts["amazon"] < counts["microsoft"] {
+		t.Fatalf("amazon (%d) should dominate microsoft (%d)", counts["amazon"], counts["microsoft"])
+	}
+	if counts["amazon"] < total/2 {
+		t.Logf("amazon share = %d/%d", counts["amazon"], total)
+	}
+}
+
+func TestSimulateDayEmitsBackendFlows(t *testing.T) {
+	w, n := testNetwork(t)
+	var recs []netflow.Record
+	n.SimulateDay(0, func(r netflow.Record) { recs = append(recs, r) })
+	if len(recs) == 0 {
+		t.Fatal("no flows")
+	}
+	down, up := 0, 0
+	for _, r := range recs {
+		_, srcIsLine := n.LineByAddr(r.Src)
+		_, dstIsLine := n.LineByAddr(r.Dst)
+		_, srcIsSrv := w.ServerAt(r.Src)
+		_, dstIsSrv := w.ServerAt(r.Dst)
+		switch {
+		case srcIsLine && dstIsSrv:
+			up++
+		case srcIsSrv && dstIsLine:
+			down++
+		default:
+			t.Fatalf("flow between unknown endpoints: %v -> %v", r.Src, r.Dst)
+		}
+		if r.Bytes == 0 || r.Packets == 0 {
+			t.Fatalf("empty sampled flow: %+v", r)
+		}
+	}
+	if down == 0 || up == 0 {
+		t.Fatalf("directions: down=%d up=%d", down, up)
+	}
+}
+
+func TestScannersTouchManyServers(t *testing.T) {
+	w, n := testNetwork(t)
+	contacted := map[int]map[string]bool{} // lineID -> set of servers
+	for d := range w.Days {
+		n.SimulateDay(d, func(r netflow.Record) {
+			if l, ok := n.LineByAddr(r.Src); ok && l.ScanBreadth > 0 {
+				if _, isSrv := w.ServerAt(r.Dst); isSrv {
+					if contacted[l.ID] == nil {
+						contacted[l.ID] = map[string]bool{}
+					}
+					contacted[l.ID][r.Dst.String()] = true
+				}
+			}
+		})
+	}
+	// At least one scanner must show breadth an IoT line cannot reach.
+	maxBreadth := 0
+	for _, set := range contacted {
+		if len(set) > maxBreadth {
+			maxBreadth = len(set)
+		}
+	}
+	if maxBreadth < 10 {
+		t.Fatalf("max scanner breadth = %d", maxBreadth)
+	}
+}
+
+func TestModifierSuppressesFlows(t *testing.T) {
+	_, n := testNetwork(t)
+	base := 0
+	n.SimulateDay(0, func(netflow.Record) { base++ })
+	n.Modifier = func(day, hour int, srv *world.Server, down, up uint64) (uint64, uint64, bool) {
+		return down, up, false // drop everything
+	}
+	defer func() { n.Modifier = nil }()
+	after := 0
+	n.SimulateDay(0, func(r netflow.Record) {
+		if l, ok := n.LineByAddr(r.Src); ok && l.ScanBreadth > 0 {
+			return // scanners bypass the modifier
+		}
+		after++
+	})
+	if base == 0 || after != 0 {
+		t.Fatalf("modifier leak: base=%d after=%d", base, after)
+	}
+}
+
+func TestEligibleServersSpread(t *testing.T) {
+	w, n := testNetwork(t)
+	// Google spread=1: all EU servers eligible.
+	prof := traffic.Profiles()["google"]
+	if prof.ServerSpread != 1.0 {
+		t.Fatalf("google spread = %f", prof.ServerSpread)
+	}
+	euAll := 0
+	for _, s := range w.Providers["google"].ActiveServers(0) {
+		if s.Region.Continent == geo.Europe {
+			euAll++
+		}
+	}
+	got := n.eligibleServers("google", geo.Europe, 0)
+	if len(got) != euAll {
+		t.Fatalf("google EU eligible = %d, want %d", len(got), euAll)
+	}
+	// SAP spread=0.1: strictly fewer than the continent pool.
+	sapAll := 0
+	for _, s := range w.Providers["sap"].ActiveServers(0) {
+		if s.Region.Continent == geo.Europe {
+			sapAll++
+		}
+	}
+	sapGot := n.eligibleServers("sap", geo.Europe, 0)
+	if sapAll > 10 && len(sapGot) >= sapAll {
+		t.Fatalf("sap eligible %d not trimmed from %d", len(sapGot), sapAll)
+	}
+	// Continent without presence falls back to the whole fleet.
+	fallback := n.eligibleServers("bosch", geo.Asia, 0)
+	if len(fallback) == 0 {
+		t.Fatal("no fallback homing for bosch in Asia")
+	}
+}
+
+func TestV6DevicesNeedV6Lines(t *testing.T) {
+	w, n := testNetwork(t)
+	for d := range w.Days {
+		n.SimulateDay(d, func(r netflow.Record) {
+			srcSrv, _ := w.ServerAt(r.Src)
+			dstSrv, _ := w.ServerAt(r.Dst)
+			if srcSrv != nil && srcSrv.IsV6() {
+				if l, ok := n.LineByAddr(r.Dst); !ok || !l.HasV6() {
+					t.Fatalf("v6 server talks to v4-only line: %v -> %v", r.Src, r.Dst)
+				}
+			}
+			if dstSrv != nil && dstSrv.IsV6() {
+				if l, ok := n.LineByAddr(r.Src); !ok || !l.HasV6() {
+					t.Fatalf("v4-only line talks to v6 server")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package mqtt
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// ClientHandshake performs the client side of the MQTT session
+// establishment: send CONNECT, await CONNACK. It is the protocol probe
+// the scanner uses — a CONNACK (even a refusal) proves an MQTT broker
+// lives behind the port.
+func ClientHandshake(conn net.Conn, c *Connect, timeout time.Duration) (*Connack, error) {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
+	wire, err := c.Append(nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("mqtt: write CONNECT: %w", err)
+	}
+	raw, err := NewReader(conn, 1<<16).Next()
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: read CONNACK: %w", err)
+	}
+	return DecodeConnack(raw)
+}
+
+// ConnectPolicy decides how a broker answers a CONNECT.
+type ConnectPolicy func(*Connect) ConnackCode
+
+// AcceptAll accepts every client.
+func AcceptAll(*Connect) ConnackCode { return ConnAccepted }
+
+// RequireAuth refuses clients without credentials; IoT backends commonly
+// reject anonymous scanners this way (the scan still fingerprints the
+// broker because a CONNACK comes back).
+func RequireAuth(c *Connect) ConnackCode {
+	if c.Username == "" {
+		return ConnRefusedNotAuth
+	}
+	return ConnAccepted
+}
+
+// ServerHandshake performs the broker side: read CONNECT, apply policy,
+// write CONNACK. The decoded CONNECT is returned for logging.
+func ServerHandshake(conn net.Conn, policy ConnectPolicy, timeout time.Duration) (*Connect, ConnackCode, error) {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, 0, err
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
+	raw, err := NewReader(conn, 1<<16).Next()
+	if err != nil {
+		return nil, 0, fmt.Errorf("mqtt: read CONNECT: %w", err)
+	}
+	c, err := DecodeConnect(raw)
+	if err != nil {
+		// Answer protocol-level rejections when possible so clients see
+		// a clean refusal instead of a hang.
+		if err == ErrBadProtocol {
+			ack := &Connack{Code: ConnRefusedVersion}
+			if wire, aerr := ack.Append(nil); aerr == nil {
+				_, _ = conn.Write(wire)
+			}
+		}
+		return nil, 0, err
+	}
+	if policy == nil {
+		policy = AcceptAll
+	}
+	code := policy(c)
+	ack := &Connack{Code: code}
+	wire, err := ack.Append(nil)
+	if err != nil {
+		return c, code, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return c, code, fmt.Errorf("mqtt: write CONNACK: %w", err)
+	}
+	return c, code, nil
+}
+
+// Echo serves a tiny post-handshake session: PINGREQ→PINGRESP,
+// SUBSCRIBE→SUBACK, PUBLISH swallowed, DISCONNECT/EOF ends. It gives the
+// traffic simulator and tests a live broker loop.
+func Echo(conn net.Conn) error {
+	rd := NewReader(conn, 1<<20)
+	for {
+		raw, err := rd.Next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch raw.Header.Type {
+		case PINGREQ:
+			if _, err := conn.Write(AppendPingresp(nil)); err != nil {
+				return err
+			}
+		case SUBSCRIBE:
+			sub, err := DecodeSubscribe(raw)
+			if err != nil {
+				return err
+			}
+			codes := make([]byte, len(sub.Topics))
+			for i, tf := range sub.Topics {
+				codes[i] = tf.QoS
+			}
+			ack := &Suback{PacketID: sub.PacketID, Codes: codes}
+			wire, err := ack.Append(nil)
+			if err != nil {
+				return err
+			}
+			if _, err := conn.Write(wire); err != nil {
+				return err
+			}
+		case PUBLISH:
+			if _, err := DecodePublish(raw); err != nil {
+				return err
+			}
+		case DISCONNECT:
+			return nil
+		default:
+			return fmt.Errorf("mqtt: echo: unhandled %v", raw.Header.Type)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package netflow implements the flow-export substrate of the ISP vantage
+// point (Section 5.1): a faithful NetFlow v5 binary codec for IPv4 flows,
+// a compact length-delimited encoding for mixed IPv4/IPv6 flow streams,
+// and the deterministic packet sampler that gives the analysis its
+// "estimate the exchanged traffic considering the sampling rate"
+// semantics (Section 5.6).
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"iotmap/internal/simrand"
+)
+
+// IP protocol numbers used by the study.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Record is one unidirectional flow record as the collector stores it.
+type Record struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+	// Bytes and Packets are the *sampled* counters; multiply by the
+	// sampling rate for volume estimates.
+	Bytes   uint64
+	Packets uint64
+	// Start is the flow start time (hour resolution in the simulation).
+	Start time.Time
+}
+
+// IsV4 reports whether both endpoints are IPv4.
+func (r Record) IsV4() bool {
+	return (r.Src.Is4() || r.Src.Is4In6()) && (r.Dst.Is4() || r.Dst.Is4In6())
+}
+
+// --- NetFlow v5 wire format -------------------------------------------
+
+// V5 packet layout: 24-byte header + up to 30 48-byte records.
+const (
+	v5Version    = 5
+	v5HeaderLen  = 24
+	v5RecordLen  = 48
+	V5MaxRecords = 30
+)
+
+// Codec errors.
+var (
+	ErrNotV5       = errors.New("netflow: not a v5 packet")
+	ErrV5TooMany   = errors.New("netflow: more than 30 records per v5 packet")
+	ErrV5Truncated = errors.New("netflow: truncated v5 packet")
+	ErrV5NeedsV4   = errors.New("netflow: v5 can only carry IPv4 flows")
+)
+
+// V5Header is the exported packet header.
+type V5Header struct {
+	SysUptime        uint32
+	UnixSecs         uint32
+	UnixNsecs        uint32
+	FlowSequence     uint32
+	EngineType       uint8
+	EngineID         uint8
+	SamplingInterval uint16 // low 14 bits; top 2 bits are the mode
+}
+
+// EncodeV5 serializes records into one v5 packet.
+func EncodeV5(h V5Header, records []Record) ([]byte, error) {
+	if len(records) > V5MaxRecords {
+		return nil, ErrV5TooMany
+	}
+	buf := make([]byte, v5HeaderLen+len(records)*v5RecordLen)
+	be := binary.BigEndian
+	be.PutUint16(buf[0:], v5Version)
+	be.PutUint16(buf[2:], uint16(len(records)))
+	be.PutUint32(buf[4:], h.SysUptime)
+	be.PutUint32(buf[8:], h.UnixSecs)
+	be.PutUint32(buf[12:], h.UnixNsecs)
+	be.PutUint32(buf[16:], h.FlowSequence)
+	buf[20] = h.EngineType
+	buf[21] = h.EngineID
+	be.PutUint16(buf[22:], h.SamplingInterval)
+
+	for i, r := range records {
+		if !r.IsV4() {
+			return nil, ErrV5NeedsV4
+		}
+		off := v5HeaderLen + i*v5RecordLen
+		src := r.Src.Unmap().As4()
+		dst := r.Dst.Unmap().As4()
+		copy(buf[off:], src[:])
+		copy(buf[off+4:], dst[:])
+		// nexthop (4B), input/output ifindex (2B each) stay zero.
+		be.PutUint32(buf[off+16:], clamp32(r.Packets))
+		be.PutUint32(buf[off+20:], clamp32(r.Bytes))
+		first := uint32(r.Start.Unix()) // sysuptime-relative in real kit
+		be.PutUint32(buf[off+24:], first)
+		be.PutUint32(buf[off+28:], first)
+		be.PutUint16(buf[off+32:], r.SrcPort)
+		be.PutUint16(buf[off+34:], r.DstPort)
+		// pad(1), tcp_flags(1)
+		buf[off+38] = r.Proto
+		// tos, src_as, dst_as, masks, pad: zero.
+	}
+	return buf, nil
+}
+
+// DecodeV5 parses one v5 packet.
+func DecodeV5(pkt []byte) (V5Header, []Record, error) {
+	if len(pkt) < v5HeaderLen {
+		return V5Header{}, nil, ErrV5Truncated
+	}
+	be := binary.BigEndian
+	if be.Uint16(pkt[0:]) != v5Version {
+		return V5Header{}, nil, ErrNotV5
+	}
+	count := int(be.Uint16(pkt[2:]))
+	if count > V5MaxRecords {
+		return V5Header{}, nil, ErrV5TooMany
+	}
+	if len(pkt) < v5HeaderLen+count*v5RecordLen {
+		return V5Header{}, nil, ErrV5Truncated
+	}
+	h := V5Header{
+		SysUptime:        be.Uint32(pkt[4:]),
+		UnixSecs:         be.Uint32(pkt[8:]),
+		UnixNsecs:        be.Uint32(pkt[12:]),
+		FlowSequence:     be.Uint32(pkt[16:]),
+		EngineType:       pkt[20],
+		EngineID:         pkt[21],
+		SamplingInterval: be.Uint16(pkt[22:]),
+	}
+	records := make([]Record, count)
+	for i := 0; i < count; i++ {
+		off := v5HeaderLen + i*v5RecordLen
+		var src, dst [4]byte
+		copy(src[:], pkt[off:])
+		copy(dst[:], pkt[off+4:])
+		records[i] = Record{
+			Src:     netip.AddrFrom4(src),
+			Dst:     netip.AddrFrom4(dst),
+			Packets: uint64(be.Uint32(pkt[off+16:])),
+			Bytes:   uint64(be.Uint32(pkt[off+20:])),
+			Start:   time.Unix(int64(be.Uint32(pkt[off+24:])), 0).UTC(),
+			SrcPort: be.Uint16(pkt[off+32:]),
+			DstPort: be.Uint16(pkt[off+34:]),
+			Proto:   pkt[off+38],
+		}
+	}
+	return h, records, nil
+}
+
+func clamp32(v uint64) uint32 {
+	if v > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(v)
+}
+
+// --- Mixed-family stream encoding -------------------------------------
+
+// The simulation's border routers also carry IPv6 flows, which v5 cannot
+// express; StreamWriter/StreamReader implement a compact v9-inspired
+// length-delimited record stream for the full mix.
+
+const (
+	famV4 = 4
+	famV6 = 6
+)
+
+// StreamWriter serializes records to an io.Writer.
+type StreamWriter struct {
+	w   io.Writer
+	buf []byte
+	// N counts records written.
+	N uint64
+}
+
+// NewStreamWriter returns a writer.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{w: w, buf: make([]byte, 0, 64)}
+}
+
+// Write serializes one record.
+func (sw *StreamWriter) Write(r Record) error {
+	b := sw.buf[:0]
+	if r.IsV4() {
+		b = append(b, famV4)
+		s := r.Src.Unmap().As4()
+		d := r.Dst.Unmap().As4()
+		b = append(b, s[:]...)
+		b = append(b, d[:]...)
+	} else {
+		b = append(b, famV6)
+		s := r.Src.As16()
+		d := r.Dst.As16()
+		b = append(b, s[:]...)
+		b = append(b, d[:]...)
+	}
+	b = binary.BigEndian.AppendUint16(b, r.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, r.DstPort)
+	b = append(b, r.Proto)
+	b = binary.BigEndian.AppendUint64(b, r.Bytes)
+	b = binary.BigEndian.AppendUint64(b, r.Packets)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Start.Unix()))
+	sw.buf = b
+	if _, err := sw.w.Write(b); err != nil {
+		return err
+	}
+	sw.N++
+	return nil
+}
+
+// StreamReader parses records written by StreamWriter.
+type StreamReader struct {
+	r io.Reader
+}
+
+// NewStreamReader returns a reader.
+func NewStreamReader(r io.Reader) *StreamReader { return &StreamReader{r: r} }
+
+// Next reads one record; io.EOF signals a clean end.
+func (sr *StreamReader) Next() (Record, error) {
+	var fam [1]byte
+	if _, err := io.ReadFull(sr.r, fam[:]); err != nil {
+		return Record{}, err
+	}
+	var alen int
+	switch fam[0] {
+	case famV4:
+		alen = 4
+	case famV6:
+		alen = 16
+	default:
+		return Record{}, fmt.Errorf("netflow: bad family %d", fam[0])
+	}
+	body := make([]byte, 2*alen+2+2+1+8+8+8)
+	if _, err := io.ReadFull(sr.r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	var r Record
+	if alen == 4 {
+		r.Src = netip.AddrFrom4([4]byte(body[0:4]))
+		r.Dst = netip.AddrFrom4([4]byte(body[4:8]))
+	} else {
+		r.Src = netip.AddrFrom16([16]byte(body[0:16]))
+		r.Dst = netip.AddrFrom16([16]byte(body[16:32]))
+	}
+	p := 2 * alen
+	be := binary.BigEndian
+	r.SrcPort = be.Uint16(body[p:])
+	r.DstPort = be.Uint16(body[p+2:])
+	r.Proto = body[p+4]
+	r.Bytes = be.Uint64(body[p+5:])
+	r.Packets = be.Uint64(body[p+13:])
+	r.Start = time.Unix(int64(be.Uint64(body[p+21:])), 0).UTC()
+	return r, nil
+}
+
+// --- Packet sampling ---------------------------------------------------
+
+// Sampler models router packet sampling at rate 1:Rate. Flows whose
+// sampled packet count draws zero are invisible to the collector —
+// exactly how low-volume subscriber lines drop out of the analysis
+// during the outage (Section 6.1).
+type Sampler struct {
+	Rate uint32
+	rng  *simrand.Source
+}
+
+// NewSampler builds a sampler; rate 0 or 1 means no sampling.
+func NewSampler(rate uint32, seed int64) *Sampler {
+	return &Sampler{Rate: rate, rng: simrand.Derive(seed, "netflow-sampler")}
+}
+
+// Sample converts true flow counters into sampled counters; ok is false
+// when the flow is unobserved.
+func (s *Sampler) Sample(bytes, packets uint64) (sb, sp uint64, ok bool) {
+	if s.Rate <= 1 {
+		return bytes, packets, true
+	}
+	lambda := float64(packets) / float64(s.Rate)
+	n := s.rng.Poisson(lambda)
+	if n == 0 {
+		return 0, 0, false
+	}
+	sp = uint64(n)
+	perPkt := float64(bytes) / float64(packets)
+	sb = uint64(perPkt * float64(n))
+	if sb == 0 {
+		sb = 1
+	}
+	return sb, sp, true
+}
+
+// Scale expands a sampled byte count back to an estimate.
+func (s *Sampler) Scale(sampled uint64) uint64 {
+	if s.Rate <= 1 {
+		return sampled
+	}
+	return sampled * uint64(s.Rate)
+}

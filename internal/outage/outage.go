@@ -1,0 +1,122 @@
+// Package outage injects backend disruptions into the traffic
+// simulation — primarily the December 7, 2021 AWS us-east-1 event the
+// paper studies in Section 6.1. During the outage window, affected
+// servers lose most of their downstream traffic while devices keep
+// retrying upstream; a fraction of devices stop trying altogether, which
+// is why Figure 16's subscriber-line counts dip only slightly while
+// Figure 15's volumes crater.
+package outage
+
+import (
+	"fmt"
+	"time"
+
+	"iotmap/internal/isp"
+	"iotmap/internal/simrand"
+	"iotmap/internal/world"
+)
+
+// Scenario is one outage: a region (or cloud host) failing for a window
+// of hours on one study day.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Day is the index into the study period's days.
+	Day int
+	// StartHour and EndHour bound the window (UTC, inclusive start,
+	// exclusive end).
+	StartHour, EndHour int
+	// Region is the failing region code.
+	Region string
+	// CloudHost, when set, extends the blast radius to PR customers
+	// hosted on that cloud in the failing region (the cascading-effects
+	// question of Section 6.2).
+	CloudHost string
+	// DownFactor scales surviving downstream volume; UpFactor upstream.
+	DownFactor, UpFactor float64
+	// GiveUpProb is the chance an affected device-hour goes silent.
+	GiveUpProb float64
+	// SpillFactor is the mild dip applied to the failing provider's
+	// other regions ("some interdependencies between the regions").
+	SpillFactor float64
+	// SpillProviders are the providers whose non-region servers feel
+	// the spill (Amazon itself for us-east-1).
+	SpillProviders map[string]bool
+}
+
+// AWSUSEast1 is the paper's Dec 7, 2021 scenario: us-east-1 down from
+// roughly 15:30 to 22:30 UTC, hitting Amazon IoT and every backend
+// hosted on AWS in that region.
+func AWSUSEast1(dayIdx int) Scenario {
+	return Scenario{
+		Name:       "aws-us-east-1-2021-12-07",
+		Day:        dayIdx,
+		StartHour:  15,
+		EndHour:    23,
+		Region:     "us-east-1",
+		CloudHost:  world.CloudAWS,
+		DownFactor: 0.12,
+		// Devices keep retrying: connection attempts keep the upstream
+		// side near its normal volume, which is why Figure 16's line
+		// counts barely move while Figure 15's volumes crater.
+		UpFactor:    0.9,
+		GiveUpProb:  0.1,
+		SpillFactor: 0.93,
+		SpillProviders: map[string]bool{
+			"amazon": true,
+		},
+	}
+}
+
+// InWindow reports whether (day, hour) falls inside the outage.
+func (s Scenario) InWindow(day, hour int) bool {
+	return day == s.Day && hour >= s.StartHour && hour < s.EndHour
+}
+
+// Affects reports whether a server is inside the blast radius.
+func (s Scenario) Affects(srv *world.Server) bool {
+	if srv.Region.Region != s.Region {
+		return false
+	}
+	if srv.Provider == "amazon" && s.CloudHost == world.CloudAWS {
+		return true
+	}
+	return s.CloudHost != "" && srv.CloudHost == s.CloudHost
+}
+
+// Window returns the outage's wall-clock bounds for a study period.
+func (s Scenario) Window(days []time.Time) (time.Time, time.Time, error) {
+	if s.Day < 0 || s.Day >= len(days) {
+		return time.Time{}, time.Time{}, fmt.Errorf("outage: day %d outside period", s.Day)
+	}
+	d := days[s.Day]
+	return d.Add(time.Duration(s.StartHour) * time.Hour), d.Add(time.Duration(s.EndHour) * time.Hour), nil
+}
+
+// Modifier builds the flow modifier to install on an isp.Network.
+func (s Scenario) Modifier(seed int64) isp.FlowModifier {
+	rng := simrand.Derive(seed, "outage", s.Name)
+	return func(day, hour int, srv *world.Server, down, up uint64) (uint64, uint64, bool) {
+		if !s.InWindow(day, hour) {
+			return down, up, true
+		}
+		if s.Affects(srv) {
+			if s.GiveUpProb > 0 && rng.Bool(s.GiveUpProb) {
+				return 0, 0, false
+			}
+			return scale(down, s.DownFactor), scale(up, s.UpFactor), true
+		}
+		if s.SpillProviders[srv.Provider] && s.SpillFactor > 0 {
+			return scale(down, s.SpillFactor), scale(up, s.SpillFactor), true
+		}
+		return down, up, true
+	}
+}
+
+func scale(v uint64, f float64) uint64 {
+	out := uint64(float64(v) * f)
+	if v > 0 && out == 0 {
+		out = 1
+	}
+	return out
+}

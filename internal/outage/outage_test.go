@@ -1,0 +1,139 @@
+package outage
+
+import (
+	"testing"
+
+	"iotmap/internal/geo"
+	"iotmap/internal/world"
+)
+
+func buildWorld(t *testing.T) *world.World {
+	t.Helper()
+	w, err := world.Build(world.Config{Seed: 4, Scale: 0.05, Days: world.OutageDays()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestScenarioWindow(t *testing.T) {
+	s := AWSUSEast1(4) // Dec 7 is day index 4 of Dec 3..10
+	if !s.InWindow(4, 15) || !s.InWindow(4, 22) {
+		t.Fatal("outage hours not in window")
+	}
+	if s.InWindow(4, 14) || s.InWindow(4, 23) || s.InWindow(3, 18) {
+		t.Fatal("window too wide")
+	}
+	start, end, err := s.Window(world.OutageDays())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start.Day() != 7 || end.Day() != 7 || start.Month() != 12 {
+		t.Fatalf("window = %v..%v", start, end)
+	}
+	if _, _, err := (Scenario{Day: 99}).Window(world.OutageDays()); err == nil {
+		t.Fatal("out-of-period day accepted")
+	}
+}
+
+func TestAffectsBlastRadius(t *testing.T) {
+	w := buildWorld(t)
+	s := AWSUSEast1(4)
+	affectedAmazon, affectedHosted, unaffected := 0, 0, 0
+	for _, srv := range w.AllServers() {
+		if s.Affects(srv) {
+			if srv.Provider == "amazon" {
+				affectedAmazon++
+			} else {
+				affectedHosted++
+				if srv.CloudHost != world.CloudAWS {
+					t.Fatalf("non-AWS-hosted server affected: %+v", srv)
+				}
+			}
+			if srv.Region.Region != "us-east-1" {
+				t.Fatalf("server outside us-east-1 affected: %v", srv.Region)
+			}
+		} else {
+			unaffected++
+		}
+	}
+	if affectedAmazon == 0 {
+		t.Fatal("no amazon servers in blast radius")
+	}
+	if unaffected == 0 {
+		t.Fatal("everything affected")
+	}
+	// Amazon's EU servers must NOT be affected (Figure 15's EU line only
+	// dips via spill).
+	for _, srv := range w.Providers["amazon"].Servers {
+		if srv.Region.Continent == geo.Europe && s.Affects(srv) {
+			t.Fatal("EU server in blast radius")
+		}
+	}
+}
+
+func TestModifierEffects(t *testing.T) {
+	w := buildWorld(t)
+	s := AWSUSEast1(4)
+	mod := s.Modifier(1)
+
+	var usEast, eu *world.Server
+	for _, srv := range w.Providers["amazon"].Servers {
+		if srv.Region.Region == "us-east-1" && usEast == nil {
+			usEast = srv
+		}
+		if srv.Region.Continent == geo.Europe && eu == nil {
+			eu = srv
+		}
+	}
+	if usEast == nil || eu == nil {
+		t.Skip("world too small for both regions")
+	}
+
+	// Outside the window: identity.
+	d, u, emit := mod(3, 18, usEast, 1000, 1000)
+	if !emit || d != 1000 || u != 1000 {
+		t.Fatalf("outside window: %d %d %v", d, u, emit)
+	}
+	// Inside the window: heavy loss downstream, retries upstream; some
+	// device-hours vanish entirely.
+	drops, total := 0, 0
+	var dSum, uSum uint64
+	for i := 0; i < 2000; i++ {
+		d, u, emit := mod(4, 18, usEast, 1000, 1000)
+		total++
+		if !emit {
+			drops++
+			continue
+		}
+		dSum += d
+		uSum += u
+	}
+	if drops == 0 || drops > total/2 {
+		t.Fatalf("give-up fraction = %d/%d", drops, total)
+	}
+	avgD := float64(dSum) / float64(total-drops)
+	avgU := float64(uSum) / float64(total-drops)
+	if avgD > 200 {
+		t.Fatalf("downstream not crushed: %f", avgD)
+	}
+	if avgU < 800 || avgU > 1000 {
+		t.Fatalf("upstream retries off: %f", avgU)
+	}
+	// EU spill: mild dip only.
+	d, u, emit = mod(4, 18, eu, 1000, 1000)
+	if !emit || d < 900 || d > 999 || u < 900 {
+		t.Fatalf("EU spill = %d %d %v", d, u, emit)
+	}
+}
+
+func TestModifierZeroFloor(t *testing.T) {
+	s := AWSUSEast1(0)
+	if scale(0, 0.5) != 0 {
+		t.Fatal("zero stays zero")
+	}
+	if scale(1, 0.0001) != 1 {
+		t.Fatal("non-zero floors at 1")
+	}
+	_ = s
+}

@@ -1,0 +1,169 @@
+package resolver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotmap/internal/dnsmsg"
+	"iotmap/internal/dnszone"
+)
+
+// testServer spins up an authoritative server for a view over loopback UDP.
+func testServer(t *testing.T, view string) (*dnszone.Store, *dnszone.Server) {
+	t.Helper()
+	store := dnszone.NewStore()
+	store.AddZone("example-iot.net", dnsmsg.SOAData{MName: "ns1.example-iot.net.", RName: "ops.example-iot.net.", Minimum: 60})
+	srv, err := dnszone.NewServer(store, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return store, srv
+}
+
+func TestQueryOverUDP(t *testing.T) {
+	store, srv := testServer(t, dnszone.DefaultView)
+	store.AddAddr(dnszone.DefaultView, "mqtt.eu-1.example-iot.net", netip.MustParseAddr("198.51.100.7"), 60)
+
+	c := NewClient(srv.Addr(), 1)
+	rrs, err := c.Query(context.Background(), "mqtt.eu-1.example-iot.net", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 1 || rrs[0].Addr != netip.MustParseAddr("198.51.100.7") {
+		t.Fatalf("rrs = %+v", rrs)
+	}
+}
+
+func TestQueryNXDomain(t *testing.T) {
+	_, srv := testServer(t, dnszone.DefaultView)
+	c := NewClient(srv.Addr(), 1)
+	_, err := c.Query(context.Background(), "absent.example-iot.net", dnsmsg.TypeA)
+	if !IsNXDomain(err) {
+		t.Fatalf("err = %v, want NXDOMAIN", err)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	// Point at a socket that never answers.
+	c := NewClient(netip.MustParseAddrPort("127.0.0.1:1"), 1)
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 1
+	_, err := c.Query(context.Background(), "x.example-iot.net", dnsmsg.TypeA)
+	if err == nil {
+		t.Fatal("expected error from dead server")
+	}
+}
+
+func TestQueryContextCancel(t *testing.T) {
+	c := NewClient(netip.MustParseAddrPort("127.0.0.1:1"), 1)
+	c.Timeout = 5 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, "x.example-iot.net", dnsmsg.TypeA)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled query did not return promptly")
+	}
+}
+
+func TestLookupAddrsBothFamilies(t *testing.T) {
+	store, srv := testServer(t, dnszone.DefaultView)
+	store.AddAddr(dnszone.DefaultView, "gw.example-iot.net", netip.MustParseAddr("203.0.113.5"), 60)
+	store.AddAddr(dnszone.DefaultView, "gw.example-iot.net", netip.MustParseAddr("2001:db8::5"), 60)
+
+	c := NewClient(srv.Addr(), 2)
+	addrs, err := c.LookupAddrs(context.Background(), "gw.example-iot.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestLookupAddrsV4Only(t *testing.T) {
+	store, srv := testServer(t, dnszone.DefaultView)
+	store.AddAddr(dnszone.DefaultView, "v4.example-iot.net", netip.MustParseAddr("203.0.113.9"), 60)
+	c := NewClient(srv.Addr(), 2)
+	addrs, err := c.LookupAddrs(context.Background(), "v4.example-iot.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestCampaignMultiVantagePoint(t *testing.T) {
+	// One store, three views: geo-DNS answers differ per vantage point.
+	store := dnszone.NewStore()
+	store.AddZone("geo-iot.org", dnsmsg.SOAData{MName: "ns1.geo-iot.org.", RName: "ops.geo-iot.org.", Minimum: 60})
+	store.AddAddr("eu-1", "device.geo-iot.org", netip.MustParseAddr("192.0.2.1"), 60)
+	store.AddAddr("eu-2", "device.geo-iot.org", netip.MustParseAddr("192.0.2.1"), 60) // same EU pool
+	store.AddAddr("eu-2", "device.geo-iot.org", netip.MustParseAddr("192.0.2.2"), 60)
+	store.AddAddr("us-1", "device.geo-iot.org", netip.MustParseAddr("198.51.100.1"), 60)
+
+	var vps []VantagePoint
+	for i, view := range []string{"eu-1", "eu-2", "us-1"} {
+		srv, err := dnszone.NewServer(store, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		vps = append(vps, VantagePoint{Name: view, Client: NewClient(srv.Addr(), int64(i))})
+	}
+	camp := &Campaign{VantagePoints: vps}
+	res, err := camp.Run(context.Background(), []string{"device.geo-iot.org", "gone.geo-iot.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := res.Union("device.geo-iot.org")
+	if len(union) != 3 {
+		t.Fatalf("union = %v, want 3 addrs", union)
+	}
+	if got := len(res.AllAddrs()); got != 3 {
+		t.Fatalf("AllAddrs = %d", got)
+	}
+	// eu-1 alone saw 1 address; all three saw 3 → gain of 200%.
+	if gain := res.VPGain("eu-1"); gain < 1.99 || gain > 2.01 {
+		t.Fatalf("VPGain = %f", gain)
+	}
+	// Unresolvable names are skipped, not fatal.
+	if got := res.Union("gone.geo-iot.org"); len(got) != 0 {
+		t.Fatalf("gone name produced addrs: %v", got)
+	}
+}
+
+func TestVPGainEdgeCases(t *testing.T) {
+	r := &Result{ByVP: map[string]map[string][]netip.Addr{}}
+	if g := r.VPGain("none"); g != 0 {
+		t.Fatalf("empty gain = %f", g)
+	}
+	r.ByVP["a"] = map[string][]netip.Addr{"x.": {netip.MustParseAddr("1.1.1.1")}}
+	if g := r.VPGain("missing"); g != 1 {
+		t.Fatalf("missing-first gain = %f", g)
+	}
+}
+
+func TestCampaignPacing(t *testing.T) {
+	store, srv := testServer(t, dnszone.DefaultView)
+	store.AddAddr(dnszone.DefaultView, "a.example-iot.net", netip.MustParseAddr("192.0.2.10"), 60)
+	store.AddAddr(dnszone.DefaultView, "b.example-iot.net", netip.MustParseAddr("192.0.2.11"), 60)
+	camp := &Campaign{
+		VantagePoints: []VantagePoint{{Name: "vp", Client: NewClient(srv.Addr(), 1)}},
+		Pacing:        30 * time.Millisecond,
+	}
+	start := time.Now()
+	if _, err := camp.Run(context.Background(), []string{"a.example-iot.net", "b.example-iot.net"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("pacing not applied: %v", elapsed)
+	}
+}

@@ -1,0 +1,230 @@
+// Package simrand provides deterministic random-number utilities shared by
+// every stochastic component of the simulation. All randomness in the
+// repository flows through a Source seeded explicitly, so a world built
+// twice from the same seed is byte-for-byte identical.
+//
+// The package also carries the small set of distributions the traffic and
+// deployment models need: log-normal volumes, Zipf-like popularity, and the
+// diurnal activity curves described in Section 5.3 of the paper.
+package simrand
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source. It wraps math/rand.Rand so that
+// callers never touch the global generator.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a new independent Source whose seed is derived from the
+// parent seed and the given labels. Deriving with the same labels always
+// yields the same stream, which lets subsystems (DNS churn, traffic, scan
+// jitter) evolve independently without sharing one fragile sequence.
+func Derive(seed int64, labels ...string) *Source {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	for _, l := range labels {
+		h.Write([]byte{0})
+		h.Write([]byte(l))
+	}
+	return New(int64(h.Sum64()))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Intn returns an int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63n returns an int64 in [0, n).
+func (s *Source) Int63n(n int64) int64 { return s.r.Int63n(n) }
+
+// Float64 returns a float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// NormFloat64 returns a standard normal variate.
+func (s *Source) NormFloat64() float64 { return s.r.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Range returns an int uniformly drawn from [lo, hi] inclusive.
+// It panics if hi < lo.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic("simrand: Range with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + s.r.Intn(hi-lo+1)
+}
+
+// LogNormal returns a log-normal variate with the given location mu and
+// scale sigma (parameters of the underlying normal). Daily per-device IoT
+// traffic is heavy tailed; the paper's Figure 12 ECDFs span 100 KB to
+// 100 GB, which a log-normal body reproduces well.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.r.NormFloat64())
+}
+
+// Pareto returns a Pareto variate with scale xm and shape alpha. Used for
+// the small population of very heavy lines (e.g. AMQP bulk transfers in
+// Figure 12c).
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a Poisson variate with mean lambda using Knuth's method
+// for small lambda and a normal approximation above 64.
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		v := lambda + math.Sqrt(lambda)*s.r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf draws ranks in [0, n) with Zipfian skew s1 (s1 > 1). Popular
+// backends attract most devices; rank 0 is the most popular.
+func (s *Source) Zipf(s1 float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(s.r, s1, 1, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// WeightedChoice returns an index drawn proportionally to weights. Zero or
+// negative weights are treated as zero. If all weights are zero it returns
+// uniformly.
+func (s *Source) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return s.r.Intn(len(weights))
+	}
+	x := s.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// ActivityShape names an hourly activity curve of an IoT application class
+// (Section 5.3: some applications follow prime-time diurnal patterns,
+// others are flat machine-to-machine exchanges, others peak during
+// business hours).
+type ActivityShape int
+
+const (
+	// ShapeFlat is constant machine-to-machine activity (paper: T2).
+	ShapeFlat ActivityShape = iota
+	// ShapeEvening peaks in prime time, 18:00-22:00 (paper: T1, T4).
+	ShapeEvening
+	// ShapeBusiness is roughly constant 08:00-20:00 and low at night
+	// (paper: T3).
+	ShapeBusiness
+	// ShapeDiurnal is a smooth sinusoidal day/night curve.
+	ShapeDiurnal
+)
+
+// String returns the shape name.
+func (a ActivityShape) String() string {
+	switch a {
+	case ShapeFlat:
+		return "flat"
+	case ShapeEvening:
+		return "evening-peak"
+	case ShapeBusiness:
+		return "business-hours"
+	case ShapeDiurnal:
+		return "diurnal"
+	default:
+		return "unknown"
+	}
+}
+
+// HourWeight returns the relative activity weight of local hour h (0-23)
+// for the shape. Weights are in (0, 1] and the peak hour is 1.
+func (a ActivityShape) HourWeight(h int) float64 {
+	h = ((h % 24) + 24) % 24
+	switch a {
+	case ShapeFlat:
+		return 1
+	case ShapeEvening:
+		switch {
+		case h >= 18 && h <= 22:
+			return 1
+		case h >= 8 && h < 18:
+			return 0.45 + 0.03*float64(h-8)
+		case h == 23:
+			return 0.7
+		default: // night 0-7
+			return 0.18
+		}
+	case ShapeBusiness:
+		switch {
+		case h >= 8 && h < 20:
+			return 1
+		case h >= 6 && h < 8:
+			return 0.5
+		case h >= 20 && h < 22:
+			return 0.5
+		default:
+			return 0.15
+		}
+	case ShapeDiurnal:
+		// Minimum around 04:00, maximum around 16:00.
+		return 0.55 + 0.45*math.Sin(2*math.Pi*float64(h-10)/24)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,148 @@
+package world
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iotmap/internal/geo"
+)
+
+// Property: apportion always distributes exactly n units, never goes
+// negative, and gives zero to zero-weight slots.
+func TestPropertyApportionConserves(t *testing.T) {
+	f := func(nRaw uint16, wRaw []uint8) bool {
+		n := int(nRaw % 2000)
+		if len(wRaw) == 0 {
+			wRaw = []uint8{1}
+		}
+		if len(wRaw) > 24 {
+			wRaw = wRaw[:24]
+		}
+		weights := make([]float64, len(wRaw))
+		anyPositive := false
+		for i, w := range wRaw {
+			weights[i] = float64(w)
+			if w > 0 {
+				anyPositive = true
+			}
+		}
+		out := apportion(n, weights)
+		total := 0
+		for i, v := range out {
+			if v < 0 {
+				return false
+			}
+			if anyPositive && weights[i] == 0 && v != 0 {
+				return false
+			}
+			total += v
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dealClasses yields exactly n assignments whose per-class
+// totals equal the global apportionment — and minority classes appear
+// early enough that any prefix of length ≥ ceil(1/weight_min) contains
+// at least one non-majority class (the regression behind the
+// Google-shared-servers bug: per-region apportionment starved minority
+// classes entirely).
+func TestPropertyDealClassesInterleaves(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%300) + 10
+		weights := []float64{0.58, 0.40, 0.02}
+		seq := dealClasses(n, weights)
+		if len(seq) != n {
+			return false
+		}
+		counts := make([]int, len(weights))
+		for _, ci := range seq {
+			if ci < 0 || ci >= len(weights) {
+				return false
+			}
+			counts[ci]++
+		}
+		want := classTargets(n, weights)
+		for i := range want {
+			if counts[i] != want[i] {
+				return false
+			}
+		}
+		// With n ≥ 10 the 40%-class must show up within the first 5
+		// slots: single-server regions drawing from the sequence prefix
+		// must still see a mix.
+		sawMinority := false
+		for _, ci := range seq[:5] {
+			if ci != 0 {
+				sawMinority = true
+			}
+		}
+		return sawMinority
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: a fleet spread one-server-per-region must still contain
+// every class with weight ≥ a few percent of the fleet (Google's shared
+// web frontends and Siemens' leak class vanished before the fix).
+func TestMinorityClassesSurviveSmallScale(t *testing.T) {
+	w, err := Build(Config{Seed: 19, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classCount := func(provider, class string) int {
+		n := 0
+		for _, s := range w.Providers[provider].Servers {
+			if s.Class.Name == class {
+				n++
+			}
+		}
+		return n
+	}
+	if classCount("google", "web-shared") == 0 {
+		t.Error("google lost its shared web frontends at small scale")
+	}
+	if classCount("siemens", "leak") == 0 {
+		t.Error("siemens lost its leak class at small scale")
+	}
+	if classCount("amazon", "mqtt-only") == 0 {
+		t.Error("amazon lost its mqtt-only class at small scale")
+	}
+}
+
+// apportionRegions must respect the continent mix hierarchically even
+// for tiny fleets.
+func TestApportionRegionsSpansContinents(t *testing.T) {
+	spec := Spec{
+		Footprint: Footprint{
+			Locations: 12,
+			Mix:       map[geo.Continent]float64{geo.NorthAmerica: 0.4, geo.Europe: 0.4, geo.Asia: 0.2},
+		},
+	}
+	var regions []geo.Location
+	for _, c := range []geo.Continent{geo.NorthAmerica, geo.Europe, geo.Asia} {
+		for i := 0; i < 4; i++ {
+			regions = append(regions, geo.Location{City: string(c) + string(rune('a'+i)), Country: "XX", Continent: c, Region: string(c) + string(rune('a'+i))})
+		}
+	}
+	counts := apportionRegions(spec, regions, 10)
+	perCont := map[geo.Continent]int{}
+	total := 0
+	for i, c := range counts {
+		perCont[regions[i].Continent] += c
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	for _, c := range []geo.Continent{geo.NorthAmerica, geo.Europe, geo.Asia} {
+		if perCont[c] == 0 {
+			t.Fatalf("continent %s starved: %v", c, perCont)
+		}
+	}
+}

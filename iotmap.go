@@ -1,0 +1,387 @@
+// Package iotmap reproduces "Deep Dive into the IoT Backend Ecosystem"
+// (Saidi et al., ACM IMC 2022) as a runnable system: a synthetic Internet
+// standing in for the paper's proprietary vantage points, the full
+// discovery/validation/footprint methodology of Sections 3-4, the ISP
+// traffic analyses of Section 5, and the disruption studies of Section 6.
+//
+// The package is a staged facade over the internal packages:
+//
+//	sys, _ := iotmap.New(iotmap.Config{Scale: 0.1, Lines: 10000})
+//	defer sys.Close()
+//	sys.Discover(ctx)          // Censys + IPv6 scan + DNSDB + active DNS
+//	sys.ValidateAndLocate()    // shared-IP filter, geolocation, Table 1
+//	sys.TrafficStudy()         // ISP NetFlow simulation + Figures 5-14
+//	sys.Disrupt()              // outage + BGP + blocklist, Figures 15-16
+//
+// Each stage fills the corresponding exported fields; internal/figures
+// renders them as the paper's tables and figures.
+package iotmap
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"iotmap/internal/asdb"
+	"iotmap/internal/bgpstream"
+	"iotmap/internal/blocklist"
+	"iotmap/internal/certmodel"
+	"iotmap/internal/core/discovery"
+	"iotmap/internal/core/disrupt"
+	"iotmap/internal/core/flows"
+	"iotmap/internal/core/footprint"
+	"iotmap/internal/core/patterns"
+	"iotmap/internal/core/validate"
+	"iotmap/internal/dnsdb"
+	"iotmap/internal/dnszone"
+	"iotmap/internal/isp"
+	"iotmap/internal/outage"
+	"iotmap/internal/vnet"
+	"iotmap/internal/world"
+)
+
+// Re-exported types so downstream users rarely need internal imports.
+type (
+	// Pattern is a provider domain pattern (Section 3.2).
+	Pattern = patterns.Pattern
+	// DiscoveryResult is one provider's discovered address sets.
+	DiscoveryResult = discovery.Result
+	// Row is a measured Table 1 row.
+	Row = footprint.Row
+	// Study is the finalized ISP traffic analysis.
+	Study = flows.Study
+	// OutageReport quantifies Figures 15/16.
+	OutageReport = disrupt.OutageReport
+	// DisruptionReport is the Section 6.2 summary.
+	DisruptionReport = disrupt.Report
+	// CascadeEntry is one platform's outage-window impact (§6.1's
+	// "Impact on D1-D6" check).
+	CascadeEntry = disrupt.CascadeEntry
+	// World is the synthetic ground truth.
+	World = world.World
+)
+
+// Config sizes a reproduction run.
+type Config struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Scale multiplies the paper-calibrated deployment sizes (default
+	// 0.05; 1.0 reproduces Figure 3's absolute counts).
+	Scale float64
+	// Lines is the simulated subscriber-line count (default 6000; the
+	// paper's ISP serves >15M).
+	Lines int
+	// Days is the study period (default Feb 28 - Mar 7, 2022).
+	Days []time.Time
+	// HitlistCoverage is the IPv6 hitlist's fraction of the v6 estate.
+	HitlistCoverage float64
+	// ScannerThreshold is Figure 5's exclusion threshold (default 100).
+	ScannerThreshold int
+	// SharedThreshold is the Section 3.4 non-IoT domain threshold.
+	SharedThreshold int
+	// Outage, when non-nil, injects the scenario into the traffic
+	// simulation (use world.OutageDays() as Days for the paper's week).
+	Outage *outage.Scenario
+	// SkipLiveScan disables the vnet deployment + real TLS scanning of
+	// the IPv6 estate (faster; discovery falls back to DNS channels).
+	SkipLiveScan bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Lines <= 0 {
+		c.Lines = 6000
+	}
+	if c.HitlistCoverage <= 0 {
+		c.HitlistCoverage = 0.8
+	}
+	if c.ScannerThreshold <= 0 {
+		c.ScannerThreshold = 100
+	}
+	if c.SharedThreshold <= 0 {
+		c.SharedThreshold = validate.DefaultSharedThreshold
+	}
+	return c
+}
+
+// Validation bundles the Section 3.4 ground-truth reports.
+type Validation struct {
+	// IPs holds per-provider reports for full-disclosure providers.
+	IPs map[string]validate.IPReport
+	// Prefixes holds the prefix-level report (Microsoft).
+	Prefixes map[string]validate.PrefixReport
+	// Traffic holds the active-traffic cross-check (set by Disrupt or
+	// TrafficStudy when traffic data exists).
+	Traffic map[string]validate.TrafficReport
+}
+
+// System is a staged reproduction run.
+type System struct {
+	Cfg      Config
+	World    *world.World
+	Patterns []*patterns.Pattern
+
+	// Discover outputs.
+	Discovery map[string]*discovery.Result
+	PDNS      *dnsdb.DB
+
+	// ValidateAndLocate outputs.
+	Dedicated  map[string][]netip.Addr
+	Shared     map[string][]netip.Addr
+	Located    map[string]map[netip.Addr]footprint.Located
+	Rows       map[string]footprint.Row
+	Validation Validation
+
+	// TrafficStudy outputs.
+	Net      *isp.Network
+	Contacts *flows.ContactCounter
+	Index    *flows.BackendIndex
+	Study    *flows.Study
+
+	// Disrupt outputs.
+	OutageReport *disrupt.OutageReport
+	Cascade      []disrupt.CascadeEntry
+	Disruptions  *disrupt.Report
+
+	fabric *vnet.Fabric
+}
+
+// New builds the synthetic world for a run.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	w, err := world.Build(world.Config{Seed: cfg.Seed, Scale: cfg.Scale, Days: cfg.Days})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Cfg:      cfg,
+		World:    w,
+		Patterns: patterns.All(),
+	}, nil
+}
+
+// Close releases the virtual network, if any.
+func (s *System) Close() {
+	if s.fabric != nil {
+		s.fabric.Close()
+		s.fabric = nil
+	}
+}
+
+// Discover runs the Section 3.3 source fusion.
+func (s *System) Discover(ctx context.Context) error {
+	in := discovery.Inputs{
+		Patterns: s.Patterns,
+		Censys:   s.World.BuildCensys(),
+		PDNS:     s.World.BuildDNSDB(),
+		Zones:    func(d int) *dnszone.Store { return s.World.ZoneStore(d) },
+		Views:    world.VantagePointViews,
+		Days:     s.World.Days,
+		Seed:     s.Cfg.Seed,
+	}
+	s.PDNS = in.PDNS
+	if !s.Cfg.SkipLiveScan {
+		s.fabric = vnet.New()
+		ca, err := certmodel.NewCA("IoT Backend Study CA")
+		if err != nil {
+			return err
+		}
+		if err := s.World.DeployServers(s.fabric, ca, s.World.V6Servers()); err != nil {
+			return err
+		}
+		in.Fabric = s.fabric
+		in.Hitlist = s.World.BuildHitlist(s.Cfg.HitlistCoverage)
+	}
+	res, err := discovery.Run(ctx, in)
+	if err != nil {
+		return err
+	}
+	s.Discovery = res
+	return nil
+}
+
+// ValidateAndLocate runs the Section 3.4 filters, the Section 4
+// geolocation and characterization, and the ground-truth validation.
+func (s *System) ValidateAndLocate() error {
+	if s.Discovery == nil {
+		return fmt.Errorf("iotmap: Discover must run first")
+	}
+	s.Dedicated = map[string][]netip.Addr{}
+	s.Shared = map[string][]netip.Addr{}
+	s.Located = map[string]map[netip.Addr]footprint.Located{}
+	s.Rows = map[string]footprint.Row{}
+	s.Validation = Validation{
+		IPs:      map[string]validate.IPReport{},
+		Prefixes: map[string]validate.PrefixReport{},
+		Traffic:  map[string]validate.TrafficReport{},
+	}
+	period := dnsdb.TimeRange{From: s.World.Days[0], To: s.World.Days[len(s.World.Days)-1].Add(24 * time.Hour)}
+	for _, p := range s.Patterns {
+		id := p.ProviderID()
+		res := s.Discovery[id]
+		union := res.Union()
+		addrs := res.UnionAddrs()
+		ded, shared, _ := validate.FilterShared(addrs, s.Patterns, s.PDNS, period, s.Cfg.SharedThreshold)
+		s.Dedicated[id] = ded
+		s.Shared[id] = shared
+
+		located := footprint.Geolocate(p, union, s.World.Geo, s.World.GeoVotes)
+		s.Located[id] = located
+		// Characterize over the dedicated set only (Section 5 uses only
+		// exclusively-IoT infrastructure).
+		dedUnion := map[netip.Addr]*discovery.AddrInfo{}
+		for _, a := range ded {
+			dedUnion[a] = union[a]
+		}
+		s.Rows[id] = footprint.Characterize(id, dedUnion, located, s.World.AS)
+
+		// Ground truth.
+		if disclosed := s.World.DisclosedIPs(id); disclosed != nil {
+			s.Validation.IPs[id] = validate.AgainstIPs(addrs, disclosed)
+		}
+		if prefixes := s.World.DisclosedPrefixes(id); prefixes != nil {
+			s.Validation.Prefixes[id] = validate.AgainstPrefixes(addrs, prefixes)
+		}
+	}
+	return nil
+}
+
+// TrafficStudy simulates the ISP week and runs the two-pass flow
+// analysis over the validated backend sets.
+func (s *System) TrafficStudy() error {
+	if s.Rows == nil {
+		return fmt.Errorf("iotmap: ValidateAndLocate must run first")
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: s.Cfg.Seed, Lines: s.Cfg.Lines}, s.World)
+	if err != nil {
+		return err
+	}
+	if s.Cfg.Outage != nil {
+		net.Modifier = s.Cfg.Outage.Modifier(s.Cfg.Seed)
+	}
+	s.Net = net
+
+	idx := flows.NewBackendIndex()
+	for _, p := range s.Patterns {
+		id := p.ProviderID()
+		alias := s.World.AliasOf(id)
+		union := s.Discovery[id].Union()
+		located := s.Located[id]
+		for _, a := range s.Dedicated[id] {
+			loc := located[a]
+			certFound := union[a] != nil && union[a].Sources.Has(discovery.SrcCert)
+			idx.Add(a, alias, loc.Location.Continent, loc.Location.Region, certFound)
+		}
+	}
+	s.Index = idx
+
+	cc := flows.NewContactCounter(idx)
+	net.Simulate(cc.Ingest)
+	s.Contacts = cc
+
+	focusAlias, focusRegion := "", ""
+	if s.Cfg.Outage != nil {
+		focusAlias, focusRegion = "T1", s.Cfg.Outage.Region
+	} else {
+		focusAlias, focusRegion = "T1", "us-east-1"
+	}
+	col := flows.NewCollector(idx, s.World.Days, flows.Options{
+		Excluded:     cc.Scanners(s.Cfg.ScannerThreshold),
+		SamplingRate: net.Cfg.SamplingRate,
+		FocusAlias:   focusAlias,
+		FocusRegion:  focusRegion,
+	})
+	net.Simulate(col.Ingest)
+	s.Study = col.Study()
+
+	// Traffic cross-check for the prefix-disclosing providers
+	// (Section 3.4's "52 active IPs, 4 missed, <1% volume").
+	volumes := s.Study.BackendVolumes()
+	for id := range s.Validation.Prefixes {
+		perProvider := map[netip.Addr]float64{}
+		for a, v := range volumes {
+			if srv, ok := s.World.ServerAt(a); ok && srv.Provider == id {
+				perProvider[a] = v
+			}
+		}
+		s.Validation.Traffic[id] = validate.AgainstTraffic(s.Discovery[id].UnionAddrs(), perProvider)
+	}
+	return nil
+}
+
+// Disrupt runs the Section 6 analyses: the outage report when the run
+// was configured with a scenario, and the BGP/blocklist checks.
+func (s *System) Disrupt() error {
+	if s.Study == nil {
+		return fmt.Errorf("iotmap: TrafficStudy must run first")
+	}
+	if s.Cfg.Outage != nil {
+		rep, err := disrupt.AnalyzeOutage(s.Study, *s.Cfg.Outage, s.World.Days)
+		if err != nil {
+			return err
+		}
+		s.OutageReport = &rep
+		s.Cascade = disrupt.AnalyzeCascade(s.Study, *s.Cfg.Outage)
+	}
+	avoid := map[asdb.ASN]struct{}{}
+	for _, as := range s.World.AS.ASes() {
+		avoid[as.Number] = struct{}{}
+	}
+	cfg := bgpstream.PaperWeek(s.World.Days)
+	cfg.AvoidASNs = avoid
+	feed, err := bgpstream.Generate(cfg, s.Cfg.Seed)
+	if err != nil {
+		return err
+	}
+	agg := blocklist.BuildFireHOL(s.World, s.Cfg.Seed)
+	var addrs []netip.Addr
+	owners := map[netip.Addr]string{}
+	for id, ded := range s.Dedicated {
+		for _, a := range ded {
+			addrs = append(addrs, a)
+			owners[a] = id
+		}
+	}
+	rep := disrupt.Analyze(feed, agg, addrs, s.World.AS, func(a netip.Addr) string { return owners[a] })
+	s.Disruptions = &rep
+	return nil
+}
+
+// RunAll executes every stage.
+func (s *System) RunAll(ctx context.Context) error {
+	if err := s.Discover(ctx); err != nil {
+		return err
+	}
+	if err := s.ValidateAndLocate(); err != nil {
+		return err
+	}
+	if err := s.TrafficStudy(); err != nil {
+		return err
+	}
+	return s.Disrupt()
+}
+
+// ProviderIDs returns the providers in Table 1 order.
+func (s *System) ProviderIDs() []string { return append([]string(nil), s.World.Order...) }
+
+// AliasOf maps a provider ID to its anonymized label.
+func (s *System) AliasOf(id string) string { return s.World.AliasOf(id) }
+
+// AWSOutageScenario returns the paper's Dec 7 2021 scenario positioned
+// within world.OutageDays().
+func AWSOutageScenario() *outage.Scenario {
+	sc := outage.AWSUSEast1(4)
+	return &sc
+}
+
+// OutageStudyDays returns the December 2021 study period.
+func OutageStudyDays() []time.Time { return world.OutageDays() }
+
+// StudyDays returns the primary February/March 2022 study period.
+func StudyDays() []time.Time { return world.StudyDays() }

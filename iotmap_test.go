@@ -1,0 +1,150 @@
+package iotmap_test
+
+import (
+	"context"
+	"testing"
+
+	"iotmap"
+)
+
+// TestStageOrdering: stages must refuse to run out of order.
+func TestStageOrdering(t *testing.T) {
+	sys, err := iotmap.New(iotmap.Config{Seed: 3, Scale: 0.02, Lines: 500, SkipLiveScan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.ValidateAndLocate(); err == nil {
+		t.Fatal("ValidateAndLocate ran before Discover")
+	}
+	if err := sys.TrafficStudy(); err == nil {
+		t.Fatal("TrafficStudy ran before ValidateAndLocate")
+	}
+	if err := sys.Disrupt(); err == nil {
+		t.Fatal("Disrupt ran before TrafficStudy")
+	}
+	ctx := context.Background()
+	if err := sys.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrafficStudy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Disrupt(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Disruptions == nil {
+		t.Fatal("no disruption report")
+	}
+	if sys.OutageReport != nil {
+		t.Fatal("outage report without an outage scenario")
+	}
+	if sys.Cascade != nil {
+		t.Fatal("cascade entries without an outage scenario")
+	}
+}
+
+// TestConfigDefaults: zero config must resolve to usable defaults.
+func TestConfigDefaults(t *testing.T) {
+	sys, err := iotmap.New(iotmap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if len(sys.World.Days) != 8 {
+		t.Fatalf("default study period = %d days", len(sys.World.Days))
+	}
+	if got := len(sys.ProviderIDs()); got != 16 {
+		t.Fatalf("providers = %d", got)
+	}
+	if sys.AliasOf("google") != "T2" {
+		t.Fatal("alias mapping broken")
+	}
+}
+
+// TestDeterministicRuns: two identical configs produce identical
+// discovery sets and traffic aggregates.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() *iotmap.System {
+		sys, err := iotmap.New(iotmap.Config{Seed: 9, Scale: 0.02, Lines: 800, SkipLiveScan: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Discover(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.ValidateAndLocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.TrafficStudy(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a := run()
+	defer a.Close()
+	b := run()
+	defer b.Close()
+	for _, id := range a.ProviderIDs() {
+		ua, ub := a.Discovery[id].UnionAddrs(), b.Discovery[id].UnionAddrs()
+		if len(ua) != len(ub) {
+			t.Fatalf("%s: union sizes differ (%d vs %d)", id, len(ua), len(ub))
+		}
+		for i := range ua {
+			if ua[i] != ub[i] {
+				t.Fatalf("%s: address %d differs", id, i)
+			}
+		}
+	}
+	if a.Study.Downstream("T1").Total() != b.Study.Downstream("T1").Total() {
+		t.Fatal("traffic totals differ across identical runs")
+	}
+}
+
+// TestScenarioHelpers: the exported scenario constructors line up with
+// the December study period.
+func TestScenarioHelpers(t *testing.T) {
+	days := iotmap.OutageStudyDays()
+	if len(days) != 8 || days[0].Month() != 12 || days[0].Day() != 3 {
+		t.Fatalf("outage days = %v", days[0])
+	}
+	sc := iotmap.AWSOutageScenario()
+	start, end, err := sc.Window(days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start.Day() != 7 || end.Day() != 7 {
+		t.Fatalf("scenario window = %v..%v, want Dec 7", start, end)
+	}
+	study := iotmap.StudyDays()
+	if len(study) != 8 || study[0].Month() != 2 || study[0].Day() != 28 {
+		t.Fatalf("study days = %v", study[0])
+	}
+}
+
+// TestSkipLiveScanStillDiscoversV6: without the live scan, IPv6 backends
+// are still reachable through the DNS channels.
+func TestSkipLiveScanStillDiscoversV6(t *testing.T) {
+	sys, err := iotmap.New(iotmap.Config{Seed: 4, Scale: 0.05, SkipLiveScan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	v6 := 0
+	for _, id := range sys.ProviderIDs() {
+		for _, a := range sys.Discovery[id].UnionAddrs() {
+			if a.Is6() && !a.Is4In6() {
+				v6++
+			}
+		}
+	}
+	if v6 == 0 {
+		t.Fatal("no IPv6 discovered via DNS channels")
+	}
+}
