@@ -10,6 +10,7 @@ package iotmap_test
 import (
 	"context"
 	"net/netip"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -336,22 +337,7 @@ func BenchmarkAblationSharedThreshold(b *testing.B) {
 }
 
 func benchName(prefix string, v int) string {
-	switch v {
-	case 10:
-		return prefix + "-10"
-	case 100:
-		return prefix + "-100"
-	case 1000:
-		return prefix + "-1000"
-	case 2:
-		return prefix + "-2"
-	case 5:
-		return prefix + "-5"
-	case 20:
-		return prefix + "-20"
-	default:
-		return prefix
-	}
+	return prefix + "-" + strconv.Itoa(v)
 }
 
 // validateFilter adapts the §3.4 filter for the ablation bench.

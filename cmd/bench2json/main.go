@@ -1,0 +1,135 @@
+// Command bench2json runs the repository's benchmarks and records the
+// results as JSON, so the performance trajectory of the pipeline is
+// committed alongside the code (BENCH_PR1.json and successors).
+//
+// Usage:
+//
+//	go run ./cmd/bench2json -bench 'BenchmarkStage' -out BENCH_PR1.json
+//	go test -bench=. -benchmem . | go run ./cmd/bench2json -stdin -out out.json
+//
+// The output maps benchmark name to ns/op, B/op, allocs/op, and any
+// custom metrics (addrs, scanners, ...), plus the runs counter and the
+// environment header go test prints.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, parsed.
+type Result struct {
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	// Env carries the goos/goarch/pkg/cpu header lines.
+	Env map[string]string `json:"env"`
+	// Benchmarks maps benchmark name (without the Benchmark prefix and
+	// -N proc suffix) to its parsed result.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkStage", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "value passed to -benchtime (empty = go test default)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "", "output file (default stdout)")
+	stdin := flag.Bool("stdin", false, "parse go test -bench output from stdin instead of running go test")
+	flag.Parse()
+
+	var src io.Reader
+	if *stdin {
+		src = os.Stdin
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", *pkg}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: go test: %v\n", err)
+			os.Exit(1)
+		}
+		src = strings.NewReader(string(outBytes))
+	}
+
+	report, err := Parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output into a Report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}, Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok && (k == "goos" || k == "goarch" || k == "pkg" || k == "cpu") {
+			rep.Env[k] = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the GOMAXPROCS suffix go test appends ("-8").
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		res := Result{Runs: runs, Metrics: map[string]float64{}}
+		// Remaining fields come in value/unit pairs: 12345 ns/op 67 B/op ...
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return rep, nil
+}

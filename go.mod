@@ -1,0 +1,3 @@
+module iotmap
+
+go 1.22

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"iotmap/internal/certmodel"
+	"iotmap/internal/dnsmsg"
 	"iotmap/internal/geo"
 	"iotmap/internal/proto"
 )
@@ -45,6 +46,14 @@ type Snapshot struct {
 	Date    time.Time
 	records []Record
 	byAddr  map[netip.Addr][]int
+	// certNames caches each record's regex match candidates (trailing-dot,
+	// wildcard-expanded), computed once at ingest; nil for cert-less
+	// records.
+	certNames [][]string
+	// byDomain buckets cert-bearing record indices by the registered
+	// domain of each match candidate, the suffix index behind
+	// SearchCertsAnchored. Index lists are ascending and deduplicated.
+	byDomain map[string][]int
 }
 
 // NewSnapshot builds a snapshot for date from records.
@@ -58,8 +67,22 @@ func NewSnapshot(date time.Time, records []Record) *Snapshot {
 		return a.Port < b.Port
 	})
 	s.byAddr = make(map[netip.Addr][]int)
+	s.certNames = make([][]string, len(s.records))
+	s.byDomain = make(map[string][]int)
 	for i, r := range s.records {
 		s.byAddr[r.Addr] = append(s.byAddr[r.Addr], i)
+		if r.Cert == nil {
+			continue
+		}
+		names := r.Cert.MatchCandidates()
+		s.certNames[i] = names
+		for _, n := range names {
+			rd := dnsmsg.RegisteredDomain(n)
+			bucket := s.byDomain[rd]
+			if len(bucket) == 0 || bucket[len(bucket)-1] != i {
+				s.byDomain[rd] = append(bucket, i)
+			}
+		}
 	}
 	return s
 }
@@ -82,7 +105,9 @@ func (s *Snapshot) ByAddr(a netip.Addr) []Record {
 
 // SearchCerts returns records whose certificate names match re and whose
 // certificate is valid on the snapshot date — the paper only uses
-// certificates "valid during the study period".
+// certificates "valid during the study period". This is the reference
+// full-scan path; SearchCertsAnchored returns identical results faster
+// when the pattern carries literal anchors.
 func (s *Snapshot) SearchCerts(re *regexp.Regexp) []Record {
 	var out []Record
 	for _, r := range s.records {
@@ -94,6 +119,47 @@ func (s *Snapshot) SearchCerts(re *regexp.Regexp) []Record {
 		}
 		if r.Cert.MatchesRegexp(re) {
 			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SearchCertsAnchored is SearchCerts restricted to the records whose
+// certificate carries a name under one of the anchor registered domains
+// (patterns.Pattern.Anchors). Because an anchored regex can only match
+// names ending in its literal suffix, pruning to the anchor buckets never
+// drops a match and the result is byte-identical to SearchCerts(re). An
+// empty anchor list falls back to the full scan.
+func (s *Snapshot) SearchCertsAnchored(re *regexp.Regexp, anchors []string) []Record {
+	if len(anchors) == 0 {
+		return s.SearchCerts(re)
+	}
+	var cand []int
+	if len(anchors) == 1 {
+		cand = s.byDomain[anchors[0]]
+	} else {
+		seen := map[int]struct{}{}
+		for _, a := range anchors {
+			for _, i := range s.byDomain[a] {
+				if _, dup := seen[i]; !dup {
+					seen[i] = struct{}{}
+					cand = append(cand, i)
+				}
+			}
+		}
+		sort.Ints(cand)
+	}
+	var out []Record
+	for _, i := range cand {
+		r := s.records[i]
+		if !r.Cert.ValidAt(s.Date) {
+			continue
+		}
+		for _, n := range s.certNames[i] {
+			if re.MatchString(n) {
+				out = append(out, r)
+				break
+			}
 		}
 	}
 	return out

@@ -68,18 +68,26 @@ func (s Spec) AllNames() []string {
 	return out
 }
 
-// MatchesRegexp reports whether any certificate name matches re. Wildcard
-// names are expanded with a representative label, mirroring how the paper
+// MatchCandidates returns the exact strings the domain regexes are run
+// against: every certificate name in trailing-dot FQDN form, with wildcard
+// names expanded with a representative label, mirroring how the paper
 // matches "*.iot.us-east-1.amazonaws.com" style SANs against its domain
-// regexes.
-func (s Spec) MatchesRegexp(re *regexp.Regexp) bool {
-	for _, n := range s.AllNames() {
-		candidate := n
-		if strings.HasPrefix(candidate, "*.") {
-			candidate = "wildcard" + candidate[1:]
+// regexes. Index builders cache this slice so matching never re-derives it.
+func (s Spec) MatchCandidates() []string {
+	names := s.AllNames()
+	for i, n := range names {
+		if strings.HasPrefix(n, "*.") {
+			n = "wildcard" + n[1:]
 		}
-		// The paper's regexes anchor on trailing-dot FQDNs.
-		if re.MatchString(candidate + ".") {
+		names[i] = n + "."
+	}
+	return names
+}
+
+// MatchesRegexp reports whether any certificate name matches re.
+func (s Spec) MatchesRegexp(re *regexp.Regexp) bool {
+	for _, c := range s.MatchCandidates() {
+		if re.MatchString(c) {
 			return true
 		}
 	}

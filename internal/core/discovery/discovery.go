@@ -9,9 +9,12 @@ package discovery
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"iotmap/internal/censys"
@@ -178,7 +181,32 @@ type Inputs struct {
 	Seed  int64
 }
 
-// Run executes discovery for every provider pattern.
+// compiled carries the per-pattern state Run precomputes once instead of
+// per day: the precompiled (anchored) PDNS query and the full-period name
+// set active resolution always targets.
+type compiled struct {
+	p *patterns.Pattern
+	// q is the precompiled Flexible Search handle; nil for fixed-FQDN
+	// providers, which use Basic Search.
+	q *dnsdb.Query
+	// wholeNames is every rrname DNSDB has ever seen for the provider
+	// (day-independent, so queried once for the whole study period).
+	wholeNames []string
+}
+
+// dayOutput is one day's discovery for every pattern, produced by a
+// worker and merged in day order.
+type dayOutput struct {
+	drs   []*DayResult // parallel to in.Patterns
+	gains []float64    // per-pattern VP gain contribution (0 when none)
+	err   error
+}
+
+// Run executes discovery for every provider pattern. Study days are
+// independent given the precomputed per-pattern state, so they run on a
+// bounded worker pool; results are merged in day order, making the output
+// deterministic regardless of scheduling. Inputs must be safe for
+// concurrent reads (the stock censys/dnsdb/world implementations are).
 func Run(ctx context.Context, in Inputs) (map[string]*Result, error) {
 	if len(in.Days) == 0 {
 		return nil, fmt.Errorf("discovery: no study days")
@@ -194,125 +222,210 @@ func Run(ctx context.Context, in Inputs) (map[string]*Result, error) {
 		return nil, err
 	}
 
-	for di, day := range in.Days {
-		// Build the day's authoritative servers once, shared across
-		// providers.
-		var zoneSrvs []*dnszone.Server
-		if in.Zones != nil {
-			store := in.Zones(di)
-			for _, view := range in.Views {
-				zoneSrvs = append(zoneSrvs, dnszone.NewLocalServer(store, view))
+	cps := make([]*compiled, len(in.Patterns))
+	for i, p := range in.Patterns {
+		cp := &compiled{p: p}
+		if in.PDNS != nil {
+			if len(p.Doc.FixedFQDNs) == 0 {
+				cp.q, err = dnsdb.CompileQuery(p.Regex.String(), p.Anchors()...)
+				if err != nil {
+					return nil, err
+				}
 			}
+			// Active resolution targets every name DNSDB has ever seen
+			// for the provider, not just one day's sightings.
+			whole := queryPDNS(in.PDNS, cp, dnsdb.TimeRange{})
+			set := map[string]struct{}{}
+			for _, o := range whole {
+				set[o.RRName] = struct{}{}
+			}
+			cp.wholeNames = sortedNames(set)
 		}
-		var snap *censys.Snapshot
-		if in.Censys != nil {
-			snap, err = in.Censys.Get(day)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for _, p := range in.Patterns {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			dr := &DayResult{Provider: p.ProviderID(), Day: day, Addrs: map[netip.Addr]*AddrInfo{}}
-			res := results[p.ProviderID()]
+		cps[i] = cp
+	}
 
-			// (1) Certificates from the IPv4 snapshots.
-			if snap != nil {
-				for _, rec := range snap.SearchCerts(p.Regex) {
-					ai := dr.info(rec.Addr)
-					ai.Sources |= SrcCert
-					ai.Ports[proto.PortKey{Transport: rec.Transport, Port: rec.Port}] = rec.Protocol
-					for _, n := range rec.Cert.AllNames() {
-						ai.Names[dnsmsg.CanonicalName(n)] = struct{}{}
-					}
-					// Harvest co-located open ports for the protocol
-					// column (the scan saw the whole endpoint).
-					for _, sib := range snap.ByAddr(rec.Addr) {
-						ai.Ports[proto.PortKey{Transport: sib.Transport, Port: sib.Port}] = sib.Protocol
-					}
+	outs := make([]dayOutput, len(in.Days))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(in.Days) {
+		workers = len(in.Days)
+	}
+	// The first failing day cancels the rest of the pool, so an error on
+	// day 0 of a long study does not pay for the remaining days.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	dayCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for di := range dayCh {
+				outs[di] = runDay(runCtx, in, cps, v6ByProvider, di)
+				if outs[di].err != nil {
+					cancel()
 				}
 			}
-			// (2) Custom IPv6 scan results apply to every day.
-			for _, hit := range v6ByProvider[p.ProviderID()] {
-				ai := dr.info(hit.addr)
-				ai.Sources |= SrcCert
-				ai.Ports[hit.port] = hit.protocol
-				for _, n := range hit.names {
-					ai.Names[n] = struct{}{}
-				}
-			}
-			// (3) Passive DNS.
-			names := map[string]struct{}{}
-			if in.PDNS != nil {
-				tr := dnsdb.TimeRange{From: day, To: day.Add(24 * time.Hour)}
-				obs, err := queryPDNS(in.PDNS, p, tr)
-				if err != nil {
-					return nil, err
-				}
-				for _, o := range obs {
-					names[o.RRName] = struct{}{}
-					if a, ok := o.Addr(); ok {
-						ai := dr.info(a)
-						ai.Sources |= SrcPDNS
-						ai.Names[o.RRName] = struct{}{}
-					}
-				}
-				// Active resolution targets every name DNSDB has ever
-				// seen for the provider, not just today's sightings.
-				whole, err := queryPDNS(in.PDNS, p, dnsdb.TimeRange{})
-				if err != nil {
-					return nil, err
-				}
-				for _, o := range whole {
-					names[o.RRName] = struct{}{}
-				}
-			}
-			// (4) Daily active resolution from every vantage point.
-			if len(zoneSrvs) > 0 && len(names) > 0 {
-				perVP := resolveAll(zoneSrvs, in.Views, sortedNames(names), in.Seed+int64(di))
-				firstVP := map[netip.Addr]struct{}{}
-				allVP := map[netip.Addr]struct{}{}
-				for vi, view := range in.Views {
-					for name, addrs := range perVP[view] {
-						for _, a := range addrs {
-							ai := dr.info(a)
-							ai.Sources |= SrcActive
-							ai.Names[name] = struct{}{}
-							allVP[a] = struct{}{}
-							if vi == 0 {
-								firstVP[a] = struct{}{}
-							}
-						}
-					}
-				}
-				if len(firstVP) > 0 {
-					gain := float64(len(allVP))/float64(len(firstVP)) - 1
-					// Track the mean daily gain.
-					res.VPGain += gain / float64(len(in.Days))
-				}
-			}
-			res.Days = append(res.Days, dr)
+		}()
+	}
+	for di := range in.Days {
+		dayCh <- di
+	}
+	close(dayCh)
+	wg.Wait()
+
+	// Prefer the first real failure in day order; cancellation errors in
+	// other days are just the pool shutting down behind it.
+	var firstCancel error
+	for di := range in.Days {
+		err := outs[di].err
+		if err == nil {
+			continue
 		}
-		for _, s := range zoneSrvs {
-			_ = s.Close()
+		if errors.Is(err, context.Canceled) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if firstCancel != nil {
+		return nil, firstCancel
+	}
+
+	// Deterministic merge: day order, then pattern order — the exact
+	// sequence the sequential loop produced.
+	for di := range in.Days {
+		for pi, p := range in.Patterns {
+			res := results[p.ProviderID()]
+			res.Days = append(res.Days, outs[di].drs[pi])
+			res.VPGain += outs[di].gains[pi]
 		}
 	}
 	return results, nil
 }
 
+// runDay performs one study day's discovery across every pattern.
+func runDay(ctx context.Context, in Inputs, cps []*compiled, v6ByProvider map[string][]v6Hit, di int) dayOutput {
+	day := in.Days[di]
+	out := dayOutput{drs: make([]*DayResult, len(cps)), gains: make([]float64, len(cps))}
+	if err := ctx.Err(); err != nil {
+		out.err = err
+		return out
+	}
+
+	// Build the day's authoritative servers once, shared across
+	// providers.
+	var zoneSrvs []*dnszone.Server
+	if in.Zones != nil {
+		store := in.Zones(di)
+		for _, view := range in.Views {
+			zoneSrvs = append(zoneSrvs, dnszone.NewLocalServer(store, view))
+		}
+		defer func() {
+			for _, s := range zoneSrvs {
+				_ = s.Close()
+			}
+		}()
+	}
+	var snap *censys.Snapshot
+	if in.Censys != nil {
+		var err error
+		snap, err = in.Censys.Get(day)
+		if err != nil {
+			out.err = err
+			return out
+		}
+	}
+	for pi, cp := range cps {
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		p := cp.p
+		dr := &DayResult{Provider: p.ProviderID(), Day: day, Addrs: map[netip.Addr]*AddrInfo{}}
+
+		// (1) Certificates from the IPv4 snapshots.
+		if snap != nil {
+			for _, rec := range snap.SearchCertsAnchored(p.Regex, p.Anchors()) {
+				ai := dr.info(rec.Addr)
+				ai.Sources |= SrcCert
+				ai.Ports[proto.PortKey{Transport: rec.Transport, Port: rec.Port}] = rec.Protocol
+				for _, n := range rec.Cert.AllNames() {
+					ai.Names[dnsmsg.CanonicalName(n)] = struct{}{}
+				}
+				// Harvest co-located open ports for the protocol
+				// column (the scan saw the whole endpoint).
+				for _, sib := range snap.ByAddr(rec.Addr) {
+					ai.Ports[proto.PortKey{Transport: sib.Transport, Port: sib.Port}] = sib.Protocol
+				}
+			}
+		}
+		// (2) Custom IPv6 scan results apply to every day.
+		for _, hit := range v6ByProvider[p.ProviderID()] {
+			ai := dr.info(hit.addr)
+			ai.Sources |= SrcCert
+			ai.Ports[hit.port] = hit.protocol
+			for _, n := range hit.names {
+				ai.Names[n] = struct{}{}
+			}
+		}
+		// (3) Passive DNS.
+		names := map[string]struct{}{}
+		if in.PDNS != nil {
+			tr := dnsdb.TimeRange{From: day, To: day.Add(24 * time.Hour)}
+			for _, o := range queryPDNS(in.PDNS, cp, tr) {
+				names[o.RRName] = struct{}{}
+				if a, ok := o.Addr(); ok {
+					ai := dr.info(a)
+					ai.Sources |= SrcPDNS
+					ai.Names[o.RRName] = struct{}{}
+				}
+			}
+			for _, n := range cp.wholeNames {
+				names[n] = struct{}{}
+			}
+		}
+		// (4) Daily active resolution from every vantage point.
+		if len(zoneSrvs) > 0 && len(names) > 0 {
+			perVP := resolveAll(zoneSrvs, in.Views, sortedNames(names), in.Seed+int64(di))
+			firstVP := map[netip.Addr]struct{}{}
+			allVP := map[netip.Addr]struct{}{}
+			for vi, view := range in.Views {
+				for name, addrs := range perVP[view] {
+					for _, a := range addrs {
+						ai := dr.info(a)
+						ai.Sources |= SrcActive
+						ai.Names[name] = struct{}{}
+						allVP[a] = struct{}{}
+						if vi == 0 {
+							firstVP[a] = struct{}{}
+						}
+					}
+				}
+			}
+			if len(firstVP) > 0 {
+				gain := float64(len(allVP))/float64(len(firstVP)) - 1
+				// Contribution to the mean daily gain.
+				out.gains[pi] = gain / float64(len(in.Days))
+			}
+		}
+		out.drs[pi] = dr
+	}
+	return out
+}
+
 // queryPDNS runs the provider's documented query style: Basic Search for
-// fixed-FQDN providers, Flexible Search otherwise.
-func queryPDNS(db *dnsdb.DB, p *patterns.Pattern, tr dnsdb.TimeRange) ([]dnsdb.Observation, error) {
-	if fixed := p.Doc.FixedFQDNs; len(fixed) > 0 {
+// fixed-FQDN providers, the precompiled Flexible Search otherwise.
+func queryPDNS(db *dnsdb.DB, cp *compiled, tr dnsdb.TimeRange) []dnsdb.Observation {
+	if fixed := cp.p.Doc.FixedFQDNs; len(fixed) > 0 {
 		var out []dnsdb.Observation
 		for _, f := range fixed {
 			out = append(out, db.BasicSearch(f, 0, tr)...)
 		}
-		return out, nil
+		return out
 	}
-	return db.FlexibleSearch(p.Regex.String(), 0, tr)
+	return db.FlexibleSearchQuery(cp.q, 0, tr)
 }
 
 func sortedNames(set map[string]struct{}) []string {

@@ -34,7 +34,7 @@ func runOutageStudy(t *testing.T) (*world.World, OutageReport) {
 		t.Fatal(err)
 	}
 	sc := outage.AWSUSEast1(4) // Dec 7 within Dec 3-10
-	net.Modifier = sc.Modifier(51)
+	net.Modifier = sc.Modifier()
 
 	idx := flows.NewBackendIndex()
 	for _, s := range w.AllServers() {
@@ -192,7 +192,7 @@ func TestCascadeWhatIfEUOutage(t *testing.T) {
 	sc := outage.AWSUSEast1(4)
 	sc.Name = "what-if-eu-central-1"
 	sc.Region = "eu-central-1"
-	net.Modifier = sc.Modifier(53)
+	net.Modifier = sc.Modifier()
 
 	idx := flows.NewBackendIndex()
 	for _, s := range w.AllServers() {
@@ -219,7 +219,7 @@ func cachedStudyForCascade(t *testing.T) *flows.Study {
 		t.Fatal(err)
 	}
 	sc := outage.AWSUSEast1(4)
-	net.Modifier = sc.Modifier(51)
+	net.Modifier = sc.Modifier()
 	idx := flows.NewBackendIndex()
 	for _, s := range w.AllServers() {
 		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())

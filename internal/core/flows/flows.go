@@ -24,45 +24,44 @@ import (
 	"iotmap/internal/proto"
 )
 
+// backendInfo is everything the collector knows about one backend IP.
+type backendInfo struct {
+	alias     string
+	cont      geo.Continent
+	region    string
+	certFound bool
+}
+
 // BackendIndex is the collector's view of the discovered, validated
 // backend IPs: owner alias, location, region code, and whether the
-// TLS-certificate channel alone would have found the address.
+// TLS-certificate channel alone would have found the address. One map
+// keyed by address holds all of it, so classifying a flow record costs a
+// single hash lookup per direction.
 type BackendIndex struct {
-	owner     map[netip.Addr]string
-	cont      map[netip.Addr]geo.Continent
-	region    map[netip.Addr]string
-	certFound map[netip.Addr]bool
+	info map[netip.Addr]backendInfo
 }
 
 // NewBackendIndex returns an empty index.
 func NewBackendIndex() *BackendIndex {
-	return &BackendIndex{
-		owner:     map[netip.Addr]string{},
-		cont:      map[netip.Addr]geo.Continent{},
-		region:    map[netip.Addr]string{},
-		certFound: map[netip.Addr]bool{},
-	}
+	return &BackendIndex{info: map[netip.Addr]backendInfo{}}
 }
 
 // Add registers one backend address under its anonymized alias.
 func (b *BackendIndex) Add(addr netip.Addr, alias string, cont geo.Continent, region string, certFound bool) {
-	b.owner[addr] = alias
-	b.cont[addr] = cont
-	b.region[addr] = region
-	b.certFound[addr] = certFound
+	b.info[addr] = backendInfo{alias: alias, cont: cont, region: region, certFound: certFound}
 }
 
 // Owner returns the alias owning addr ("" if unknown).
-func (b *BackendIndex) Owner(addr netip.Addr) string { return b.owner[addr] }
+func (b *BackendIndex) Owner(addr netip.Addr) string { return b.info[addr].alias }
 
 // Size returns the number of indexed addresses.
-func (b *BackendIndex) Size() int { return len(b.owner) }
+func (b *BackendIndex) Size() int { return len(b.info) }
 
 // Aliases returns the sorted alias list.
 func (b *BackendIndex) Aliases() []string {
 	seen := map[string]struct{}{}
-	for _, a := range b.owner {
-		seen[a] = struct{}{}
+	for _, bi := range b.info {
+		seen[bi.alias] = struct{}{}
 	}
 	out := make([]string, 0, len(seen))
 	for a := range seen {
@@ -75,14 +74,14 @@ func (b *BackendIndex) Aliases() []string {
 // TotalPerAlias counts indexed addresses per alias, split by family.
 func (b *BackendIndex) TotalPerAlias() map[string][2]int {
 	out := map[string][2]int{}
-	for addr, alias := range b.owner {
-		c := out[alias]
+	for addr, bi := range b.info {
+		c := out[bi.alias]
 		if addr.Is4() || addr.Is4In6() {
 			c[0]++
 		} else {
 			c[1]++
 		}
-		out[alias] = c
+		out[bi.alias] = c
 	}
 	return out
 }
@@ -105,12 +104,11 @@ func NewContactCounter(idx *BackendIndex) *ContactCounter {
 // Ingest processes one record.
 func (c *ContactCounter) Ingest(r netflow.Record) {
 	var line, backend netip.Addr
-	switch {
-	case c.idx.owner[r.Dst] != "":
+	if _, ok := c.idx.info[r.Dst]; ok {
 		line, backend = r.Src, r.Dst
-	case c.idx.owner[r.Src] != "":
+	} else if _, ok := c.idx.info[r.Src]; ok {
 		line, backend = r.Dst, r.Src
-	default:
+	} else {
 		return
 	}
 	set, ok := c.contacts[line]
@@ -145,7 +143,7 @@ type CurvePoint struct {
 // Curve sweeps scanner thresholds (Figure 5's two axes).
 func (c *ContactCounter) Curve(thresholds []int) []CurvePoint {
 	totalV4 := 0
-	for addr := range c.idx.owner {
+	for addr := range c.idx.info {
 		if addr.Is4() || addr.Is4In6() {
 			totalV4++
 		}
@@ -302,19 +300,19 @@ func contBit(c geo.Continent) uint8 {
 func (c *Collector) Ingest(r netflow.Record) {
 	var line, backend netip.Addr
 	var downstream bool
-	switch {
-	case c.idx.owner[r.Src] != "":
+	bi, ok := c.idx.info[r.Src]
+	if ok {
 		backend, line = r.Src, r.Dst
 		downstream = true
-	case c.idx.owner[r.Dst] != "":
+	} else if bi, ok = c.idx.info[r.Dst]; ok {
 		line, backend = r.Src, r.Dst
-	default:
+	} else {
 		return
 	}
 	if _, skip := c.excluded[line]; skip {
 		return
 	}
-	alias := c.idx.owner[backend]
+	alias := bi.alias
 	hour := int(r.Start.Sub(c.days[0]).Hours())
 	if hour < 0 || hour >= c.hours {
 		return
@@ -383,7 +381,7 @@ func (c *Collector) Ingest(r netflow.Record) {
 	}
 	lak := lineAliasKey{line: line, alias: alias}
 	c.lineAliases[lak] = struct{}{}
-	if c.idx.certFound[backend] {
+	if bi.certFound {
 		c.lineCertSeen[lak] = struct{}{}
 	}
 	if downstream {
@@ -405,7 +403,7 @@ func (c *Collector) Ingest(r netflow.Record) {
 	c.backendVol[backend] += bytes
 
 	// Continent bookkeeping.
-	cont := c.idx.cont[backend]
+	cont := bi.cont
 	c.lineConts[line] |= contBit(cont)
 	c.contVol[cont] += bytes
 
@@ -416,7 +414,7 @@ func (c *Collector) Ingest(r netflow.Record) {
 		}
 		c.focusLinesAll[hour][line] = struct{}{}
 		switch {
-		case c.idx.region[backend] == c.focusRegion:
+		case bi.region == c.focusRegion:
 			if downstream {
 				c.focusDownRegion.Add(hour, bytes)
 			}

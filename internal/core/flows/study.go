@@ -367,8 +367,8 @@ func (s *Study) LineContinentShares() map[ContinentCategory]float64 {
 // continent (Figure 13, right side).
 func (s *Study) ServerContinentShares() map[geo.Continent]float64 {
 	counts := map[geo.Continent]float64{}
-	for _, cont := range s.idx.cont {
-		counts[cont]++
+	for _, bi := range s.idx.info {
+		counts[bi.cont]++
 	}
 	return analysis.Shares(counts)
 }

@@ -123,6 +123,9 @@ type Pattern struct {
 	Regex *regexp.Regexp
 	// regionIdx is the index of the named region group (0 = none).
 	regionIdx int
+	// anchors are the registered-domain bucket keys every matching name
+	// must end with (see Anchors).
+	anchors []string
 }
 
 // Compile builds the Pattern for a Doc.
@@ -141,8 +144,50 @@ func Compile(d Doc) (*Pattern, error) {
 			p.regionIdx = i
 		}
 	}
+	p.anchors = anchorsFor(d)
 	return p, nil
 }
+
+// anchorsFor derives the literal suffix anchors BuildRegex guarantees: a
+// fixed-FQDN pattern only matches its exact names, and an SLD pattern only
+// matches names ending in ".<sld>." — so every match shares the registered
+// domain of those literals.
+func anchorsFor(d Doc) []string {
+	if len(d.FixedFQDNs) > 0 {
+		seen := map[string]struct{}{}
+		var out []string
+		for _, f := range d.FixedFQDNs {
+			rd := dnsmsg.RegisteredDomain(f)
+			// Exact-match alternations are bucket-safe even for shallow
+			// names, but hold the Bucketable line anyway: if one name
+			// can't be bucketed, disable anchoring rather than risk a
+			// future regex loosening silently dropping matches.
+			if !dnsmsg.Bucketable(rd) {
+				return nil
+			}
+			if _, dup := seen[rd]; !dup {
+				seen[rd] = struct{}{}
+				out = append(out, rd)
+			}
+		}
+		return out
+	}
+	if d.SLD == "" {
+		return nil
+	}
+	rd := dnsmsg.RegisteredDomain(d.SLD)
+	if !dnsmsg.Bucketable(rd) {
+		return nil
+	}
+	return []string{rd}
+}
+
+// Anchors returns the registered-domain suffixes (canonical, trailing-dot
+// form) that every FQDN matching the pattern necessarily carries. The
+// suffix-bucketed indexes in internal/censys and internal/dnsdb use them
+// to prune candidates before running the regex; an empty slice means the
+// pattern carries no usable literal anchor and callers must full-scan.
+func (p *Pattern) Anchors() []string { return p.anchors }
 
 // ProviderID returns the pattern's provider.
 func (p *Pattern) ProviderID() string { return p.Doc.ProviderID }

@@ -54,6 +54,10 @@ type DB struct {
 	obs map[obsKey]*Observation
 	// byName accelerates rdata lookups per owner name.
 	byName map[string][]*Observation
+	// bySuffix buckets owner names by registered domain (last two
+	// labels), so anchored Flexible Search and wildcard Basic Search scan
+	// one provider's namespace instead of the whole sensor corpus.
+	bySuffix map[string][]string
 	// byRData indexes observations by rdata string, the reverse index
 	// behind the shared-vs-dedicated IP analysis (Section 3.4).
 	byRData map[string][]*Observation
@@ -62,9 +66,10 @@ type DB struct {
 // New returns an empty database.
 func New() *DB {
 	return &DB{
-		obs:     map[obsKey]*Observation{},
-		byName:  map[string][]*Observation{},
-		byRData: map[string][]*Observation{},
+		obs:      map[obsKey]*Observation{},
+		byName:   map[string][]*Observation{},
+		bySuffix: map[string][]string{},
+		byRData:  map[string][]*Observation{},
 	}
 }
 
@@ -88,6 +93,10 @@ func (db *DB) Record(name string, typ RRType, rdata string, t time.Time) {
 	}
 	o := &Observation{RRName: name, RRType: typ, RData: rdata, FirstSeen: t, LastSeen: t, Count: 1}
 	db.obs[k] = o
+	if _, seen := db.byName[name]; !seen {
+		rd := dnsmsg.RegisteredDomain(name)
+		db.bySuffix[rd] = append(db.bySuffix[rd], name)
+	}
 	db.byName[name] = append(db.byName[name], o)
 	db.byRData[rdata] = append(db.byRData[rdata], o)
 }
@@ -128,22 +137,57 @@ func (tr TimeRange) Contains(o *Observation) bool {
 	return true
 }
 
-// FlexibleSearch returns observations whose rrname matches the regular
-// expression, optionally restricted by rrtype (0 = any) and time range.
-// This is the DNSDB Flexible Search API the paper's regexes target.
-func (db *DB) FlexibleSearch(pattern string, typ RRType, tr TimeRange) ([]Observation, error) {
+// Query is a precompiled Flexible Search handle: the compiled regular
+// expression plus the registered-domain anchors that bound its matches.
+// Compiling once and reusing the handle keeps regexp.Compile out of the
+// per-day discovery loop.
+type Query struct {
+	re      *regexp.Regexp
+	anchors []string
+}
+
+// CompileQuery compiles pattern into a reusable Query. anchors, when
+// given, are canonical registered-domain suffixes (trailing-dot form, see
+// dnsmsg.RegisteredDomain) that every matching rrname is guaranteed to end
+// with — the literal anchors patterns.Pattern.Anchors exposes. With no
+// anchors the query scans every stored name.
+func CompileQuery(pattern string, anchors ...string) (*Query, error) {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return nil, fmt.Errorf("dnsdb: bad pattern: %w", err)
 	}
+	return &Query{re: re, anchors: anchors}, nil
+}
+
+// String returns the query's regular expression source.
+func (q *Query) String() string { return q.re.String() }
+
+// FlexibleSearch returns observations whose rrname matches the regular
+// expression, optionally restricted by rrtype (0 = any) and time range.
+// This is the DNSDB Flexible Search API the paper's regexes target. The
+// pattern is compiled per call; hot paths should precompile with
+// CompileQuery and use FlexibleSearchQuery.
+func (db *DB) FlexibleSearch(pattern string, typ RRType, tr TimeRange) ([]Observation, error) {
+	q, err := CompileQuery(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return db.FlexibleSearchQuery(q, typ, tr), nil
+}
+
+// FlexibleSearchQuery runs a precompiled query. Anchored queries scan only
+// the names bucketed under the anchor registered domains; since an
+// anchored regex cannot match a name outside its anchor buckets, the
+// result is identical to the full scan.
+func (db *DB) FlexibleSearchQuery(q *Query, typ RRType, tr TimeRange) []Observation {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var out []Observation
-	for name, list := range db.byName {
-		if !re.MatchString(name) {
-			continue
+	collect := func(name string) {
+		if !q.re.MatchString(name) {
+			return
 		}
-		for _, o := range list {
+		for _, o := range db.byName[name] {
 			if typ != 0 && o.RRType != typ {
 				continue
 			}
@@ -153,29 +197,32 @@ func (db *DB) FlexibleSearch(pattern string, typ RRType, tr TimeRange) ([]Observ
 			out = append(out, *o)
 		}
 	}
+	if len(q.anchors) > 0 {
+		for _, a := range q.anchors {
+			for _, name := range db.bySuffix[a] {
+				collect(name)
+			}
+		}
+	} else {
+		for name := range db.byName {
+			collect(name)
+		}
+	}
 	sortObs(out)
-	return out, nil
+	return out
 }
 
 // BasicSearch implements the Basic Search rrset/name API: an exact name
-// or a left-hand wildcard label ("*.tencentdevices.com.").
+// or a left-hand wildcard label ("*.tencentdevices.com."). Exact names
+// are a direct index hit; wildcard lookups scan only the suffix bucket of
+// the wildcard's registered domain when it has one.
 func (db *DB) BasicSearch(name string, typ RRType, tr TimeRange) []Observation {
 	name = dnsmsg.CanonicalName(name)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var out []Observation
-	match := func(candidate string) bool { return candidate == name }
-	if len(name) > 2 && name[0] == '*' && name[1] == '.' {
-		suffix := name[1:] // keep leading dot: "*.x.com." matches "a.x.com." but not "x.com."
-		match = func(candidate string) bool {
-			return len(candidate) > len(suffix) && candidate[len(candidate)-len(suffix):] == suffix
-		}
-	}
-	for n, list := range db.byName {
-		if !match(n) {
-			continue
-		}
-		for _, o := range list {
+	collect := func(n string) {
+		for _, o := range db.byName[n] {
 			if typ != 0 && o.RRType != typ {
 				continue
 			}
@@ -184,6 +231,31 @@ func (db *DB) BasicSearch(name string, typ RRType, tr TimeRange) []Observation {
 			}
 			out = append(out, *o)
 		}
+	}
+	if len(name) > 2 && name[0] == '*' && name[1] == '.' {
+		suffix := name[1:] // keep leading dot: "*.x.com." matches "a.x.com." but not "x.com."
+		match := func(candidate string) bool {
+			return len(candidate) > len(suffix) && candidate[len(candidate)-len(suffix):] == suffix
+		}
+		// Any name ending in ".x.com." shares x.com's registered domain,
+		// so the bucket holds every possible match — unless the wildcard
+		// is directly under a TLD, where matches span many buckets.
+		rd := dnsmsg.RegisteredDomain(name[2:])
+		if dnsmsg.Bucketable(rd) {
+			for _, n := range db.bySuffix[rd] {
+				if match(n) {
+					collect(n)
+				}
+			}
+		} else {
+			for n := range db.byName {
+				if match(n) {
+					collect(n)
+				}
+			}
+		}
+	} else {
+		collect(name)
 	}
 	sortObs(out)
 	return out

@@ -1,0 +1,14 @@
+package dnsmsg
+
+import "testing"
+
+func TestCanonicalFastPathControlChars(t *testing.T) {
+	for _, in := range []string{"\vfoo.com.", "\ffoo.com.", " foo.com.", "foo.com", "Foo.com."} {
+		if got := CanonicalName(in); got != "foo.com." {
+			t.Fatalf("CanonicalName(%q) = %q", in, got)
+		}
+	}
+	if got := CanonicalName("foo.com."); got != "foo.com." {
+		t.Fatalf("fast path broken: %q", got)
+	}
+}

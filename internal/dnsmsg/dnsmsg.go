@@ -159,13 +159,69 @@ var (
 
 // CanonicalName lower-cases a name and ensures a trailing dot, the
 // normalized form used across the repository (DNSDB keys, zone lookups).
+// Names that are already canonical — lowercase ASCII with a trailing dot,
+// no whitespace — are returned unchanged without allocating; most names in
+// the discovery hot path were canonicalized once at ingest.
 func CanonicalName(name string) string {
+	if isCanonical(name) {
+		return name
+	}
 	n := strings.ToLower(strings.TrimSpace(name))
 	if n == "" || n == "." {
 		return "."
 	}
 	if !strings.HasSuffix(n, ".") {
 		n += "."
+	}
+	return n
+}
+
+// isCanonical reports whether name is already in canonical form: non-empty
+// lowercase ASCII ending in a dot, with no uppercase letters, whitespace,
+// control characters, or non-ASCII bytes that would force the slow path
+// (TrimSpace trims any Unicode whitespace, including \v and \f).
+func isCanonical(name string) bool {
+	if len(name) == 0 || name[len(name)-1] != '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' || c >= 0x80 || c <= ' ' {
+			return false
+		}
+	}
+	return true
+}
+
+// Bucketable reports whether a RegisteredDomain result can serve as a
+// suffix-index bucket key: it must carry at least two labels, because a
+// single-label result ("com.") means the true registered domain of a
+// longer matching name would include the label above it and land in a
+// different bucket. Every consumer of the suffix indexes must gate on
+// this — keep it next to RegisteredDomain so the two evolve together.
+func Bucketable(rd string) bool { return strings.Count(rd, ".") >= 2 }
+
+// RegisteredDomain returns the canonical last-two-label suffix of a name
+// ("a.iot.eu-1.example.com" → "example.com."), the bucket key of the
+// suffix indexes in internal/censys and internal/dnsdb. It is an eTLD+1
+// approximation: good enough for bucketing because every provider pattern
+// anchors on a fixed SLD whose own last two labels are stable. Names with
+// fewer than two labels (or the root) are returned canonicalized whole.
+func RegisteredDomain(name string) string {
+	n := CanonicalName(name)
+	if n == "." {
+		return n
+	}
+	// Walk back past the trailing dot to find the start of the last two
+	// labels.
+	dots := 0
+	for i := len(n) - 2; i >= 0; i-- {
+		if n[i] == '.' {
+			dots++
+			if dots == 2 {
+				return n[i+1:]
+			}
+		}
 	}
 	return n
 }

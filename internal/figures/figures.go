@@ -468,22 +468,35 @@ func Section62(sys *iotmap.System) string {
 }
 
 // ValidationReport renders the Section 3.4 ground-truth checks.
+// Providers print in sorted order so the report is deterministic.
 func ValidationReport(sys *iotmap.System) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Section 3.4: validation against ground truth\n")
-	for id, rep := range sys.Validation.IPs {
+	for _, id := range sortedKeys(sys.Validation.IPs) {
+		rep := sys.Validation.IPs[id]
 		fmt.Fprintf(&b, "  %-10s disclosed=%d covered=%d (%.0f%%)\n",
 			id, rep.Disclosed, rep.Covered, 100*rep.Coverage())
 	}
-	for id, rep := range sys.Validation.Prefixes {
+	for _, id := range sortedKeys(sys.Validation.Prefixes) {
+		rep := sys.Validation.Prefixes[id]
 		fmt.Fprintf(&b, "  %-10s prefixes=%d (~%d addrs) found=%d inside=%d outside=%d\n",
 			id, rep.Prefixes, rep.CoveredAddrs, rep.Found, rep.Inside, len(rep.Outside))
 	}
-	for id, rep := range sys.Validation.Traffic {
+	for _, id := range sortedKeys(sys.Validation.Traffic) {
+		rep := sys.Validation.Traffic[id]
 		fmt.Fprintf(&b, "  %-10s traffic-active=%d found=%d missed=%d volumeMiss=%.2f%%\n",
 			id, rep.Active, rep.FoundActive, len(rep.Missed), 100*rep.VolumeMissFrac)
 	}
 	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // VantagePointGain renders the §3.3 multi-VP coverage gain.

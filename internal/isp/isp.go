@@ -14,7 +14,9 @@ package isp
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"iotmap/internal/geo"
@@ -107,8 +109,12 @@ type Network struct {
 }
 
 // FlowModifier rewrites one device-hour's volumes; returning emit=false
-// drops the exchange entirely (a device that gave up).
-type FlowModifier func(day, hour int, srv *world.Server, down, up uint64) (newDown, newUp uint64, emit bool)
+// drops the exchange entirely (a device that gave up). rng is a dedicated
+// per-(line, day) stream: modifiers draw randomness from it rather than
+// shared state (race-free under the parallel day loop) and never perturb
+// the base simulation's streams, so flows outside a scenario's blast
+// radius stay bit-identical to a modifier-less baseline run.
+type FlowModifier func(rng *simrand.Source, day, hour int, srv *world.Server, down, up uint64) (newDown, newUp uint64, emit bool)
 
 // NewNetwork builds the subscriber population against a world.
 func NewNetwork(cfg Config, w *world.World) (*Network, error) {
@@ -254,29 +260,81 @@ func (n *Network) pickServer(prof traffic.Profile, eligible []*world.Server, rng
 }
 
 // SimulateDay generates one study day of sampled flow records into sink.
+//
+// Every line's randomness (activity, homing, scan order, NetFlow
+// sampling) is derived from (seed, line, day) alone, so lines are
+// independent and simulate on a bounded worker pool: each worker buffers
+// its contiguous line shard's records, and the shards replay into sink in
+// line order. The emitted stream is byte-identical to a sequential run.
 func (n *Network) SimulateDay(day int, sink func(netflow.Record)) {
-	sampler := netflow.NewSampler(n.Cfg.SamplingRate, n.Cfg.Seed+int64(day))
 	dayStart := n.World.Days[day]
-	for _, line := range n.Lines {
-		lineRng := simrand.Derive(n.Cfg.Seed, "line", fmt.Sprint(line.ID), fmt.Sprint(day))
-		for di := range line.Devices {
-			dev := &line.Devices[di]
-			n.resolveDevice(dev, line, di, day)
-			if dev.cur == nil {
-				continue
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(n.Lines) {
+		workers = len(n.Lines)
+	}
+	if workers <= 1 {
+		for _, line := range n.Lines {
+			n.lineDay(line, day, dayStart, sink)
+		}
+		return
+	}
+	shards := make([][]netflow.Record, workers)
+	var wg sync.WaitGroup
+	per := (len(n.Lines) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(n.Lines) {
+			hi = len(n.Lines)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := make([]netflow.Record, 0, (hi-lo)*8)
+			emit := func(r netflow.Record) { buf = append(buf, r) }
+			for _, line := range n.Lines[lo:hi] {
+				n.lineDay(line, day, dayStart, emit)
 			}
-			n.deviceDay(line, dev, di, day, dayStart, lineRng, sampler, sink)
+			shards[w] = buf
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, buf := range shards {
+		for _, r := range buf {
+			sink(r)
 		}
-		if line.ScanBreadth > 0 {
-			n.scannerDay(line, day, dayStart, lineRng, sampler, sink)
+	}
+}
+
+// lineDay simulates one line's devices and scanning for one day.
+func (n *Network) lineDay(line *Line, day int, dayStart time.Time, sink func(netflow.Record)) {
+	sampler := netflow.NewSampler(n.Cfg.SamplingRate,
+		simrand.SeedN(n.Cfg.Seed, "sampler-line", int64(line.ID), int64(day)))
+	lineRng := simrand.DeriveN(n.Cfg.Seed, "line", int64(line.ID), int64(day))
+	var modRng *simrand.Source
+	if n.Modifier != nil {
+		modRng = simrand.DeriveN(n.Cfg.Seed, "modifier", int64(line.ID), int64(day))
+	}
+	for di := range line.Devices {
+		dev := &line.Devices[di]
+		n.resolveDevice(dev, line, di, day)
+		if dev.cur == nil {
+			continue
 		}
+		n.deviceDay(line, dev, di, day, dayStart, lineRng, modRng, sampler, sink)
+	}
+	if line.ScanBreadth > 0 {
+		n.scannerDay(line, day, dayStart, lineRng, sampler, sink)
 	}
 }
 
 // resolveDevice performs the device's daily DNS re-resolution.
 func (n *Network) resolveDevice(dev *Device, line *Line, devIdx, day int) {
 	prof := n.profiles[dev.Provider]
-	rng := simrand.Derive(n.Cfg.Seed, "homing", fmt.Sprint(line.ID), fmt.Sprint(devIdx), fmt.Sprint(day))
+	rng := simrand.DeriveN(n.Cfg.Seed, "homing", int64(line.ID), int64(devIdx), int64(day))
 	needsNew := dev.cur == nil || !dev.cur.ActiveOn(day)
 	if !needsNew && prof.RemapDaily > 0 && rng.Bool(prof.RemapDaily) {
 		needsNew = true
@@ -288,7 +346,7 @@ func (n *Network) resolveDevice(dev *Device, line *Line, devIdx, day int) {
 }
 
 // deviceDay emits the device's hourly exchanges for one day.
-func (n *Network) deviceDay(line *Line, dev *Device, devIdx, day int, dayStart time.Time, rng *simrand.Source, sampler *netflow.Sampler, sink func(netflow.Record)) {
+func (n *Network) deviceDay(line *Line, dev *Device, devIdx, day int, dayStart time.Time, rng, modRng *simrand.Source, sampler *netflow.Sampler, sink func(netflow.Record)) {
 	prof := n.profiles[dev.Provider]
 	srv := dev.cur
 	lineAddr := line.V4
@@ -324,7 +382,7 @@ func (n *Network) deviceDay(line *Line, dev *Device, devIdx, day int, dayStart t
 		}
 		if n.Modifier != nil {
 			var emit bool
-			down, up, emit = n.Modifier(day, hour, srv, down, up)
+			down, up, emit = n.Modifier(modRng, day, hour, srv, down, up)
 			if !emit {
 				continue
 			}
@@ -361,7 +419,7 @@ func (n *Network) scannerDay(line *Line, day int, dayStart time.Time, rng *simra
 		return
 	}
 	// Deterministic disjoint slices of the target list per day.
-	scanRng := simrand.Derive(n.Cfg.Seed, "scan-order", fmt.Sprint(line.ID))
+	scanRng := simrand.DeriveN(n.Cfg.Seed, "scan-order", int64(line.ID))
 	start := scanRng.Intn(maxInt(len(n.backendV4), 1))
 	offset := (line.ScanBreadth / days) * day
 	if rem := line.ScanBreadth % days; day < rem {

@@ -5,6 +5,7 @@ import (
 
 	"iotmap/internal/geo"
 	"iotmap/internal/netflow"
+	"iotmap/internal/simrand"
 	"iotmap/internal/traffic"
 	"iotmap/internal/world"
 )
@@ -163,7 +164,7 @@ func TestModifierSuppressesFlows(t *testing.T) {
 	_, n := testNetwork(t)
 	base := 0
 	n.SimulateDay(0, func(netflow.Record) { base++ })
-	n.Modifier = func(day, hour int, srv *world.Server, down, up uint64) (uint64, uint64, bool) {
+	n.Modifier = func(_ *simrand.Source, day, hour int, srv *world.Server, down, up uint64) (uint64, uint64, bool) {
 		return down, up, false // drop everything
 	}
 	defer func() { n.Modifier = nil }()

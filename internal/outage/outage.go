@@ -93,10 +93,13 @@ func (s Scenario) Window(days []time.Time) (time.Time, time.Time, error) {
 	return d.Add(time.Duration(s.StartHour) * time.Hour), d.Add(time.Duration(s.EndHour) * time.Hour), nil
 }
 
-// Modifier builds the flow modifier to install on an isp.Network.
-func (s Scenario) Modifier(seed int64) isp.FlowModifier {
-	rng := simrand.Derive(seed, "outage", s.Name)
-	return func(day, hour int, srv *world.Server, down, up uint64) (uint64, uint64, bool) {
+// Modifier builds the flow modifier to install on an isp.Network. The
+// give-up coin flips draw from the per-(line, day) modifier stream the
+// simulator passes in, so the modifier holds no state of its own,
+// parallel line simulation stays deterministic, and unaffected flows
+// match a scenario-less baseline run exactly.
+func (s Scenario) Modifier() isp.FlowModifier {
+	return func(rng *simrand.Source, day, hour int, srv *world.Server, down, up uint64) (uint64, uint64, bool) {
 		if !s.InWindow(day, hour) {
 			return down, up, true
 		}

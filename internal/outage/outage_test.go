@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"iotmap/internal/geo"
+	"iotmap/internal/simrand"
 	"iotmap/internal/world"
 )
 
@@ -75,7 +76,8 @@ func TestAffectsBlastRadius(t *testing.T) {
 func TestModifierEffects(t *testing.T) {
 	w := buildWorld(t)
 	s := AWSUSEast1(4)
-	mod := s.Modifier(1)
+	mod := s.Modifier()
+	rng := simrand.New(1)
 
 	var usEast, eu *world.Server
 	for _, srv := range w.Providers["amazon"].Servers {
@@ -91,7 +93,7 @@ func TestModifierEffects(t *testing.T) {
 	}
 
 	// Outside the window: identity.
-	d, u, emit := mod(3, 18, usEast, 1000, 1000)
+	d, u, emit := mod(rng, 3, 18, usEast, 1000, 1000)
 	if !emit || d != 1000 || u != 1000 {
 		t.Fatalf("outside window: %d %d %v", d, u, emit)
 	}
@@ -100,7 +102,7 @@ func TestModifierEffects(t *testing.T) {
 	drops, total := 0, 0
 	var dSum, uSum uint64
 	for i := 0; i < 2000; i++ {
-		d, u, emit := mod(4, 18, usEast, 1000, 1000)
+		d, u, emit := mod(rng, 4, 18, usEast, 1000, 1000)
 		total++
 		if !emit {
 			drops++
@@ -121,7 +123,7 @@ func TestModifierEffects(t *testing.T) {
 		t.Fatalf("upstream retries off: %f", avgU)
 	}
 	// EU spill: mild dip only.
-	d, u, emit = mod(4, 18, eu, 1000, 1000)
+	d, u, emit = mod(rng, 4, 18, eu, 1000, 1000)
 	if !emit || d < 900 || d > 999 || u < 900 {
 		t.Fatalf("EU spill = %d %d %v", d, u, emit)
 	}

@@ -3,27 +3,71 @@
 // repository flows through a Source seeded explicitly, so a world built
 // twice from the same seed is byte-for-byte identical.
 //
+// The generator core is a PCG seeded through a splitmix64 expansion, so
+// constructing a Source costs a few multiplications instead of the 607-word
+// state initialization of the legacy math/rand source. Derive is called per
+// line/device/day in the hot simulation loops and must stay O(1).
+//
 // The package also carries the small set of distributions the traffic and
 // deployment models need: log-normal volumes, Zipf-like popularity, and the
 // diurnal activity curves described in Section 5.3 of the paper.
 package simrand
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 )
 
-// Source is a deterministic random source. It wraps math/rand.Rand so that
-// callers never touch the global generator.
-type Source struct {
-	r *rand.Rand
+// splitmix64 is the SplitMix64 output function: a cheap bijective mixer
+// that turns one 64-bit seed into a well-distributed stream of state words
+// (Steele et al., "Fast splittable pseudorandom number generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-// New returns a Source seeded with seed.
+// Source is a deterministic random source backed by a PCG generator.
+// Callers never touch the global generator.
+type Source struct {
+	r *rand.Rand
+	// zc caches Zipf samplers keyed by their parameters; the traffic
+	// model draws from the same one or two distributions millions of
+	// times.
+	zc map[zipfKey]*zipf
+}
+
+// New returns a Source seeded with seed. Two state words are expanded from
+// the seed with splitmix64, so every distinct seed yields an independent
+// PCG stream and seeding is O(1).
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	s1 := splitmix64(uint64(seed))
+	s2 := splitmix64(s1)
+	return &Source{r: rand.New(rand.NewPCG(s1, s2))}
+}
+
+// FNV-1a, inlined: the hash/fnv package costs an interface allocation per
+// Hash, which matters when Derive runs per line/device/day.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, c byte) uint64 { return (h ^ uint64(c)) * fnvPrime64 }
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+func fnvU64(h uint64, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = fnvByte(h, byte(v>>shift))
+	}
+	return h
 }
 
 // Derive returns a new independent Source whose seed is derived from the
@@ -31,25 +75,39 @@ func New(seed int64) *Source {
 // yields the same stream, which lets subsystems (DNS churn, traffic, scan
 // jitter) evolve independently without sharing one fragile sequence.
 func Derive(seed int64, labels ...string) *Source {
-	h := fnv.New64a()
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], uint64(seed))
-	h.Write(b[:])
+	h := fnvU64(fnvOffset64, uint64(seed))
 	for _, l := range labels {
-		h.Write([]byte{0})
-		h.Write([]byte(l))
+		h = fnvString(fnvByte(h, 0), l)
 	}
-	return New(int64(h.Sum64()))
+	return New(int64(h))
+}
+
+// SeedN derives a child seed from a parent seed, one label, and integer
+// qualifiers — the allocation-free core of DeriveN for hot loops that
+// would otherwise fmt.Sprint their line/device/day indices into labels.
+func SeedN(seed int64, label string, nums ...int64) int64 {
+	h := fnvString(fnvByte(fnvU64(fnvOffset64, uint64(seed)), 0), label)
+	for _, n := range nums {
+		h = fnvU64(fnvByte(h, 0), uint64(n))
+	}
+	return int64(h)
+}
+
+// DeriveN is Derive with integer qualifiers: DeriveN(seed, "line", id, day)
+// replaces Derive(seed, "line", fmt.Sprint(id), fmt.Sprint(day)) without
+// the string formatting. Same label+numbers always yield the same stream.
+func DeriveN(seed int64, label string, nums ...int64) *Source {
+	return New(SeedN(seed, label, nums...))
 }
 
 // Int63 returns a non-negative 63-bit integer.
-func (s *Source) Int63() int64 { return s.r.Int63() }
+func (s *Source) Int63() int64 { return s.r.Int64() }
 
 // Intn returns an int in [0, n). It panics if n <= 0.
-func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+func (s *Source) Intn(n int) int { return s.r.IntN(n) }
 
 // Int63n returns an int64 in [0, n).
-func (s *Source) Int63n(n int64) int64 { return s.r.Int63n(n) }
+func (s *Source) Int63n(n int64) int64 { return s.r.Int64N(n) }
 
 // Float64 returns a float64 in [0, 1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
@@ -75,7 +133,7 @@ func (s *Source) Range(lo, hi int) int {
 	if hi == lo {
 		return lo
 	}
-	return lo + s.r.Intn(hi-lo+1)
+	return lo + s.r.IntN(hi-lo+1)
 }
 
 // LogNormal returns a log-normal variate with the given location mu and
@@ -122,14 +180,80 @@ func (s *Source) Poisson(lambda float64) int {
 	}
 }
 
+type zipfKey struct {
+	s float64
+	n int
+}
+
+// zipf samples a bounded Zipf distribution by rejection inversion of the
+// integrand's upper envelope (Hörmann & Derflinger's rejection-inversion
+// method, the same construction the legacy math/rand Zipf used). All
+// per-distribution constants are precomputed so a draw costs one or two
+// log/exp pairs.
+type zipf struct {
+	q            float64 // skew exponent (> 1)
+	v            float64 // shift (>= 1)
+	oneMinusQ    float64
+	oneMinusQInv float64
+	hXM          float64 // h(imax + 0.5)
+	hX0MinusHXM  float64 // h(0.5) - pmf(0) - h(imax + 0.5)
+	s            float64 // acceptance shortcut threshold
+}
+
+// h is the antiderivative of the envelope v+x ↦ (v+x)^-q.
+func (z *zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusQ*math.Log(z.v+x)) * z.oneMinusQInv
+}
+
+// hInv inverts h.
+func (z *zipf) hInv(x float64) float64 {
+	return math.Exp(z.oneMinusQInv*math.Log(z.oneMinusQ*x)) - z.v
+}
+
+func newZipf(q float64, imax int) *zipf {
+	z := &zipf{q: q, v: 1, oneMinusQ: 1 - q}
+	z.oneMinusQInv = 1 / z.oneMinusQ
+	z.hXM = z.h(float64(imax) + 0.5)
+	z.hX0MinusHXM = z.h(0.5) - math.Exp(-z.q*math.Log(z.v)) - z.hXM
+	z.s = 1 - z.hInv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1.5)))
+	return z
+}
+
+func (z *zipf) draw(r *rand.Rand) int {
+	for {
+		u := z.hXM + r.Float64()*z.hX0MinusHXM
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return int(k)
+		}
+		if u >= z.h(k+0.5)-math.Exp(-z.q*math.Log(k+z.v)) {
+			return int(k)
+		}
+	}
+}
+
 // Zipf draws ranks in [0, n) with Zipfian skew s1 (s1 > 1). Popular
-// backends attract most devices; rank 0 is the most popular.
+// backends attract most devices; rank 0 is the most popular. It panics
+// on s1 <= 1 (an invalid skew must fail loudly, not degenerate to a
+// plausible-looking distribution).
 func (s *Source) Zipf(s1 float64, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	z := rand.NewZipf(s.r, s1, 1, uint64(n-1))
-	return int(z.Uint64())
+	if s1 <= 1 {
+		panic("simrand: Zipf requires skew > 1")
+	}
+	k := zipfKey{s: s1, n: n}
+	z, ok := s.zc[k]
+	if !ok {
+		if s.zc == nil {
+			s.zc = map[zipfKey]*zipf{}
+		}
+		z = newZipf(s1, n-1)
+		s.zc[k] = z
+	}
+	return z.draw(s.r)
 }
 
 // WeightedChoice returns an index drawn proportionally to weights. Zero or
@@ -143,7 +267,7 @@ func (s *Source) WeightedChoice(weights []float64) int {
 		}
 	}
 	if total <= 0 {
-		return s.r.Intn(len(weights))
+		return s.r.IntN(len(weights))
 	}
 	x := s.r.Float64() * total
 	for i, w := range weights {

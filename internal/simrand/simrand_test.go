@@ -185,3 +185,12 @@ func TestShapeString(t *testing.T) {
 		t.Fatal("ActivityShape.String mismatch")
 	}
 }
+
+func TestZipfPanicsOnInvalidSkew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zipf(1.0, 10) did not panic")
+		}
+	}()
+	New(1).Zipf(1.0, 10)
+}

@@ -263,7 +263,7 @@ func (s *System) TrafficStudy() error {
 		return err
 	}
 	if s.Cfg.Outage != nil {
-		net.Modifier = s.Cfg.Outage.Modifier(s.Cfg.Seed)
+		net.Modifier = s.Cfg.Outage.Modifier()
 	}
 	s.Net = net
 
