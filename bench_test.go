@@ -10,6 +10,7 @@ package iotmap_test
 import (
 	"context"
 	"net/netip"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -34,7 +35,7 @@ var (
 	outageSys  *iotmap.System
 )
 
-func mainSystem(b *testing.B) *iotmap.System {
+func mainSystem(b testing.TB) *iotmap.System {
 	b.Helper()
 	onceMain.Do(func() {
 		sys, err := iotmap.New(iotmap.Config{Seed: 71, Scale: 0.05, Lines: 5000})
@@ -46,10 +47,13 @@ func mainSystem(b *testing.B) *iotmap.System {
 		}
 		mainSys = sys
 	})
+	if mainSys == nil {
+		b.Fatal("seed-71 main fixture failed to build (see the first test's panic)")
+	}
 	return mainSys
 }
 
-func outageSystem(b *testing.B) *iotmap.System {
+func outageSystem(b testing.TB) *iotmap.System {
 	b.Helper()
 	onceOutage.Do(func() {
 		sys, err := iotmap.New(iotmap.Config{
@@ -65,6 +69,9 @@ func outageSystem(b *testing.B) *iotmap.System {
 		}
 		outageSys = sys
 	})
+	if outageSys == nil {
+		b.Fatal("seed-71 outage fixture failed to build (see the first test's panic)")
+	}
 	return outageSys
 }
 
@@ -218,6 +225,45 @@ func BenchmarkStageTrafficDay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		col := flows.NewCollector(idx, w.Days, flows.Options{SamplingRate: 100})
 		net.SimulateDay(0, col.Ingest)
+	}
+}
+
+// BenchmarkStageTrafficWeek measures the full single-pass sharded
+// simulate→aggregate pipeline over the study week: line-major workers,
+// per-line scanner classification, and the shard merge — everything
+// TrafficStudy does after the backend index exists. Compare against
+// 2 × StageTrafficDay × days to see the second pass gone.
+func BenchmarkStageTrafficWeek(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: 5, Lines: 5000}, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := flows.NewShardedAggregator(idx, w.Days, flows.Options{
+			ScannerThreshold: 100,
+			SamplingRate:     100,
+		}, runtime.GOMAXPROCS(0))
+		net.SimulateLines(agg.Shards(),
+			func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+			func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+		)
+		cc, col := agg.Merge()
+		if len(cc.Scanners(100)) == 0 {
+			b.Fatal("no scanners classified")
+		}
+		if col.Study().Hours() == 0 {
+			b.Fatal("empty study")
+		}
 	}
 }
 

@@ -1,12 +1,23 @@
 // Package flows implements the ISP traffic analyses of Section 5 and the
-// outage view of Section 6.1. It consumes sampled NetFlow records in two
-// passes: a cheap contact-counting pass that finds scanner lines
-// (Figure 5, following Richter et al.), and a full aggregation pass —
-// with scanners excluded — that produces backend visibility (Figure 6),
-// TLS-only detectability (Figure 7), hourly activity and volume series
-// (Figures 8-10, 15-16), port mixes (Figure 11), per-line daily volume
-// distributions (Figure 12), and the cross-continent breakdowns
-// (Figures 13-14).
+// outage view of Section 6.1 over a single pass of the sampled NetFlow
+// feed. Scanner identification (Figure 5, following Richter et al.) is a
+// per-line property — the distinct-backend count of one subscriber
+// address over the week — so the sharded pipeline (ShardedAggregator)
+// classifies each line the moment its week completes and folds only
+// non-scanner contributions into the full aggregation, which produces
+// backend visibility (Figure 6), TLS-only detectability (Figure 7),
+// hourly activity and volume series (Figures 8-10, 15-16), port mixes
+// (Figure 11), per-line daily volume distributions (Figure 12), and the
+// cross-continent breakdowns (Figures 13-14).
+//
+// Both ContactCounter and Collector are shard-mergeable: every
+// aggregate is a sum, set, or series whose merge is order-independent
+// (volumes are integer-valued float64s well under 2^53, so addition is
+// exact), and finalization sorts wherever order could leak — a merged
+// N-shard run is byte-identical to a sequential one. The legacy
+// explicit two-pass drive (ContactCounter over the feed, then a
+// Collector with Options.Excluded) remains supported for callers that
+// already hold a recorded stream.
 //
 // Provider identities are anonymized to their aliases (T1..T4, D1..D6,
 // O1..O6) before anything enters the collector, mirroring the paper's
@@ -103,12 +114,8 @@ func NewContactCounter(idx *BackendIndex) *ContactCounter {
 
 // Ingest processes one record.
 func (c *ContactCounter) Ingest(r netflow.Record) {
-	var line, backend netip.Addr
-	if _, ok := c.idx.info[r.Dst]; ok {
-		line, backend = r.Src, r.Dst
-	} else if _, ok := c.idx.info[r.Src]; ok {
-		line, backend = r.Dst, r.Src
-	} else {
+	line, backend, _, ok := c.idx.lineSide(r)
+	if !ok {
 		return
 	}
 	set, ok := c.contacts[line]
@@ -224,10 +231,18 @@ type linePortKey struct {
 	port proto.PortKey
 }
 
-// Options tune a Collector.
+// Options tune a Collector (and the ShardedAggregator wrapping one).
 type Options struct {
-	// Excluded lines (pass-1 scanners).
+	// Excluded lines: scanner addresses found by a prior ContactCounter
+	// pass. The single-pass pipeline classifies lines on the fly instead
+	// and leaves this empty.
 	Excluded map[netip.Addr]struct{}
+	// ScannerThreshold is the distinct-backend count above which the
+	// pipeline excludes a line address (Figure 5's x-axis). Only read by
+	// NewShardedAggregator; zero or negative disables on-the-fly
+	// classification (no line is excluded), matching the zero value's
+	// meaning under the legacy Excluded-set drive.
+	ScannerThreshold int
 	// SamplingRate scales sampled bytes back to estimates.
 	SamplingRate uint32
 	// FocusAlias/FocusRegion select the outage deep-dive provider and
@@ -298,23 +313,33 @@ func contBit(c geo.Continent) uint8 {
 
 // Ingest processes one sampled record.
 func (c *Collector) Ingest(r netflow.Record) {
-	var line, backend netip.Addr
-	var downstream bool
-	bi, ok := c.idx.info[r.Src]
-	if ok {
-		backend, line = r.Src, r.Dst
-		downstream = true
-	} else if bi, ok = c.idx.info[r.Dst]; ok {
-		line, backend = r.Src, r.Dst
-	} else {
+	line, backend, bi, ok := c.idx.lineSide(r)
+	if !ok {
 		return
 	}
+	c.ingestClassified(r, line, backend, bi)
+}
+
+// ingestClassified is Ingest after endpoint classification — the
+// pipeline's ShardPartial calls it directly with the classification it
+// already computed for scanner exclusion.
+func (c *Collector) ingestClassified(r netflow.Record, line, backend netip.Addr, bi backendInfo) {
+	downstream := backend == r.Src
 	if _, skip := c.excluded[line]; skip {
 		return
 	}
 	alias := bi.alias
-	hour := int(r.Start.Sub(c.days[0]).Hours())
-	if hour < 0 || hour >= c.hours {
+	// Integer nanosecond division: the old float64 Hours() path could
+	// round a record sitting nanoseconds before a bucket edge up into
+	// the next hour. Pre-study records are rejected before dividing —
+	// truncation toward zero would otherwise bucket the final sub-hour
+	// window before days[0] into hour 0.
+	sinceStart := r.Start.Sub(c.days[0])
+	if sinceStart < 0 {
+		return
+	}
+	hour := int(sinceStart / time.Hour)
+	if hour >= c.hours {
 		return
 	}
 	day := hour / 24

@@ -2,10 +2,12 @@ package flows
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"iotmap/internal/geo"
 	"iotmap/internal/isp"
+	"iotmap/internal/netflow"
 	"iotmap/internal/proto"
 	"iotmap/internal/world"
 )
@@ -18,7 +20,11 @@ var (
 	cachedNet   *isp.Network
 )
 
-// buildStudy runs the full two-pass analysis once per test binary.
+// testShards forces a multi-shard pipeline even on single-core test
+// machines, so the merge paths are always exercised.
+const testShards = 4
+
+// buildStudy runs the single-pass sharded pipeline once per test binary.
 func buildStudy(t *testing.T) (*world.World, *Study, *ContactCounter) {
 	t.Helper()
 	if cachedStudy != nil {
@@ -36,18 +42,24 @@ func buildStudy(t *testing.T) (*world.World, *Study, *ContactCounter) {
 	for _, s := range w.AllServers() {
 		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
 	}
-	cc := NewContactCounter(idx)
-	net.Simulate(cc.Ingest)
-	scanners := cc.Scanners(100)
-	col := NewCollector(idx, w.Days, Options{
-		Excluded:     scanners,
-		SamplingRate: net.Cfg.SamplingRate,
-		FocusAlias:   "T1",
-		FocusRegion:  "us-east-1",
-	})
-	net.Simulate(col.Ingest)
+	cc, col := runPipeline(net, idx, w, testShards)
 	cachedWorld, cachedStudy, cachedCC, cachedIdx, cachedNet = w, col.Study(), cc, idx, net
 	return w, cachedStudy, cc
+}
+
+// runPipeline drives the single-pass pipeline with a fixed shard count.
+func runPipeline(net *isp.Network, idx *BackendIndex, w *world.World, shards int) (*ContactCounter, *Collector) {
+	agg := NewShardedAggregator(idx, w.Days, Options{
+		ScannerThreshold: 100,
+		SamplingRate:     net.Cfg.SamplingRate,
+		FocusAlias:       "T1",
+		FocusRegion:      "us-east-1",
+	}, shards)
+	net.SimulateLines(agg.Shards(),
+		func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+		func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+	)
+	return agg.Merge()
 }
 
 func TestScannerCurveShape(t *testing.T) {
@@ -309,6 +321,111 @@ func TestFocusSeriesPresent(t *testing.T) {
 	}
 	if study.FocusLinesAll.Max() == 0 {
 		t.Error("no focus line counts")
+	}
+}
+
+// TestPipelineMatchesSequentialTwoPass: the sharded single-pass pipeline
+// must equal the explicit two-pass reference — a ContactCounter over the
+// recorded feed, then a Collector with the counter's over-threshold
+// addresses excluded, over the same feed. Exact equality, not tolerance:
+// every aggregate is sets or integer-valued sums.
+func TestPipelineMatchesSequentialTwoPass(t *testing.T) {
+	w, pipeStudy, pipeCC := buildStudy(t)
+	net := cachedNet
+
+	var recs []netflow.Record
+	net.Simulate(func(r netflow.Record) { recs = append(recs, r) })
+	cc := NewContactCounter(cachedIdx)
+	for _, r := range recs {
+		cc.Ingest(r)
+	}
+	col := NewCollector(cachedIdx, w.Days, Options{
+		Excluded:     cc.Scanners(100),
+		SamplingRate: net.Cfg.SamplingRate,
+		FocusAlias:   "T1",
+		FocusRegion:  "us-east-1",
+	})
+	for _, r := range recs {
+		col.Ingest(r)
+	}
+	if !reflect.DeepEqual(cc.contacts, pipeCC.contacts) {
+		t.Error("pipeline contact counter differs from sequential pass")
+	}
+	if !reflect.DeepEqual(col.Study(), pipeStudy) {
+		t.Error("pipeline study differs from sequential two-pass reference")
+	}
+}
+
+// TestShardCountInvariance: 1-shard and N-shard pipelines agree exactly.
+func TestShardCountInvariance(t *testing.T) {
+	w, pipeStudy, pipeCC := buildStudy(t)
+	cc1, col1 := runPipeline(cachedNet, cachedIdx, w, 1)
+	if !reflect.DeepEqual(cc1.contacts, pipeCC.contacts) {
+		t.Error("1-shard contacts differ from multi-shard")
+	}
+	if !reflect.DeepEqual(col1.Study(), pipeStudy) {
+		t.Error("1-shard study differs from multi-shard")
+	}
+}
+
+// TestCollectorMergeEquivalence: Collector.Merge over an arbitrary
+// partition of a record stream equals one sequential collector. The
+// partition here is round-robin — deliberately not line-contiguous —
+// because the merge itself must be order- and grouping-independent.
+func TestCollectorMergeEquivalence(t *testing.T) {
+	w, _, _ := buildStudy(t)
+	net := cachedNet
+
+	const shards = 5
+	mk := func() *Collector {
+		return NewCollector(cachedIdx, w.Days, Options{
+			SamplingRate: net.Cfg.SamplingRate,
+			FocusAlias:   "T1",
+			FocusRegion:  "us-east-1",
+		})
+	}
+	seq := mk()
+	parts := make([]*Collector, shards)
+	for i := range parts {
+		parts[i] = mk()
+	}
+	i := 0
+	net.Simulate(func(r netflow.Record) {
+		seq.Ingest(r)
+		parts[i%shards].Ingest(r)
+		i++
+	})
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		merged.Merge(p)
+	}
+	if !reflect.DeepEqual(merged.Study(), seq.Study()) {
+		t.Error("merged round-robin shards differ from sequential collector")
+	}
+}
+
+// TestContactCounterMerge: shard counters merge to the sequential one.
+func TestContactCounterMerge(t *testing.T) {
+	w, _, _ := buildStudy(t)
+	_ = w
+	seq := NewContactCounter(cachedIdx)
+	a, b := NewContactCounter(cachedIdx), NewContactCounter(cachedIdx)
+	i := 0
+	cachedNet.Simulate(func(r netflow.Record) {
+		seq.Ingest(r)
+		if i%2 == 0 {
+			a.Ingest(r)
+		} else {
+			b.Ingest(r)
+		}
+		i++
+	})
+	a.Merge(b)
+	if !reflect.DeepEqual(a.contacts, seq.contacts) {
+		t.Error("merged contact counters differ from sequential")
+	}
+	if len(a.Scanners(100)) != len(seq.Scanners(100)) {
+		t.Error("scanner sets differ after merge")
 	}
 }
 

@@ -1,0 +1,307 @@
+package flows
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"iotmap/internal/analysis"
+	"iotmap/internal/netflow"
+)
+
+// lineSide splits a record into its subscriber and backend endpoints,
+// with the backend's index entry (ok=false when neither endpoint is an
+// indexed backend). Dst takes precedence; every classification in this
+// package goes through here so exclusion and aggregation always agree
+// on which side is the subscriber.
+func (b *BackendIndex) lineSide(r netflow.Record) (line, backend netip.Addr, bi backendInfo, ok bool) {
+	if hit, found := b.info[r.Dst]; found {
+		return r.Src, r.Dst, hit, true
+	}
+	if hit, found := b.info[r.Src]; found {
+		return r.Dst, r.Src, hit, true
+	}
+	return line, backend, bi, false
+}
+
+// addContacts folds one line address's contacted-backend set into the
+// counter, adopting the set by reference when the address is new (the
+// donor must not reuse it — the same consume contract as the Merges).
+func (c *ContactCounter) addContacts(line netip.Addr, backends map[netip.Addr]struct{}) {
+	set, ok := c.contacts[line]
+	if !ok {
+		c.contacts[line] = backends
+		return
+	}
+	for b := range backends {
+		set[b] = struct{}{}
+	}
+}
+
+// Merge folds another counter's contact sets into c. Merging shard
+// partials in any order yields the same counter as a sequential pass
+// over the concatenated streams.
+func (c *ContactCounter) Merge(o *ContactCounter) {
+	for line, set := range o.contacts {
+		c.addContacts(line, set)
+	}
+}
+
+// Merge folds another collector's aggregates into c. Both collectors
+// must have been built over the same index, study period, and Options
+// (in particular the same focus alias — a donor with a different focus
+// has its focus series dropped). All aggregates are sums, sets, or
+// element-wise series additions, and the summed volumes are
+// integer-valued float64s (sampled bytes × rate), so as long as no
+// accumulated total exceeds 2^53 (≈9 PB of scaled volume — three to
+// five orders of magnitude above the paper-calibrated 1:100..1:1000
+// simulation scales; only approachable near isp's 2^24-line ceiling)
+// the merge is exact and order-independent: merging shard partials
+// reproduces a sequential ingest byte-for-byte regardless of shard
+// count. Beyond that bound sums are still statistically sound but may
+// differ in the last bit across shard groupings.
+//
+// Merge consumes o: missing aggregates are adopted by reference, not
+// copied, so the donor must not be ingested into or merged again.
+func (c *Collector) Merge(o *Collector) {
+	for alias, set := range o.visible {
+		dst, ok := c.visible[alias]
+		if !ok {
+			c.visible[alias] = set
+			continue
+		}
+		for b := range set {
+			dst[b] = struct{}{}
+		}
+	}
+	for alias, sets := range o.linesHour {
+		dst, ok := c.linesHour[alias]
+		if !ok {
+			c.linesHour[alias] = sets
+			continue
+		}
+		mergeHourSets(dst, sets)
+	}
+	mergeSeries(c.downHour, o.downHour)
+	mergeSeries(c.upHour, o.upHour)
+	for alias, pv := range o.portVol {
+		dst, ok := c.portVol[alias]
+		if !ok {
+			c.portVol[alias] = pv
+			continue
+		}
+		for p, v := range pv {
+			dst[p] += v
+		}
+	}
+	for line, days := range o.lineDaily {
+		dst, ok := c.lineDaily[line]
+		if !ok {
+			c.lineDaily[line] = days
+			continue
+		}
+		for d, v := range days {
+			dst[d][0] += v[0]
+			dst[d][1] += v[1]
+		}
+	}
+	for k, days := range o.lineAliasDaily {
+		addDaily(c.lineAliasDaily, k, days)
+	}
+	for k, days := range o.linePortDaily {
+		addDaily(c.linePortDaily, k, days)
+	}
+	for k := range o.lineAliases {
+		c.lineAliases[k] = struct{}{}
+	}
+	for k := range o.lineCertSeen {
+		c.lineCertSeen[k] = struct{}{}
+	}
+	for line, mask := range o.lineConts {
+		c.lineConts[line] |= mask
+	}
+	for cont, v := range o.contVol {
+		c.contVol[cont] += v
+	}
+	for b, v := range o.backendVol {
+		c.backendVol[b] += v
+	}
+	if c.focusAlias != "" && o.focusAlias == c.focusAlias {
+		addValues(c.focusDownAll, o.focusDownAll)
+		addValues(c.focusDownRegion, o.focusDownRegion)
+		addValues(c.focusDownEU, o.focusDownEU)
+		mergeHourSets(c.focusLinesAll, o.focusLinesAll)
+		mergeHourSets(c.focusLinesRegion, o.focusLinesRegion)
+		mergeHourSets(c.focusLinesEU, o.focusLinesEU)
+	}
+}
+
+func mergeSeries(dst, src map[string]*analysis.Series) {
+	for alias, s := range src {
+		d, ok := dst[alias]
+		if !ok {
+			dst[alias] = s
+			continue
+		}
+		addValues(d, s)
+	}
+}
+
+func addValues(dst, src *analysis.Series) {
+	for h, v := range src.Values {
+		dst.Values[h] += v
+	}
+}
+
+func mergeHourSets(dst, src []map[netip.Addr]struct{}) {
+	for h, set := range src {
+		for line := range set {
+			dst[h][line] = struct{}{}
+		}
+	}
+}
+
+func addDaily[K comparable](dst map[K][]float64, k K, days []float64) {
+	d, ok := dst[k]
+	if !ok {
+		dst[k] = days
+		return
+	}
+	for i, v := range days {
+		d[i] += v
+	}
+}
+
+// ShardPartial is the aggregation half of one simulation worker in the
+// single-pass pipeline: it buffers the line currently being simulated
+// (one line-week, a few hundred records — never the whole feed), and on
+// EndLine classifies each of the line's addresses against the scanner
+// threshold, folds the contact sets into the shard's ContactCounter,
+// and forwards only non-scanner addresses' records into the shard's
+// Collector. A partial is owned by exactly one worker; no locking.
+type ShardPartial struct {
+	idx       *BackendIndex
+	threshold int
+	cc        *ContactCounter
+	col       *Collector
+	buf       []netflow.Record
+	// sides caches each buffered record's endpoint classification (an
+	// invalid line for non-backend records), so the whole EndLine flow —
+	// contact counting, exclusion, Collector ingest — probes the index
+	// once per record.
+	sides []recSide
+}
+
+// recSide is one buffered record's cached classification.
+type recSide struct {
+	line, backend netip.Addr
+	bi            backendInfo
+}
+
+// Ingest buffers one record of the line currently being simulated.
+func (p *ShardPartial) Ingest(r netflow.Record) { p.buf = append(p.buf, r) }
+
+// EndLine consumes the buffered line-week: Figure 5 contact counting
+// always sees the line, the Collector only when the address stays at or
+// below the scanner threshold (the Richter-style exclusion, applied the
+// moment the per-line evidence is complete).
+func (p *ShardPartial) EndLine() {
+	if len(p.buf) == 0 {
+		return
+	}
+	// A line emits from its V4 and (optionally) V6 address; exclusion is
+	// per address, exactly like the threshold sweep over a ContactCounter.
+	p.sides = p.sides[:0]
+	contacts := map[netip.Addr]map[netip.Addr]struct{}{}
+	for _, r := range p.buf {
+		line, backend, bi, ok := p.idx.lineSide(r)
+		if !ok {
+			p.sides = append(p.sides, recSide{})
+			continue
+		}
+		p.sides = append(p.sides, recSide{line: line, backend: backend, bi: bi})
+		set, ok := contacts[line]
+		if !ok {
+			set = map[netip.Addr]struct{}{}
+			contacts[line] = set
+		}
+		set[backend] = struct{}{}
+	}
+	for line, set := range contacts {
+		p.cc.addContacts(line, set)
+	}
+	for i, r := range p.buf {
+		s := p.sides[i]
+		if !s.line.IsValid() || len(contacts[s.line]) > p.threshold {
+			continue
+		}
+		p.col.ingestClassified(r, s.line, s.backend, s.bi)
+	}
+	p.buf = p.buf[:0]
+}
+
+// ShardedAggregator drives the analysis side of the single-pass
+// pipeline: one ShardPartial per simulation worker, merged in shard
+// order once the simulation completes. The merged result is
+// byte-identical to a sequential ContactCounter pass plus a Collector
+// pass with the counter's over-threshold addresses excluded — over the
+// same single feed.
+type ShardedAggregator struct {
+	parts []*ShardPartial
+	// merged caches the Merge result: merging folds partials into
+	// shard 0 in place (and adopts donor maps by reference), so it must
+	// run exactly once.
+	merged bool
+	cc     *ContactCounter
+	col    *Collector
+}
+
+// NewShardedAggregator builds `shards` worker-local partials over idx.
+// opts applies to every partial's Collector; opts.ScannerThreshold
+// controls the per-line exclusion (opts.Excluded is additionally
+// honoured, for callers pre-seeding known scanners).
+func NewShardedAggregator(idx *BackendIndex, days []time.Time, opts Options, shards int) *ShardedAggregator {
+	if shards < 1 {
+		shards = 1
+	}
+	threshold := opts.ScannerThreshold
+	if threshold <= 0 {
+		// Zero keeps the legacy Options zero-value meaning: exclude
+		// nothing (a 0 threshold would otherwise drop every active line).
+		threshold = math.MaxInt
+	}
+	a := &ShardedAggregator{parts: make([]*ShardPartial, shards)}
+	for i := range a.parts {
+		a.parts[i] = &ShardPartial{
+			idx:       idx,
+			threshold: threshold,
+			cc:        NewContactCounter(idx),
+			col:       NewCollector(idx, days, opts),
+		}
+	}
+	return a
+}
+
+// Shards returns the shard count; drive the simulation with exactly
+// this many workers (isp.SimulateLines(a.Shards(), ...)).
+func (a *ShardedAggregator) Shards() int { return len(a.parts) }
+
+// Shard returns worker i's partial.
+func (a *ShardedAggregator) Shard(i int) *ShardPartial { return a.parts[i] }
+
+// Merge folds every shard partial, in shard order, into the final
+// ContactCounter and Collector. The fold consumes the partials (donor
+// maps are adopted by reference, not copied), so repeated calls return
+// the cached first result.
+func (a *ShardedAggregator) Merge() (*ContactCounter, *Collector) {
+	if a.merged {
+		return a.cc, a.col
+	}
+	a.merged = true
+	a.cc, a.col = a.parts[0].cc, a.parts[0].col
+	for _, p := range a.parts[1:] {
+		a.cc.Merge(p.cc)
+		a.col.Merge(p.col)
+	}
+	return a.cc, a.col
+}

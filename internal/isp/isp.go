@@ -9,12 +9,21 @@
 // simulated and immediately discarded. Subscriber addresses are
 // synthetic and the collector anonymizes per line, mirroring the paper's
 // PII handling (Section 3.7).
+//
+// Simulation is line-major: every line's week is a deterministic
+// function of (seed, line) alone, so SimulateLines hands contiguous
+// line shards to parallel workers that each replay all study days for
+// their lines straight into a worker-local sink — one pass, no
+// week-sized record buffers — and report per-line completion so the
+// aggregation layer (core/flows) can classify scanner lines and fold
+// partial aggregates as lines finish. Simulate is the sequential
+// reference with identical per-line output; SimulateDay remains as a
+// day-granular compatibility path for the NetFlow wire-export bench.
 package isp
 
 import (
 	"fmt"
 	"net/netip"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -116,9 +125,17 @@ type Network struct {
 // radius stay bit-identical to a modifier-less baseline run.
 type FlowModifier func(rng *simrand.Source, day, hour int, srv *world.Server, down, up uint64) (newDown, newUp uint64, emit bool)
 
+// maxLines bounds the subscriber population: line addresses are derived
+// from the low three ID bytes, so IDs at or above 2^24 would silently
+// alias earlier lines' V4 and V6 addresses.
+const maxLines = 1 << 24
+
 // NewNetwork builds the subscriber population against a world.
 func NewNetwork(cfg Config, w *world.World) (*Network, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Lines > maxLines {
+		return nil, fmt.Errorf("isp: %d lines exceed the %d address-derivation limit (IDs wrap into colliding subscriber addresses)", cfg.Lines, maxLines)
+	}
 	n := &Network{
 		Cfg:       cfg,
 		World:     w,
@@ -259,54 +276,78 @@ func (n *Network) pickServer(prof traffic.Profile, eligible []*world.Server, rng
 	return eligible[rng.WeightedChoice(weights)]
 }
 
-// SimulateDay generates one study day of sampled flow records into sink.
-//
-// Every line's randomness (activity, homing, scan order, NetFlow
-// sampling) is derived from (seed, line, day) alone, so lines are
-// independent and simulate on a bounded worker pool: each worker buffers
-// its contiguous line shard's records, and the shards replay into sink in
-// line order. The emitted stream is byte-identical to a sequential run.
+// SimulateDay generates one study day of sampled flow records into
+// sink, sequentially in line order. It is the thin compatibility path
+// for day-granular consumers (the NetFlow wire-export bench); the study
+// pipeline uses SimulateLines instead. Device homing state carries over
+// between consecutive days, so callers wanting day d must have replayed
+// days 0..d-1 on the same Network (or accept fresh homing).
 func (n *Network) SimulateDay(day int, sink func(netflow.Record)) {
 	dayStart := n.World.Days[day]
-	workers := runtime.GOMAXPROCS(0)
+	for _, line := range n.Lines {
+		n.lineDay(line, day, dayStart, sink)
+	}
+}
+
+// lineWeek replays every study day of one line, in day order, into
+// sink. Homing state is reset first, so the emitted week depends on
+// (seed, line) alone — every call, on any worker, yields the same
+// records.
+func (n *Network) lineWeek(line *Line, sink func(netflow.Record)) {
+	for di := range line.Devices {
+		line.Devices[di].cur = nil
+	}
+	for day, dayStart := range n.World.Days {
+		n.lineDay(line, day, dayStart, sink)
+	}
+}
+
+// SimulateLines runs the line-major single-pass pipeline over the whole
+// study period: the line population splits into `workers` contiguous
+// shards, and each shard's worker simulates all study days for each of
+// its lines before moving to the next line. Records flow straight into
+// the worker's own sink — there are no week-sized replay buffers — and
+// after a line's final day the worker calls lineDone, at which point the
+// sink has seen that line's complete week (scanner classification is a
+// per-line property, so the caller can classify and fold the line's
+// contribution immediately).
+//
+// sinkFor(shard) is called once per worker, before its first line.
+// Per-line record order and the line order within a shard are identical
+// to a sequential run; only cross-shard interleaving varies, so callers
+// must keep per-shard state and merge it order-independently (or in
+// shard index order) for deterministic results.
+func (n *Network) SimulateLines(workers int, sinkFor func(shard int) func(netflow.Record), lineDone func(shard int, line *Line)) {
 	if workers > len(n.Lines) {
 		workers = len(n.Lines)
 	}
 	if workers <= 1 {
+		sink := sinkFor(0)
 		for _, line := range n.Lines {
-			n.lineDay(line, day, dayStart, sink)
+			n.lineWeek(line, sink)
+			lineDone(0, line)
 		}
 		return
 	}
-	shards := make([][]netflow.Record, workers)
 	var wg sync.WaitGroup
 	per := (len(n.Lines) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * per
-		hi := lo + per
-		if hi > len(n.Lines) {
-			hi = len(n.Lines)
-		}
+		hi := min(lo+per, len(n.Lines))
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			buf := make([]netflow.Record, 0, (hi-lo)*8)
-			emit := func(r netflow.Record) { buf = append(buf, r) }
+			sink := sinkFor(w)
 			for _, line := range n.Lines[lo:hi] {
-				n.lineDay(line, day, dayStart, emit)
+				n.lineWeek(line, sink)
+				lineDone(w, line)
 			}
-			shards[w] = buf
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, buf := range shards {
-		for _, r := range buf {
-			sink(r)
-		}
-	}
 }
 
 // lineDay simulates one line's devices and scanning for one day.
@@ -420,7 +461,7 @@ func (n *Network) scannerDay(line *Line, day int, dayStart time.Time, rng *simra
 	}
 	// Deterministic disjoint slices of the target list per day.
 	scanRng := simrand.DeriveN(n.Cfg.Seed, "scan-order", int64(line.ID))
-	start := scanRng.Intn(maxInt(len(n.backendV4), 1))
+	start := scanRng.Intn(max(len(n.backendV4), 1))
 	offset := (line.ScanBreadth / days) * day
 	if rem := line.ScanBreadth % days; day < rem {
 		offset += day
@@ -441,10 +482,12 @@ func (n *Network) scannerDay(line *Line, day int, dayStart time.Time, rng *simra
 	}
 }
 
-// Simulate runs every study day.
+// Simulate replays every line's complete week into sink, line-major —
+// the sequential reference for SimulateLines. Homing state resets per
+// line, so repeated calls on the same Network emit identical streams.
 func (n *Network) Simulate(sink func(netflow.Record)) {
-	for d := range n.World.Days {
-		n.SimulateDay(d, sink)
+	for _, line := range n.Lines {
+		n.lineWeek(line, sink)
 	}
 }
 
@@ -465,11 +508,4 @@ func pktCount(bytes uint64) uint64 {
 		p = 3
 	}
 	return p
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -103,6 +103,82 @@ func TestDeviceProvidersFollowShares(t *testing.T) {
 	}
 }
 
+// TestNewNetworkLineLimit: line IDs at or above 2^24 would wrap the
+// byte-derived V4/V6 addresses into collisions; NewNetwork must refuse.
+func TestNewNetworkLineLimit(t *testing.T) {
+	w, _ := testNetwork(t)
+	if _, err := NewNetwork(Config{Seed: 1, Lines: maxLines + 1}, w); err == nil {
+		t.Fatal("NewNetwork accepted a population wider than the address derivation")
+	}
+	if _, err := NewNetwork(Config{Seed: 1, Lines: 500}, w); err != nil {
+		t.Fatalf("in-range population rejected: %v", err)
+	}
+}
+
+// TestSimulateLinesMatchesSequential: concatenating the shard streams in
+// shard order must reproduce the sequential line-major stream exactly,
+// and every line must complete exactly once.
+func TestSimulateLinesMatchesSequential(t *testing.T) {
+	_, n := testNetwork(t)
+	var seq []netflow.Record
+	n.Simulate(func(r netflow.Record) { seq = append(seq, r) })
+
+	const workers = 3
+	shardRecs := make([][]netflow.Record, workers)
+	shardLines := make([][]int, workers)
+	n.SimulateLines(workers,
+		func(shard int) func(netflow.Record) {
+			return func(r netflow.Record) { shardRecs[shard] = append(shardRecs[shard], r) }
+		},
+		func(shard int, line *Line) { shardLines[shard] = append(shardLines[shard], line.ID) },
+	)
+	var got []netflow.Record
+	seen := map[int]bool{}
+	prev := -1
+	for w := 0; w < workers; w++ {
+		got = append(got, shardRecs[w]...)
+		for _, id := range shardLines[w] {
+			if seen[id] {
+				t.Fatalf("line %d completed twice", id)
+			}
+			seen[id] = true
+			if id <= prev {
+				t.Fatalf("line completion out of order: %d after %d", id, prev)
+			}
+			prev = id
+		}
+	}
+	if len(seen) != len(n.Lines) {
+		t.Fatalf("completed %d lines, want %d", len(seen), len(n.Lines))
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("sharded records = %d, sequential = %d", len(got), len(seq))
+	}
+	for i := range got {
+		if got[i] != seq[i] {
+			t.Fatalf("record %d differs between sharded and sequential runs", i)
+		}
+	}
+}
+
+// TestSimulateIdempotent: homing state resets per line, so back-to-back
+// Simulate calls on one Network emit identical streams (the paper's
+// analyses all read one recorded feed).
+func TestSimulateIdempotent(t *testing.T) {
+	_, n := testNetwork(t)
+	var a, b []netflow.Record
+	n.Simulate(func(r netflow.Record) { a = append(a, r) })
+	n.Simulate(func(r netflow.Record) { b = append(b, r) })
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between replays", i)
+		}
+	}
+}
+
 func TestSimulateDayEmitsBackendFlows(t *testing.T) {
 	w, n := testNetwork(t)
 	var recs []netflow.Record

@@ -420,7 +420,7 @@ func (w *World) placeFamily(p *Provider, rng *simrand.Source, asns []asdb.ASN, c
 				p.names[n] = append(p.names[n], srv)
 			}
 		}
-		globalShard += (count + maxInt(spec.ServersPerName, 1) - 1)
+		globalShard += (count + max(spec.ServersPerName, 1) - 1)
 	}
 	return nil
 }
@@ -713,11 +713,4 @@ func apportion(n int, weights []float64) []int {
 		assigned++
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

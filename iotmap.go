@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"time"
 
 	"iotmap/internal/asdb"
@@ -36,6 +37,7 @@ import (
 	"iotmap/internal/dnsdb"
 	"iotmap/internal/dnszone"
 	"iotmap/internal/isp"
+	"iotmap/internal/netflow"
 	"iotmap/internal/outage"
 	"iotmap/internal/vnet"
 	"iotmap/internal/world"
@@ -252,8 +254,14 @@ func (s *System) ValidateAndLocate() error {
 	return nil
 }
 
-// TrafficStudy simulates the ISP week and runs the two-pass flow
-// analysis over the validated backend sets.
+// TrafficStudy runs the single-pass sharded simulate→aggregate pipeline
+// over the validated backend sets: line-major workers each simulate
+// their lines' whole week straight into a worker-local aggregate,
+// scanner lines are classified the moment their week completes
+// (Section 5.2's Richter-style exclusion), and the shard partials merge
+// order-independently into the Figure 5 contact curve and the full
+// Section 5 traffic study — one simulation pass for both analyses, as
+// the paper runs both over the same recorded NetFlow feed.
 func (s *System) TrafficStudy() error {
 	if s.Rows == nil {
 		return fmt.Errorf("iotmap: ValidateAndLocate must run first")
@@ -281,23 +289,22 @@ func (s *System) TrafficStudy() error {
 	}
 	s.Index = idx
 
-	cc := flows.NewContactCounter(idx)
-	net.Simulate(cc.Ingest)
-	s.Contacts = cc
-
-	focusAlias, focusRegion := "", ""
+	focusAlias, focusRegion := "T1", "us-east-1"
 	if s.Cfg.Outage != nil {
-		focusAlias, focusRegion = "T1", s.Cfg.Outage.Region
-	} else {
-		focusAlias, focusRegion = "T1", "us-east-1"
+		focusRegion = s.Cfg.Outage.Region
 	}
-	col := flows.NewCollector(idx, s.World.Days, flows.Options{
-		Excluded:     cc.Scanners(s.Cfg.ScannerThreshold),
-		SamplingRate: net.Cfg.SamplingRate,
-		FocusAlias:   focusAlias,
-		FocusRegion:  focusRegion,
-	})
-	net.Simulate(col.Ingest)
+	agg := flows.NewShardedAggregator(idx, s.World.Days, flows.Options{
+		ScannerThreshold: s.Cfg.ScannerThreshold,
+		SamplingRate:     net.Cfg.SamplingRate,
+		FocusAlias:       focusAlias,
+		FocusRegion:      focusRegion,
+	}, runtime.GOMAXPROCS(0))
+	net.SimulateLines(agg.Shards(),
+		func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+		func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+	)
+	cc, col := agg.Merge()
+	s.Contacts = cc
 	s.Study = col.Study()
 
 	// Traffic cross-check for the prefix-disclosing providers
