@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"iotmap"
+	"iotmap/internal/collector"
 	"iotmap/internal/core/discovery"
 	"iotmap/internal/core/flows"
 	"iotmap/internal/core/patterns"
@@ -33,6 +34,12 @@ var (
 
 	onceOutage sync.Once
 	outageSys  *iotmap.System
+
+	onceWire sync.Once
+	wireSys  *iotmap.System
+
+	onceWireOutage sync.Once
+	wireOutageSys  *iotmap.System
 )
 
 func mainSystem(b testing.TB) *iotmap.System {
@@ -73,6 +80,60 @@ func outageSystem(b testing.TB) *iotmap.System {
 		b.Fatal("seed-71 outage fixture failed to build (see the first test's panic)")
 	}
 	return outageSys
+}
+
+// wireSystem is the seed-71 fixture in wire mode, prepared through
+// ValidateAndLocate; the golden wire tests drive TrafficStudy
+// themselves to vary the stream count.
+func wireSystem(b testing.TB) *iotmap.System {
+	b.Helper()
+	onceWire.Do(func() {
+		sys, err := iotmap.New(iotmap.Config{
+			Seed: 71, Scale: 0.05, Lines: 5000,
+			TrafficMode: iotmap.TrafficModeWire,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.Discover(context.Background()); err != nil {
+			panic(err)
+		}
+		if err := sys.ValidateAndLocate(); err != nil {
+			panic(err)
+		}
+		wireSys = sys
+	})
+	if wireSys == nil {
+		b.Fatal("seed-71 wire fixture failed to build (see the first test's panic)")
+	}
+	return wireSys
+}
+
+// wireOutageSystem is the outage-week twin of wireSystem.
+func wireOutageSystem(b testing.TB) *iotmap.System {
+	b.Helper()
+	onceWireOutage.Do(func() {
+		sys, err := iotmap.New(iotmap.Config{
+			Seed: 71, Scale: 0.05, Lines: 5000,
+			Days:        iotmap.OutageStudyDays(),
+			Outage:      iotmap.AWSOutageScenario(),
+			TrafficMode: iotmap.TrafficModeWire,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.Discover(context.Background()); err != nil {
+			panic(err)
+		}
+		if err := sys.ValidateAndLocate(); err != nil {
+			panic(err)
+		}
+		wireOutageSys = sys
+	})
+	if wireOutageSys == nil {
+		b.Fatal("seed-71 wire outage fixture failed to build (see the first test's panic)")
+	}
+	return wireOutageSys
 }
 
 func benchRender(b *testing.B, render func() string) {
@@ -262,6 +323,51 @@ func BenchmarkStageTrafficWeek(b *testing.B) {
 			b.Fatal("no scanners classified")
 		}
 		if col.Study().Hours() == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+// BenchmarkStageWireWeek measures the wire twin of StageTrafficWeek:
+// the same study week, but every line shard is framed into NetFlow v5
+// packet streams, piped, decoded, validated, rescaled, and folded back
+// into the analysis by internal/collector. The delta over
+// StageTrafficWeek is the full cost of making the figures come from
+// packets instead of memory.
+func BenchmarkStageWireWeek(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: 5, Lines: 5000}, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	opts := flows.Options{ScannerThreshold: 100, SamplingRate: 100}
+	streams := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := collector.New(collector.Config{Index: idx, Days: w.Days, Opts: opts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		writers, wait := col.IngestPipes(streams)
+		if _, err := net.SimulateLinesToWire(writers, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+		cc, fcol := col.Finalize()
+		if len(cc.Scanners(100)) == 0 {
+			b.Fatal("no scanners classified")
+		}
+		if fcol.Study().Hours() == 0 {
 			b.Fatal("empty study")
 		}
 	}

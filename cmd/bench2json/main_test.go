@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const countedOutput = `goos: linux
+goarch: amd64
+pkg: iotmap
+cpu: Test CPU
+BenchmarkStageTrafficWeek-8            6         180000000 ns/op        37042992 B/op     416134 allocs/op
+BenchmarkStageTrafficWeek-8            6         150000000 ns/op        37042992 B/op     416134 allocs/op
+BenchmarkStageTrafficWeek-8            6         210000000 ns/op        37042992 B/op     416134 allocs/op
+BenchmarkStageDiscovery-8              7         170000000 ns/op        70118042 B/op     954139 allocs/op
+PASS
+`
+
+func TestParseKeepsFastestRepetition(t *testing.T) {
+	rep, err := Parse(strings.NewReader(countedOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Benchmarks["StageTrafficWeek"].Metrics["ns/op"]
+	if got != 150000000 {
+		t.Fatalf("ns/op = %v, want the 150ms minimum", got)
+	}
+	if rep.Env["cpu"] != "Test CPU" {
+		t.Fatalf("env = %v", rep.Env)
+	}
+}
+
+func mkReport(ns map[string]float64) *Report {
+	rep := &Report{Benchmarks: map[string]Result{}}
+	for name, v := range ns {
+		rep.Benchmarks[name] = Result{Runs: 1, Metrics: map[string]float64{"ns/op": v}}
+	}
+	return rep
+}
+
+func TestCompareReportsGate(t *testing.T) {
+	base := mkReport(map[string]float64{"StageTrafficWeek": 100, "StageDiscovery": 200, "Extra": 1})
+	cand := mkReport(map[string]float64{"StageTrafficWeek": 124, "StageDiscovery": 260, "Extra": 50})
+
+	regs, err := CompareReports(base, cand, []string{"StageTrafficWeek", "StageDiscovery"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regs = %d", len(regs))
+	}
+	if regs[0].Failed {
+		t.Fatalf("+24%% flagged at a 25%% limit: %+v", regs[0])
+	}
+	if !regs[1].Failed {
+		t.Fatalf("+30%% passed a 25%% limit: %+v", regs[1])
+	}
+	// Ungated: every shared benchmark is checked, Extra's 50x fails.
+	regs, err = CompareReports(base, cand, nil, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, r := range regs {
+		if r.Failed {
+			failed++
+		}
+	}
+	if len(regs) != 3 || failed != 2 {
+		t.Fatalf("ungated: %d regs, %d failed", len(regs), failed)
+	}
+	// A vanished gated benchmark is an error, not a pass.
+	if _, err := CompareReports(base, mkReport(map[string]float64{"StageDiscovery": 1}), []string{"StageTrafficWeek"}, 25); err == nil {
+		t.Fatal("missing candidate benchmark passed the gate")
+	}
+}

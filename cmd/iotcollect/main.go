@@ -1,0 +1,213 @@
+// Command iotcollect is the standalone NetFlow collector frontend: it
+// rebuilds the study's backend index (discovery + validation at a given
+// seed), then ingests the ISP's sampled NetFlow feed from the wire —
+// framed v5 streams over TCP, raw v5 datagrams over UDP, recorded
+// stream files, or an in-process demo export — and prints the Section 5
+// analysis computed entirely from packets.
+//
+// The exporter and collector must agree on the world (same -seed,
+// -scale, -lines), exactly like the paper's collector had to know which
+// backend IPs the discovery pipeline had identified.
+//
+// Usage:
+//
+//	iotcollect -demo                     # in-process export→collect over TCP loopback
+//	iotcollect -export streams/          # record framed streams to stream-N.nf files
+//	iotcollect streams/stream-*.nf       # re-ingest recorded streams
+//	iotcollect -listen 127.0.0.1:2055    # accept -streams TCP feeds, then report
+//	iotcollect -udp 127.0.0.1:2055       # raw v5 datagrams until Ctrl-C
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+
+	"iotmap"
+	"iotmap/internal/collector"
+	"iotmap/internal/core/flows"
+	"iotmap/internal/figures"
+	"iotmap/internal/isp"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed (must match the exporter)")
+	scale := flag.Float64("scale", 0.05, "deployment scale (1.0 = paper-sized)")
+	lines := flag.Int("lines", 6000, "simulated subscriber lines")
+	threshold := flag.Int("threshold", 100, "scanner exclusion threshold (Figure 5)")
+	streams := flag.Int("streams", 4, "concurrent streams to export / accept")
+	exportDir := flag.String("export", "", "export framed streams into this directory instead of collecting")
+	listen := flag.String("listen", "", "accept framed v5 streams on this TCP address")
+	udp := flag.String("udp", "", "ingest raw v5 datagrams on this UDP address until interrupted")
+	demo := flag.Bool("demo", false, "run the exporter in-process over a TCP loopback")
+	flag.Parse()
+
+	sys, err := iotmap.New(iotmap.Config{
+		Seed: *seed, Scale: *scale, Lines: *lines,
+		ScannerThreshold: *threshold, SkipLiveScan: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Discover(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		log.Fatal(err)
+	}
+	ispNet, idx, err := sys.TrafficInputs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := flows.Options{
+		ScannerThreshold: *threshold,
+		SamplingRate:     ispNet.Cfg.SamplingRate,
+		FocusAlias:       "T1",
+		FocusRegion:      "us-east-1",
+	}
+
+	if *exportDir != "" {
+		exportStreams(ispNet, *exportDir, *streams)
+		return
+	}
+
+	col, err := collector.New(collector.Config{Index: idx, Days: sys.World.Days, Opts: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case *listen != "":
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer l.Close()
+		log.Printf("iotcollect: waiting for %d framed streams on %s", *streams, l.Addr())
+		if err := col.ListenTCP(l, *streams); err != nil {
+			log.Fatal(err)
+		}
+	case *udp != "":
+		pc, err := net.ListenPacket("udp", *udp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("iotcollect: ingesting raw v5 datagrams on %s (Ctrl-C to analyze)", pc.LocalAddr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		go func() {
+			<-ctx.Done()
+			pc.Close()
+		}()
+		if err := col.ServeUDP(pc); err != nil {
+			log.Fatal(err)
+		}
+		stop()
+	case *demo:
+		if err := demoLoopback(ispNet, col, *streams); err != nil {
+			log.Fatal(err)
+		}
+	case flag.NArg() > 0:
+		readers := make([]io.Reader, flag.NArg())
+		for i, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			readers[i] = f
+		}
+		if err := col.IngestStreams(readers); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	report(sys, col)
+}
+
+// exportStreams records the framed feed to stream-N.nf files.
+func exportStreams(ispNet *isp.Network, dir string, streams int) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writers := make([]io.Writer, streams)
+	files := make([]*os.File, streams)
+	for i := range writers {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("stream-%d.nf", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		files[i] = f
+		writers[i] = f
+	}
+	stats, err := ispNet.SimulateLinesToWire(writers, 0)
+	for _, f := range files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d streams: %d frames, %d v5 packets, %d v4 + %d v6 records, %d flushes, %d clamped counters\n",
+		stats.Streams, stats.Frames, stats.V5Packets, stats.V4Records, stats.V6Records, stats.Flushes, stats.Clamped)
+}
+
+// demoLoopback runs exporter and collector in one process over real
+// TCP connections.
+func demoLoopback(ispNet *isp.Network, col *collector.Collector, streams int) error {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() { done <- col.ListenTCP(l, streams) }()
+	conns := make([]io.Writer, streams)
+	for i := range conns {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	stats, err := ispNet.SimulateLinesToWire(conns, 0)
+	if err != nil {
+		return err
+	}
+	for _, c := range conns {
+		c.(net.Conn).Close()
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Printf("loopback export: %d streams, %d frames, %d v5 packets, %d v4 + %d v6 records\n",
+		stats.Streams, stats.Frames, stats.V5Packets, stats.V4Records, stats.V6Records)
+	return nil
+}
+
+// report finalizes the collector and prints the packet-derived study.
+func report(sys *iotmap.System, col *collector.Collector) {
+	cc, fcol := col.Finalize()
+	sys.Contacts = cc
+	sys.Study = fcol.Study()
+	st := col.Stats()
+	fmt.Printf("collected: %d streams, %d frames, %d v5 packets, %d v4 + %d v6 records, %d flushes\n",
+		st.Streams, st.Frames, st.V5Packets, st.V4Records, st.V6Records, st.Flushes)
+	fmt.Printf("           %d saturated counters, %d rate mismatches, %d bad packets, %.1f GB estimated volume\n",
+		st.SaturatedCounters, st.RateMismatches, st.BadPackets, float64(st.ScaledBytes)/1e9)
+	fmt.Println()
+	fmt.Println(figures.Figure5(sys))
+	fmt.Println(figures.Figure8(sys))
+	fmt.Println(figures.Figure9(sys))
+	fmt.Println(figures.Figure11(sys))
+}

@@ -1,0 +1,432 @@
+// Package collector is the wire half of the ISP ingestion path: it
+// consumes the framed NetFlow streams exported by
+// isp.SimulateLinesToWire (or raw v5 datagrams from any exporter),
+// decodes and validates every packet, restores the sampling scale each
+// stream's v5 headers advertise (netflow.Sampler.Scale — the paper's
+// "estimate the exchanged traffic considering the sampling rate",
+// Section 5.6), and folds each stream into its own worker-local
+// flows.ShardPartial. Partials merge order-independently, so a 1-, 4-,
+// or 8-stream ingest of the same feed produces byte-identical figures —
+// the wire is a transparent seam in the simulate→aggregate pipeline.
+//
+// Stream model: one io.Reader (or one TCP connection, or one UDP source
+// address) is one shard. The exporter guarantees any subscriber line's
+// records stay within one stream; flush frames mark line-batch
+// boundaries so scanner classification stays incremental. Streams
+// without flush markers are still correct — EOF acts as one final flush
+// over everything buffered, trading memory for protocol simplicity.
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"iotmap/internal/core/flows"
+	"iotmap/internal/netflow"
+)
+
+// Config sizes a collector.
+type Config struct {
+	// Index classifies flow endpoints (required).
+	Index *flows.BackendIndex
+	// Days is the study period (required).
+	Days []time.Time
+	// Opts configures the analysis exactly like the in-memory pipeline's
+	// NewShardedAggregator. Opts.SamplingRate is the *fallback* scale,
+	// applied to any line batch flushed before the stream's first v5
+	// header (e.g. an IPv6-only prefix, or a wholly v6 stream); once a
+	// header advertises a rate it wins for the rest of the stream, and a
+	// disagreement with an already-applied fallback is counted in
+	// Stats.RateMismatches.
+	Opts flows.Options
+}
+
+// Stats counts what crossed the wire. All counters are totals across
+// streams; read them via Stats() after ingestion completes.
+type Stats struct {
+	// Streams completed ingestion (including failed ones).
+	Streams uint64
+	// Frames, V5Packets, V4Records, V6Records, Flushes mirror the
+	// exporter's WireStats for cross-checking.
+	Frames    uint64
+	V5Packets uint64
+	V4Records uint64
+	V6Records uint64
+	Flushes   uint64
+	// SaturatedCounters counts decoded Bytes/Packets fields at v5's
+	// 32-bit ceiling — the collector-visible trace of clamp32 saturation
+	// on the export side (the true value is unrecoverable; non-zero
+	// means volume estimates are floors).
+	SaturatedCounters uint64
+	// RateMismatches counts v5 headers advertising a different sampling
+	// rate than the stream's first header (the first one wins).
+	RateMismatches uint64
+	// BadPackets counts datagrams dropped in tolerant (UDP) mode.
+	BadPackets uint64
+	// ScaledBytes is the total estimated byte volume after
+	// Sampler.Scale restored the sampling rate.
+	ScaledBytes uint64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Streams += o.Streams
+	s.Frames += o.Frames
+	s.V5Packets += o.V5Packets
+	s.V4Records += o.V4Records
+	s.V6Records += o.V6Records
+	s.Flushes += o.Flushes
+	s.SaturatedCounters += o.SaturatedCounters
+	s.RateMismatches += o.RateMismatches
+	s.BadPackets += o.BadPackets
+	s.ScaledBytes += o.ScaledBytes
+}
+
+// Collector ingests N concurrent NetFlow streams into one merged
+// traffic study. Safe for concurrent IngestStream calls; Finalize once
+// ingestion is done.
+type Collector struct {
+	cfg Config
+	// partialOpts is cfg.Opts with SamplingRate forced to 1: the wire
+	// path scales counters back to estimates at the stream boundary
+	// (Sampler.Scale), so the analysis must not scale again. Estimates
+	// are integer-valued either way, so wire and in-memory aggregation
+	// agree bit for bit.
+	partialOpts flows.Options
+
+	mu    sync.Mutex
+	parts []*flows.ShardPartial
+	stats Stats
+}
+
+// New builds a collector.
+func New(cfg Config) (*Collector, error) {
+	if cfg.Index == nil {
+		return nil, errors.New("collector: Config.Index is required")
+	}
+	if len(cfg.Days) == 0 {
+		return nil, errors.New("collector: Config.Days is required")
+	}
+	po := cfg.Opts
+	po.SamplingRate = 1
+	return &Collector{cfg: cfg, partialOpts: po}, nil
+}
+
+// stream is one shard's decode state.
+type stream struct {
+	part *flows.ShardPartial
+	// rate is the stream's advertised sampling rate (0 = none seen yet).
+	rate    uint32
+	sampler *netflow.Sampler
+	buf     []netflow.Record
+	stats   Stats
+	// fallbackUsed is the configured rate a flush actually applied
+	// before any v5 header had advertised one; a later header that
+	// disagrees is a rate mismatch worth counting.
+	fallbackUsed uint32
+}
+
+func (c *Collector) newStream() *stream {
+	part := flows.NewShardPartial(c.cfg.Index, c.cfg.Days, c.partialOpts)
+	c.mu.Lock()
+	c.parts = append(c.parts, part)
+	c.mu.Unlock()
+	return &stream{part: part}
+}
+
+// finish folds the stream's stats into the collector totals.
+func (c *Collector) finish(st *stream) {
+	st.stats.Streams = 1
+	c.mu.Lock()
+	c.stats.add(st.stats)
+	c.mu.Unlock()
+}
+
+// observeRate adopts the first header-advertised rate and counts
+// disagreements afterwards — including with a fallback rate an earlier
+// header-less flush already applied.
+func (st *stream) observeRate(rate uint32) {
+	if st.rate == 0 {
+		st.rate = rate
+		if st.fallbackUsed != 0 && st.fallbackUsed != rate {
+			st.stats.RateMismatches++
+		}
+		return
+	}
+	if st.rate != rate {
+		st.stats.RateMismatches++
+	}
+}
+
+// ingestV5 buffers one decoded v5 packet's records.
+func (st *stream) ingestV5(h netflow.V5Header, recs []netflow.Record) {
+	st.observeRate(h.SamplingRate())
+	st.stats.V5Packets++
+	st.stats.V4Records += uint64(len(recs))
+	for _, r := range recs {
+		if r.Bytes == 0xFFFFFFFF {
+			st.stats.SaturatedCounters++
+		}
+		if r.Packets == 0xFFFFFFFF {
+			st.stats.SaturatedCounters++
+		}
+	}
+	st.buf = append(st.buf, recs...)
+}
+
+// flush scales the buffered line batch back to estimates and completes
+// it in the shard partial (the scanner-classification point).
+func (st *stream) flush(fallbackRate uint32) {
+	if len(st.buf) == 0 {
+		st.part.EndLine()
+		return
+	}
+	rate := st.rate
+	if rate == 0 {
+		rate = fallbackRate
+		if rate == 0 {
+			rate = 1
+		}
+		st.fallbackUsed = rate
+	}
+	if st.sampler == nil || st.sampler.Rate != rate {
+		st.sampler = netflow.NewSampler(rate, 0)
+	}
+	for _, r := range st.buf {
+		r.Bytes = st.sampler.Scale(r.Bytes)
+		r.Packets = st.sampler.Scale(r.Packets)
+		st.stats.ScaledBytes += r.Bytes
+		st.part.Ingest(r)
+	}
+	st.buf = st.buf[:0]
+	st.part.EndLine()
+}
+
+// IngestStream consumes one framed NetFlow stream (the
+// isp.SimulateLinesToWire format) until EOF. It may be called from N
+// goroutines, one per stream; each call owns its own shard partial.
+// Framing and decode errors are fatal for the stream — a corrupt feed
+// fails loudly rather than aggregating a partial week silently — but
+// everything ingested up to the error stays counted.
+func (c *Collector) IngestStream(r io.Reader) error {
+	st := c.newStream()
+	defer c.finish(st)
+	fr := netflow.NewFrameReader(r)
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			st.flush(c.cfg.Opts.SamplingRate) // implicit final flush
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		st.stats.Frames++
+		switch f.Type {
+		case netflow.FrameV5:
+			h, recs, err := netflow.DecodeV5Strict(f.Payload)
+			if err != nil {
+				return err
+			}
+			st.ingestV5(h, recs)
+		case netflow.FrameV6:
+			recs, err := netflow.DecodeV6Payload(f.Payload)
+			if err != nil {
+				return err
+			}
+			st.stats.V6Records += uint64(len(recs))
+			st.buf = append(st.buf, recs...)
+		case netflow.FrameFlush:
+			st.stats.Flushes++
+			st.flush(c.cfg.Opts.SamplingRate)
+		}
+	}
+}
+
+// abortReader unblocks whoever is feeding a stream the collector has
+// given up on: a pipe fails its writer, a connection closes, and
+// anything else is drained to EOF. Without this, a live exporter would
+// back-pressure forever into a stream nobody reads (and stall its
+// sibling streams with it).
+func abortReader(r io.Reader, cause error) {
+	switch v := r.(type) {
+	case *io.PipeReader:
+		v.CloseWithError(cause)
+	case io.Closer:
+		v.Close()
+	default:
+		io.Copy(io.Discard, r) //nolint:errcheck // best-effort drain
+	}
+}
+
+// IngestStreams ingests every reader concurrently and returns the first
+// stream error. A failed stream's reader is aborted (closed or drained)
+// so the exporter behind it unblocks and the healthy streams still run
+// to completion.
+func (c *Collector) IngestStreams(readers []io.Reader) error {
+	errs := make([]error, len(readers))
+	var wg sync.WaitGroup
+	for i, r := range readers {
+		wg.Add(1)
+		go func(i int, r io.Reader) {
+			defer wg.Done()
+			if err := c.IngestStream(r); err != nil {
+				errs[i] = err
+				abortReader(r, err)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("collector: stream %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// IngestPipes opens `streams` in-process pipe streams on c, for
+// exporters that write rather than hand over readers (the wire-mode
+// TrafficStudy, benchmarks). Write into the returned writers — they
+// block under collector backpressure — then call wait, which closes
+// them (EOF for the ingesters) and returns the first stream error.
+// A stream that fails mid-feed rejects further writes with its error
+// instead of deadlocking the writer.
+func (c *Collector) IngestPipes(streams int) (writers []io.Writer, wait func() error) {
+	writers = make([]io.Writer, streams)
+	pipeWs := make([]*io.PipeWriter, streams)
+	errs := make([]error, streams)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		pr, pw := io.Pipe()
+		writers[i], pipeWs[i] = pw, pw
+		wg.Add(1)
+		go func(i int, pr *io.PipeReader) {
+			defer wg.Done()
+			if err := c.IngestStream(pr); err != nil {
+				errs[i] = err
+				pr.CloseWithError(err)
+			}
+		}(i, pr)
+	}
+	wait = func() error {
+		for _, pw := range pipeWs {
+			pw.Close()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("collector: stream %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	return writers, wait
+}
+
+// ListenTCP accepts exactly streams connections from l, ingesting each
+// as one framed stream, and returns once all have completed (first
+// error wins). The caller keeps ownership of l.
+func (c *Collector) ListenTCP(l net.Listener, streams int) error {
+	conns := make([]io.Reader, 0, streams)
+	closers := make([]net.Conn, 0, streams)
+	defer func() {
+		for _, cn := range closers {
+			cn.Close()
+		}
+	}()
+	for i := 0; i < streams; i++ {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		closers = append(closers, conn)
+		conns = append(conns, conn)
+	}
+	return c.IngestStreams(conns)
+}
+
+// ServeUDP ingests raw v5 datagrams (real-router interop: no frame
+// envelope, no v6 extension, no flush markers) from pc until it is
+// closed. Each source address is one shard; undecodable datagrams are
+// counted in Stats.BadPackets and dropped, since UDP feeds lose and
+// corrupt packets as a matter of course. Classification happens at
+// close (one implicit flush per source), so this mode buffers each
+// source's feed — size it accordingly.
+func (c *Collector) ServeUDP(pc net.PacketConn) error {
+	buf := make([]byte, 65535)
+	streams := map[string]*stream{}
+	defer func() {
+		for _, st := range streams {
+			st.flush(c.cfg.Opts.SamplingRate)
+			c.finish(st)
+		}
+	}()
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		key := addr.String()
+		st, ok := streams[key]
+		if !ok {
+			st = c.newStream()
+			streams[key] = st
+		}
+		h, recs, derr := netflow.DecodeV5Strict(buf[:n])
+		// Datagram counters fold into the totals immediately (not at
+		// close) so a live feed is observable through Stats() while it
+		// runs; only the flush-time counters wait for close.
+		c.mu.Lock()
+		if derr != nil {
+			c.stats.BadPackets++
+			c.mu.Unlock()
+			continue
+		}
+		c.stats.Frames++
+		c.stats.V5Packets++
+		c.stats.V4Records += uint64(len(recs))
+		for _, r := range recs {
+			if r.Bytes == 0xFFFFFFFF {
+				c.stats.SaturatedCounters++
+			}
+			if r.Packets == 0xFFFFFFFF {
+				c.stats.SaturatedCounters++
+			}
+		}
+		c.mu.Unlock()
+		st.observeRate(h.SamplingRate())
+		st.buf = append(st.buf, recs...)
+	}
+}
+
+// Finalize merges every stream's partial into the study aggregates —
+// call after all ingestion has completed. With zero streams it returns
+// empty aggregates. The merge consumes the partials; repeated calls
+// return the cached result.
+func (c *Collector) Finalize() (*flows.ContactCounter, *flows.Collector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.parts) == 0 {
+		c.parts = append(c.parts, flows.NewShardPartial(c.cfg.Index, c.cfg.Days, c.partialOpts))
+	}
+	if len(c.parts) > 1 {
+		cc, col := flows.MergePartials(c.parts)
+		c.parts = c.parts[:1] // merged into parts[0]; cache
+		return cc, col
+	}
+	return flows.MergePartials(c.parts)
+}
+
+// Stats returns a snapshot of the wire counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

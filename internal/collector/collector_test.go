@@ -1,0 +1,502 @@
+package collector
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"iotmap/internal/core/flows"
+	"iotmap/internal/isp"
+	"iotmap/internal/netflow"
+	"iotmap/internal/world"
+)
+
+type fixture struct {
+	w    *world.World
+	net  *isp.Network
+	idx  *flows.BackendIndex
+	opts flows.Options
+}
+
+func buildFixture(t testing.TB, lines int) *fixture {
+	t.Helper()
+	w, err := world.Build(world.Config{Seed: 23, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := isp.NewNetwork(isp.Config{Seed: 23, Lines: lines}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	return &fixture{w: w, net: n, idx: idx, opts: flows.Options{
+		ScannerThreshold: 100,
+		SamplingRate:     n.Cfg.SamplingRate,
+		FocusAlias:       "T1",
+		FocusRegion:      "us-east-1",
+	}}
+}
+
+// memoryRun is the in-memory reference pipeline.
+func (f *fixture) memoryRun(shards int) (*flows.ContactCounter, *flows.Collector) {
+	agg := flows.NewShardedAggregator(f.idx, f.w.Days, f.opts, shards)
+	f.net.SimulateLines(agg.Shards(),
+		func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+		func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+	)
+	return agg.Merge()
+}
+
+// wireRun exports over in-memory pipes into a collector.
+func (f *fixture) wireRun(t testing.TB, streams int) (*flows.ContactCounter, *flows.Collector, Stats) {
+	t.Helper()
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*bytes.Buffer, streams)
+	writers := make([]io.Writer, streams)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	if _, err := f.net.SimulateLinesToWire(writers, 0); err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, streams)
+	for i := range bufs {
+		readers[i] = bufs[i]
+	}
+	if err := col.IngestStreams(readers); err != nil {
+		t.Fatal(err)
+	}
+	cc, fc := col.Finalize()
+	return cc, fc, col.Stats()
+}
+
+// assertSameAnalysis compares the analyses that feed the figures.
+func assertSameAnalysis(t *testing.T, label string, ccA, ccB *flows.ContactCounter, colA, colB *flows.Collector) {
+	t.Helper()
+	curveA := ccA.Curve([]int{10, 50, 100, 500})
+	curveB := ccB.Curve([]int{10, 50, 100, 500})
+	for i := range curveA {
+		if curveA[i] != curveB[i] {
+			t.Fatalf("%s: scanner curve drifted at %d: %+v vs %+v", label, i, curveA[i], curveB[i])
+		}
+	}
+	sA, sB := colA.Study(), colB.Study()
+	aliasesA, aliasesB := sA.Aliases(), sB.Aliases()
+	if strings.Join(aliasesA, ",") != strings.Join(aliasesB, ",") {
+		t.Fatalf("%s: aliases %v vs %v", label, aliasesA, aliasesB)
+	}
+	for _, alias := range aliasesA {
+		if a, b := sA.Downstream(alias).Total(), sB.Downstream(alias).Total(); a != b {
+			t.Fatalf("%s: %s downstream %v vs %v", label, alias, a, b)
+		}
+		if a, b := sA.Upstream(alias).Total(), sB.Upstream(alias).Total(); a != b {
+			t.Fatalf("%s: %s upstream %v vs %v", label, alias, a, b)
+		}
+		if a, b := sA.ActiveLines(alias).Total(), sB.ActiveLines(alias).Total(); a != b {
+			t.Fatalf("%s: %s active lines %v vs %v", label, alias, a, b)
+		}
+		a4, a6 := sA.Visibility(alias)
+		b4, b6 := sB.Visibility(alias)
+		if a4 != b4 || a6 != b6 {
+			t.Fatalf("%s: %s visibility (%v,%v) vs (%v,%v)", label, alias, a4, a6, b4, b6)
+		}
+	}
+	da, ua := sA.DailyECDFs()
+	db, ub := sB.DailyECDFs()
+	if da.Len() != db.Len() || ua.Len() != ub.Len() {
+		t.Fatalf("%s: daily ECDF sizes differ", label)
+	}
+	if sA.FocusDownAll.Total() != sB.FocusDownAll.Total() {
+		t.Fatalf("%s: focus series differ", label)
+	}
+}
+
+// TestWireMatchesMemoryAcrossStreamCounts: the headline property at
+// package level — ingesting the exported packet streams reproduces the
+// in-memory aggregation exactly, for 1, 3, and 8 concurrent streams.
+func TestWireMatchesMemoryAcrossStreamCounts(t *testing.T) {
+	f := buildFixture(t, 500)
+	ccRef, colRef := f.memoryRun(4)
+	for _, streams := range []int{1, 3, 8} {
+		f2 := buildFixture(t, 500)
+		ccW, colW, stats := f2.wireRun(t, streams)
+		assertSameAnalysis(t, "streams", ccRef, ccW, colRef, colW)
+		if stats.Streams != uint64(streams) {
+			t.Fatalf("streams = %d, want %d", stats.Streams, streams)
+		}
+		if stats.V4Records == 0 || stats.V6Records == 0 || stats.Flushes == 0 {
+			t.Fatalf("stats incomplete: %+v", stats)
+		}
+		if stats.SaturatedCounters != 0 || stats.RateMismatches != 0 || stats.BadPackets != 0 {
+			t.Fatalf("unexpected wire damage: %+v", stats)
+		}
+		if stats.ScaledBytes == 0 {
+			t.Fatal("no scaled volume — Sampler.Scale never ran")
+		}
+	}
+}
+
+// TestStreamWithoutFlushMarkers: a feed from a foreign exporter with no
+// line-batch markers classifies at EOF and still reproduces the same
+// analysis (each line's records must just stay within one stream).
+func TestStreamWithoutFlushMarkers(t *testing.T) {
+	f := buildFixture(t, 300)
+	ccRef, colRef := f.memoryRun(2)
+
+	f2 := buildFixture(t, 300)
+	bufs := make([]*bytes.Buffer, 2)
+	writers := make([]io.Writer, 2)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	if _, err := f2.net.SimulateLinesToWire(writers, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Strip every flush frame, as a plain v5 relay would.
+	readers := make([]io.Reader, 2)
+	for i, buf := range bufs {
+		var stripped bytes.Buffer
+		fw := netflow.NewFrameWriter(&stripped)
+		fr := netflow.NewFrameReader(buf)
+		for {
+			fme, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fme.Type == netflow.FrameFlush {
+				continue
+			}
+			if err := fw.WriteFrame(fme.Type, fme.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		readers[i] = &stripped
+	}
+	col, err := New(Config{Index: f2.idx, Days: f2.w.Days, Opts: f2.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.IngestStreams(readers); err != nil {
+		t.Fatal(err)
+	}
+	ccW, colW := col.Finalize()
+	assertSameAnalysis(t, "no-flush", ccRef, ccW, colRef, colW)
+	if col.Stats().Flushes != 0 {
+		t.Fatalf("flushes = %d after stripping", col.Stats().Flushes)
+	}
+}
+
+// TestListenTCP: the collector ingests over real TCP connections.
+func TestListenTCP(t *testing.T) {
+	f := buildFixture(t, 300)
+	ccRef, colRef := f.memoryRun(2)
+
+	f2 := buildFixture(t, 300)
+	col, err := New(Config{Index: f2.idx, Days: f2.w.Days, Opts: f2.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const streams = 3
+	done := make(chan error, 1)
+	go func() { done <- col.ListenTCP(l, streams) }()
+
+	conns := make([]io.Writer, streams)
+	for i := range conns {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	if _, err := f2.net.SimulateLinesToWire(conns, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		c.(net.Conn).Close()
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("collector did not finish")
+	}
+	ccW, colW := col.Finalize()
+	assertSameAnalysis(t, "tcp", ccRef, ccW, colRef, colW)
+}
+
+// TestListenTCPCorruptStream: one corrupt feed among healthy ones must
+// not wedge anything — the collector aborts that connection (unblocking
+// the exporter behind it), the healthy streams complete, and the error
+// is reported. Regression test for the backpressure deadlock.
+func TestListenTCPCorruptStream(t *testing.T) {
+	f := buildFixture(t, 300)
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const streams = 3
+	done := make(chan error, 1)
+	go func() { done <- col.ListenTCP(l, streams) }()
+
+	conns := make([]net.Conn, streams)
+	for i := range conns {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	// Poison stream 0 before the export starts, then export the healthy
+	// feed into all three: stream 0's exporter shard hits a dead socket
+	// mid-week and must drain rather than stall the simulation.
+	if _, err := conns[0].Write([]byte("XXnot a frame, just noise")); err != nil {
+		t.Fatal(err)
+	}
+	writers := make([]io.Writer, streams)
+	for i, c := range conns {
+		writers[i] = c
+	}
+	// The export must complete either way: once the collector closes the
+	// poisoned connection, shard 0's writes fail (reported) or land in
+	// already-buffered socket space (small feeds) — never a stall.
+	if _, err := f.net.SimulateLinesToWire(writers, 0); err != nil {
+		t.Logf("exporter saw the dead stream: %v", err)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "bad frame magic") {
+			t.Fatalf("collect err = %v, want bad frame magic", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: collector never finished after a corrupt stream")
+	}
+	// The two healthy shards' lines are all present in the analysis.
+	cc, _ := col.Finalize()
+	if len(cc.Scanners(0)) == 0 {
+		t.Fatal("healthy streams contributed nothing")
+	}
+}
+
+// TestServeUDP: raw v5 datagrams, per-source shards, tolerant decode.
+func TestServeUDP(t *testing.T) {
+	f := buildFixture(t, 50)
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- col.ServeUDP(pc) }()
+
+	// One real backend so records classify.
+	var backend *world.Server
+	for _, s := range f.w.AllServers() {
+		if !s.IsV6() {
+			backend = s
+			break
+		}
+	}
+	if backend == nil {
+		t.Fatal("no v4 backend in fixture")
+	}
+	si, err := netflow.PackSamplingInterval(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(line string, bytes uint64) []byte {
+		pkt, err := netflow.EncodeV5(netflow.V5Header{SamplingInterval: si}, []netflow.Record{{
+			Src: backend.Addr, Dst: netip.MustParseAddr(line),
+			SrcPort: 8883, DstPort: 40000, Proto: netflow.ProtoTCP,
+			Bytes: bytes, Packets: 3, Start: f.w.Days[0].Add(2 * time.Hour),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt
+	}
+	src1, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src1.Close()
+	src2, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	if _, err := src1.Write(mk("95.0.0.1", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src2.Write(mk("95.0.0.2", 700)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src1.Write([]byte{0, 5, 0, 9, 1}); err != nil { // corrupt
+		t.Fatal(err)
+	}
+	// UDP delivery is async: poll the live counters before closing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := col.Stats()
+		if st.V4Records == 2 && st.BadPackets == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("datagrams never arrived: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pc.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := col.Stats()
+	if st.Streams != 2 {
+		t.Fatalf("streams = %d, want 2 (one per source)", st.Streams)
+	}
+	if st.V4Records != 2 || st.BadPackets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ScaledBytes != (500+700)*100 {
+		t.Fatalf("scaled bytes = %d", st.ScaledBytes)
+	}
+	cc, fc := col.Finalize()
+	if len(cc.Scanners(0)) != 2 {
+		t.Fatalf("scanner sweep at 0 should see both lines, got %d", len(cc.Scanners(0)))
+	}
+	if fc.Study().Downstream(f.w.AliasOf(backend.Provider)).Total() != (500+700)*100 {
+		t.Fatalf("downstream = %v", fc.Study().Downstream(f.w.AliasOf(backend.Provider)).Total())
+	}
+}
+
+// TestFallbackRateThenHeaderMismatch: a line batch flushed before any
+// v5 header scales with the configured fallback; a later header that
+// disagrees is surfaced as a rate mismatch rather than silently
+// rewriting history.
+func TestFallbackRateThenHeaderMismatch(t *testing.T) {
+	f := buildFixture(t, 50)
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts}) // fallback rate 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backend *world.Server
+	for _, s := range f.w.AllServers() {
+		if s.IsV6() {
+			backend = s
+			break
+		}
+	}
+	if backend == nil {
+		t.Fatal("no v6 backend in fixture")
+	}
+	var buf bytes.Buffer
+	fw := netflow.NewFrameWriter(&buf)
+	// Line 1: IPv6-only, flushed before any header advertises a rate.
+	if err := fw.WriteV6([]netflow.Record{{
+		Src: backend.Addr, Dst: netip.MustParseAddr("2003::100:1"),
+		SrcPort: 8883, DstPort: 40000, Proto: netflow.ProtoTCP,
+		Bytes: 10, Packets: 2, Start: f.w.Days[0].Add(time.Hour),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFlush(); err != nil {
+		t.Fatal(err)
+	}
+	// Line 2: a v5 packet advertising a different rate (1:50).
+	si, err := netflow.PackSamplingInterval(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v4backend *world.Server
+	for _, s := range f.w.AllServers() {
+		if !s.IsV6() {
+			v4backend = s
+			break
+		}
+	}
+	pkt, err := netflow.EncodeV5(netflow.V5Header{SamplingInterval: si}, []netflow.Record{{
+		Src: v4backend.Addr, Dst: netip.MustParseAddr("95.0.0.7"),
+		SrcPort: 443, DstPort: 40001, Proto: netflow.ProtoTCP,
+		Bytes: 20, Packets: 2, Start: f.w.Days[0].Add(time.Hour),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteV5(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.IngestStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st := col.Stats()
+	if st.RateMismatches != 1 {
+		t.Fatalf("rate mismatches = %d, want 1 (fallback 100 vs advertised 50)", st.RateMismatches)
+	}
+	if want := uint64(10*100 + 20*50); st.ScaledBytes != want {
+		t.Fatalf("scaled bytes = %d, want %d (fallback then header rate)", st.ScaledBytes, want)
+	}
+}
+
+// TestIngestCorruptStream: framing damage fails loudly.
+func TestIngestCorruptStream(t *testing.T) {
+	f := buildFixture(t, 50)
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.IngestStream(bytes.NewReader([]byte("XX garbage"))); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+	// A truncated but well-started stream also errors descriptively.
+	var buf bytes.Buffer
+	fw := netflow.NewFrameWriter(&buf)
+	pkt, err := netflow.EncodeV5(netflow.V5Header{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteV5(pkt); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	err = col.IngestStream(bytes.NewReader(full[:len(full)-3]))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated stream err = %v", err)
+	}
+}

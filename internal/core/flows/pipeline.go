@@ -198,6 +198,43 @@ type recSide struct {
 	bi            backendInfo
 }
 
+// NewShardPartial builds one worker-local partial over idx — exactly
+// the unit NewShardedAggregator allocates per shard, exported for
+// drivers whose worker count is not known up front (the NetFlow wire
+// collector opens one partial per accepted stream). opts follows the
+// same rules as NewShardedAggregator; merge the partials with
+// MergePartials.
+func NewShardPartial(idx *BackendIndex, days []time.Time, opts Options) *ShardPartial {
+	threshold := opts.ScannerThreshold
+	if threshold <= 0 {
+		// Zero keeps the legacy Options zero-value meaning: exclude
+		// nothing (a 0 threshold would otherwise drop every active line).
+		threshold = math.MaxInt
+	}
+	return &ShardPartial{
+		idx:       idx,
+		threshold: threshold,
+		cc:        NewContactCounter(idx),
+		col:       NewCollector(idx, days, opts),
+	}
+}
+
+// MergePartials folds the partials, in slice order, into one
+// ContactCounter and Collector. All partials must share idx, days, and
+// Options, and every buffered line must have been completed with
+// EndLine. The fold consumes the partials (donor maps are adopted by
+// reference); both merges are order-independent, so any stable
+// partition of the feed yields byte-identical results. parts must be
+// non-empty.
+func MergePartials(parts []*ShardPartial) (*ContactCounter, *Collector) {
+	cc, col := parts[0].cc, parts[0].col
+	for _, p := range parts[1:] {
+		cc.Merge(p.cc)
+		col.Merge(p.col)
+	}
+	return cc, col
+}
+
 // Ingest buffers one record of the line currently being simulated.
 func (p *ShardPartial) Ingest(r netflow.Record) { p.buf = append(p.buf, r) }
 
@@ -264,20 +301,9 @@ func NewShardedAggregator(idx *BackendIndex, days []time.Time, opts Options, sha
 	if shards < 1 {
 		shards = 1
 	}
-	threshold := opts.ScannerThreshold
-	if threshold <= 0 {
-		// Zero keeps the legacy Options zero-value meaning: exclude
-		// nothing (a 0 threshold would otherwise drop every active line).
-		threshold = math.MaxInt
-	}
 	a := &ShardedAggregator{parts: make([]*ShardPartial, shards)}
 	for i := range a.parts {
-		a.parts[i] = &ShardPartial{
-			idx:       idx,
-			threshold: threshold,
-			cc:        NewContactCounter(idx),
-			col:       NewCollector(idx, days, opts),
-		}
+		a.parts[i] = NewShardPartial(idx, days, opts)
 	}
 	return a
 }
@@ -298,10 +324,6 @@ func (a *ShardedAggregator) Merge() (*ContactCounter, *Collector) {
 		return a.cc, a.col
 	}
 	a.merged = true
-	a.cc, a.col = a.parts[0].cc, a.parts[0].col
-	for _, p := range a.parts[1:] {
-		a.cc.Merge(p.cc)
-		a.col.Merge(p.col)
-	}
+	a.cc, a.col = MergePartials(a.parts)
 	return a.cc, a.col
 }

@@ -1,0 +1,205 @@
+package isp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"iotmap/internal/netflow"
+)
+
+// Wire export: SimulateLinesToWire is SimulateLines with the in-process
+// sink replaced by the border-router export path — every line shard
+// serializes its week as framed NetFlow v5 packets (IPv6 flows ride in
+// v6 extension frames, since v5 cannot express them) onto its own byte
+// stream. The streams are what internal/collector ingests; together
+// they make the wire a transparent seam in the simulate→aggregate
+// pipeline.
+//
+// Determinism: per stream, lines are emitted in line order and each
+// line's records in simulation order, family runs are batched in order,
+// v5 FlowSequence counts the stream's records, and header timestamps
+// come from the records themselves — so stream s of an S-stream export
+// is a pure function of (seed, config, S, s), byte for byte.
+//
+// Backpressure: each shard's encoder hands frames to its writer
+// goroutine over a channel holding at most WireBufferFrames frames, so
+// a slow collector throttles the simulation instead of growing an
+// unbounded buffer. A write error stops the stream's output but lets
+// the simulation drain to completion; SimulateLinesToWire reports the
+// first error per stream.
+
+// WireBufferFrames is the default per-stream frame buffer (the bounded
+// channel between one shard's encoder and its writer goroutine).
+const WireBufferFrames = 64
+
+// WireStats summarizes one export run.
+type WireStats struct {
+	// Streams is the number of exported streams (== len(writers)).
+	Streams int
+	// Frames counts all frames, V5Packets only the v5-carrying ones.
+	Frames    uint64
+	V5Packets uint64
+	// V4Records/V6Records count exported flow records per family.
+	V4Records uint64
+	V6Records uint64
+	// Flushes counts line-batch markers.
+	Flushes uint64
+	// Clamped counts 64-bit counters saturated into v5's 32-bit fields
+	// (see netflow.EncodeV5Clamped); non-zero means the wire lost volume.
+	Clamped uint64
+}
+
+// chanWriter copies writes onto a bounded channel; the shard's writer
+// goroutine drains it to the real io.Writer.
+type chanWriter struct {
+	ch chan []byte
+}
+
+func (cw chanWriter) Write(p []byte) (int, error) {
+	b := make([]byte, len(p))
+	copy(b, p)
+	cw.ch <- b
+	return len(p), nil
+}
+
+// wireShard is one stream's encoder state, owned by one worker.
+type wireShard struct {
+	fw  *netflow.FrameWriter
+	si  uint16 // packed sampling interval for every header
+	id  uint8  // engine ID: the shard index
+	seq uint32 // running v5 record count (FlowSequence)
+	buf []netflow.Record
+	err error // first encode error; the shard goes quiet after
+	WireStats
+}
+
+func (ws *wireShard) sink(r netflow.Record) { ws.buf = append(ws.buf, r) }
+
+// endLine frames the buffered line batch: consecutive same-family runs
+// become v5 packets (up to 30 records each) or v6 extension frames,
+// preserving record order, then a flush marks the batch boundary.
+func (ws *wireShard) endLine() {
+	defer func() { ws.buf = ws.buf[:0] }()
+	if ws.err != nil {
+		return
+	}
+	recs := ws.buf
+	for i := 0; i < len(recs); {
+		j := i
+		v4 := recs[i].IsV4()
+		for j < len(recs) && recs[j].IsV4() == v4 {
+			j++
+		}
+		if v4 {
+			for off := i; off < j; off += netflow.V5MaxRecords {
+				end := min(off+netflow.V5MaxRecords, j)
+				chunk := recs[off:end]
+				h := netflow.V5Header{
+					UnixSecs:         uint32(chunk[0].Start.Unix()),
+					FlowSequence:     ws.seq,
+					EngineID:         ws.id,
+					SamplingInterval: ws.si,
+				}
+				pkt, clamped, err := netflow.EncodeV5Clamped(h, chunk)
+				if err != nil {
+					ws.err = err
+					return
+				}
+				if err := ws.fw.WriteV5(pkt); err != nil {
+					ws.err = err
+					return
+				}
+				ws.Clamped += uint64(clamped)
+				ws.seq += uint32(len(chunk))
+				ws.V5Packets++
+				ws.V4Records += uint64(len(chunk))
+			}
+		} else {
+			if err := ws.fw.WriteV6(recs[i:j]); err != nil {
+				ws.err = err
+				return
+			}
+			ws.V6Records += uint64(j - i)
+		}
+		i = j
+	}
+	if err := ws.fw.WriteFlush(); err != nil {
+		ws.err = err
+		return
+	}
+	ws.Flushes++
+}
+
+// SimulateLinesToWire exports the whole study period as len(writers)
+// concurrent framed NetFlow streams, one contiguous line shard per
+// writer — the wire twin of SimulateLines. buffer is the per-stream
+// frame backlog before backpressure (<=0 means WireBufferFrames). It
+// returns aggregate export stats and the first error any stream hit
+// (encode or write); writers are not closed — the caller owns their
+// lifecycle, and must close them for collectors reading until EOF.
+func (n *Network) SimulateLinesToWire(writers []io.Writer, buffer int) (WireStats, error) {
+	if len(writers) == 0 {
+		return WireStats{}, fmt.Errorf("isp: no writers")
+	}
+	si, err := netflow.PackSamplingInterval(n.Cfg.SamplingRate)
+	if err != nil {
+		return WireStats{}, err
+	}
+	if buffer <= 0 {
+		buffer = WireBufferFrames
+	}
+
+	shards := make([]*wireShard, len(writers))
+	chans := make([]chan []byte, len(writers))
+	writeErrs := make([]error, len(writers))
+	var wg sync.WaitGroup
+	for i, w := range writers {
+		ch := make(chan []byte, buffer)
+		chans[i] = ch
+		shards[i] = &wireShard{
+			fw: netflow.NewFrameWriter(chanWriter{ch: ch}),
+			si: si,
+			id: uint8(i),
+		}
+		wg.Add(1)
+		go func(w io.Writer, ch chan []byte, errp *error) {
+			defer wg.Done()
+			for b := range ch {
+				if *errp != nil {
+					continue // drain so the encoder never blocks
+				}
+				if _, err := w.Write(b); err != nil {
+					*errp = err
+				}
+			}
+		}(w, ch, &writeErrs[i])
+	}
+
+	n.SimulateLines(len(writers),
+		func(shard int) func(netflow.Record) { return shards[shard].sink },
+		func(shard int, _ *Line) { shards[shard].endLine() },
+	)
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	stats := WireStats{Streams: len(writers)}
+	var firstErr error
+	for i, ws := range shards {
+		stats.Frames += ws.fw.Frames[netflow.FrameV5] + ws.fw.Frames[netflow.FrameV6] + ws.fw.Frames[netflow.FrameFlush]
+		stats.V5Packets += ws.V5Packets
+		stats.V4Records += ws.V4Records
+		stats.V6Records += ws.V6Records
+		stats.Flushes += ws.Flushes
+		stats.Clamped += ws.Clamped
+		if firstErr == nil && ws.err != nil {
+			firstErr = fmt.Errorf("isp: wire stream %d: %w", i, ws.err)
+		}
+		if firstErr == nil && writeErrs[i] != nil {
+			firstErr = fmt.Errorf("isp: wire stream %d: %w", i, writeErrs[i])
+		}
+	}
+	return stats, firstErr
+}

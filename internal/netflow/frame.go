@@ -1,0 +1,226 @@
+package netflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The collector ingestion path moves NetFlow over byte streams (TCP
+// connections, pipes, recorded files), where v5's datagram framing does
+// not exist: packets need explicit delimitation, IPv6 flows need a
+// carrier v5 cannot provide, and the single-pass aggregation needs to
+// know when one subscriber line's batch is complete. A frame is the
+// smallest unit of all three:
+//
+//	"NF" | type (1 byte) | payload length (uint32 BE) | payload
+//
+// Frame types:
+//
+//	FrameV5    payload is one verbatim NetFlow v5 packet (IPv4 flows).
+//	FrameV6    payload is StreamWriter-encoded records (the IPv6 share
+//	           of the feed, which v5 cannot express).
+//	FrameFlush empty payload; the exporter emits one after each
+//	           subscriber line's batch, letting the collector classify
+//	           scanner lines incrementally instead of buffering the
+//	           whole week. A stream without flush frames is still valid:
+//	           EOF is an implicit final flush.
+//
+// Over UDP, raw v5 datagrams (no frame envelope) remain the interop
+// format; framing is only for stream transports.
+const (
+	FrameV5    = 0x05
+	FrameV6    = 0x06
+	FrameFlush = 0x0F
+)
+
+const (
+	frameMagic0 = 'N'
+	frameMagic1 = 'F'
+	frameHeader = 7
+	// MaxFramePayload bounds one frame so corrupt length fields cannot
+	// drive huge allocations. A v5 payload is at most 1464 bytes; v6
+	// frames carry one subscriber line's batch, far below this.
+	MaxFramePayload = 1 << 20
+)
+
+// Framing errors.
+var (
+	ErrBadFrameMagic = errors.New("netflow: bad frame magic")
+	ErrBadFrameType  = errors.New("netflow: unknown frame type")
+	ErrFrameTooBig   = errors.New("netflow: frame payload exceeds limit")
+)
+
+// Frame is one decoded frame envelope. Payload aliases the reader's
+// scratch buffer and is only valid until the next call.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// FrameWriter emits frames onto an io.Writer.
+type FrameWriter struct {
+	w   io.Writer
+	hdr [frameHeader]byte
+	// Frames counts frames written, per type.
+	Frames map[byte]uint64
+}
+
+// NewFrameWriter returns a writer.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w, Frames: map[byte]uint64{}}
+}
+
+// WriteFrame emits one frame.
+func (fw *FrameWriter) WriteFrame(typ byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(payload))
+	}
+	fw.hdr[0], fw.hdr[1], fw.hdr[2] = frameMagic0, frameMagic1, typ
+	binary.BigEndian.PutUint32(fw.hdr[3:], uint32(len(payload)))
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := fw.w.Write(payload); err != nil {
+			return err
+		}
+	}
+	fw.Frames[typ]++
+	return nil
+}
+
+// WriteV5 frames one encoded v5 packet.
+func (fw *FrameWriter) WriteV5(pkt []byte) error { return fw.WriteFrame(FrameV5, pkt) }
+
+// WriteV6 frames a batch of records in the mixed-family stream encoding.
+func (fw *FrameWriter) WriteV6(records []Record) error {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	for _, r := range records {
+		if err := sw.Write(r); err != nil {
+			return err
+		}
+	}
+	return fw.WriteFrame(FrameV6, buf.Bytes())
+}
+
+// WriteFlush marks the end of one subscriber line's batch.
+func (fw *FrameWriter) WriteFlush() error { return fw.WriteFrame(FrameFlush, nil) }
+
+// FrameReader parses frames from an io.Reader.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader returns a reader.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Next reads one frame; io.EOF signals a clean end on a frame boundary.
+// A stream that ends mid-frame yields a descriptive error wrapping
+// io.ErrUnexpectedEOF — never a silent short read.
+func (fr *FrameReader) Next() (Frame, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, fmt.Errorf("netflow: frame header truncated: %w", io.ErrUnexpectedEOF)
+		}
+		return Frame{}, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return Frame{}, fmt.Errorf("%w: %02x%02x", ErrBadFrameMagic, hdr[0], hdr[1])
+	}
+	typ := hdr[2]
+	switch typ {
+	case FrameV5, FrameV6, FrameFlush:
+	default:
+		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrBadFrameType, typ)
+	}
+	n := binary.BigEndian.Uint32(hdr[3:])
+	if n > MaxFramePayload {
+		return Frame{}, fmt.Errorf("%w: header advertises %d bytes (limit %d)", ErrFrameTooBig, n, MaxFramePayload)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if got, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Frame{}, fmt.Errorf("netflow: frame payload truncated: type 0x%02x advertises %d bytes but the stream carries %d: %w",
+				typ, n, got, io.ErrUnexpectedEOF)
+		}
+		return Frame{}, err
+	}
+	return Frame{Type: typ, Payload: payload}, nil
+}
+
+// DecodeV5Strict is DecodeV5 for framed transport, where the envelope
+// already delimits the packet: trailing bytes beyond the advertised
+// record count are corruption, not the next datagram, and are rejected
+// with a descriptive error.
+func DecodeV5Strict(pkt []byte) (V5Header, []Record, error) {
+	h, records, err := DecodeV5(pkt)
+	if err != nil {
+		return h, records, err
+	}
+	if want := v5HeaderLen + len(records)*v5RecordLen; len(pkt) != want {
+		return V5Header{}, nil, fmt.Errorf("netflow: v5 frame length mismatch: header advertises %d records (%d bytes) but frame carries %d bytes",
+			len(records), want, len(pkt))
+	}
+	return h, records, nil
+}
+
+// DecodeV6Payload parses a FrameV6 payload back into records.
+func DecodeV6Payload(payload []byte) ([]Record, error) {
+	sr := NewStreamReader(bytes.NewReader(payload))
+	var out []Record
+	for {
+		r, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+}
+
+// --- Sampling-rate advertisement ---------------------------------------
+
+// v5 carries the sampling configuration in a 16-bit field: the top two
+// bits are the mode (01 = packet sampling) and the low 14 bits the
+// interval. PackSamplingInterval/SamplingRate convert between that field
+// and the simulation's 1:N rate so the collector can restore volume
+// estimates from the wire alone.
+
+// MaxSamplingRate is the largest rate the 14-bit interval field can
+// advertise.
+const MaxSamplingRate = 1<<14 - 1
+
+// PackSamplingInterval encodes rate for a V5Header. Rates 0 and 1 (no
+// sampling) encode as 0.
+func PackSamplingInterval(rate uint32) (uint16, error) {
+	if rate <= 1 {
+		return 0, nil
+	}
+	if rate > MaxSamplingRate {
+		return 0, fmt.Errorf("netflow: sampling rate 1:%d exceeds v5's 14-bit interval field (max 1:%d)", rate, MaxSamplingRate)
+	}
+	return uint16(1<<14 | rate), nil
+}
+
+// SamplingRate decodes the header's advertised rate (1 = unsampled).
+func (h V5Header) SamplingRate() uint32 {
+	rate := uint32(h.SamplingInterval & MaxSamplingRate)
+	if rate <= 1 {
+		return 1
+	}
+	return rate
+}

@@ -1,0 +1,211 @@
+package netflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	pkt, err := EncodeV5(V5Header{FlowSequence: 7}, []Record{rec("95.1.2.3", "52.0.0.9", 40123, 8883, 5000, 12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6rec := Record{
+		Src: netip.MustParseAddr("2003::1"), Dst: netip.MustParseAddr("2600:1::9"),
+		SrcPort: 55555, DstPort: 8883, Proto: ProtoTCP, Bytes: 4242, Packets: 9,
+		Start: time.Date(2022, 3, 1, 2, 0, 0, 0, time.UTC),
+	}
+	if err := fw.WriteV5(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteV6([]Record{v6rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Frames[FrameV5] != 1 || fw.Frames[FrameV6] != 1 || fw.Frames[FrameFlush] != 1 {
+		t.Fatalf("frame counts = %v", fw.Frames)
+	}
+
+	fr := NewFrameReader(&buf)
+	f, err := fr.Next()
+	if err != nil || f.Type != FrameV5 {
+		t.Fatalf("frame 1 = %v, %v", f.Type, err)
+	}
+	h, recs, err := DecodeV5Strict(f.Payload)
+	if err != nil || h.FlowSequence != 7 || len(recs) != 1 {
+		t.Fatalf("v5 payload: %v %d %v", h, len(recs), err)
+	}
+	f, err = fr.Next()
+	if err != nil || f.Type != FrameV6 {
+		t.Fatalf("frame 2 = %v, %v", f.Type, err)
+	}
+	v6recs, err := DecodeV6Payload(f.Payload)
+	if err != nil || len(v6recs) != 1 || v6recs[0] != v6rec {
+		t.Fatalf("v6 payload: %+v %v", v6recs, err)
+	}
+	f, err = fr.Next()
+	if err != nil || f.Type != FrameFlush || len(f.Payload) != 0 {
+		t.Fatalf("frame 3 = %v, %v", f.Type, err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("end err = %v", err)
+	}
+}
+
+// frame builds one raw frame for corpus tests.
+func frame(typ byte, payload []byte) []byte {
+	out := []byte{frameMagic0, frameMagic1, typ, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(out[3:], uint32(len(payload)))
+	return append(out, payload...)
+}
+
+// TestFrameReaderCorpus: truncated, corrupt, and oversized frames all
+// yield clean descriptive errors — never panics, never silent short
+// reads that let a half-frame masquerade as a whole one.
+func TestFrameReaderCorpus(t *testing.T) {
+	validV5, err := EncodeV5(V5Header{}, []Record{rec("1.1.1.1", "2.2.2.2", 1, 2, 3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oversized := []byte{frameMagic0, frameMagic1, FrameV6, 0xFF, 0xFF, 0xFF, 0xFF}
+	cases := []struct {
+		name    string
+		in      []byte
+		wantEOF bool   // truncation: errors.Is(err, io.ErrUnexpectedEOF)
+		wantSub string // substring of the error text
+	}{
+		{"truncated header", frame(FrameV5, validV5)[:3], true, "frame header truncated"},
+		{"truncated payload", frame(FrameV5, validV5)[:20], true, "frame payload truncated"},
+		{"bad magic", append([]byte{'X', 'Y'}, frame(FrameFlush, nil)[2:]...), false, "bad frame magic"},
+		{"bad type", frame(0x7E, nil), false, "unknown frame type"},
+		{"oversized length", oversized, false, "exceeds limit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewFrameReader(bytes.NewReader(c.in)).Next()
+			if err == nil {
+				t.Fatal("corrupt frame accepted")
+			}
+			if c.wantEOF && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("err = %v, want ErrUnexpectedEOF wrap", err)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("err %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestDecodeV5StrictRejectsTrailingBytes: framed transport must not
+// tolerate length mismatches the datagram path would read past.
+func TestDecodeV5StrictRejectsTrailingBytes(t *testing.T) {
+	pkt, err := EncodeV5(V5Header{}, []Record{rec("1.1.1.1", "2.2.2.2", 1, 2, 3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeV5Strict(pkt); err != nil {
+		t.Fatalf("exact packet rejected: %v", err)
+	}
+	long := append(append([]byte{}, pkt...), 0xAB)
+	if _, _, err := DecodeV5Strict(long); err == nil || !strings.Contains(err.Error(), "length mismatch") {
+		t.Fatalf("trailing bytes: err = %v", err)
+	}
+}
+
+// TestStreamReaderCorpus: the StreamReader corpus of truncated, corrupt,
+// and count-lying inputs. Every error is descriptive, truncations wrap
+// io.ErrUnexpectedEOF, and a record is either read whole or not at all.
+func TestStreamReaderCorpus(t *testing.T) {
+	var whole bytes.Buffer
+	sw := NewStreamWriter(&whole)
+	if err := sw.Write(rec("95.0.0.1", "52.0.0.2", 1000, 8883, 999, 7)); err != nil {
+		t.Fatal(err)
+	}
+	full := whole.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, err := NewStreamReader(bytes.NewReader(full[:cut])).Next()
+		if err == nil {
+			t.Fatalf("truncation at %d/%d accepted (silent short read)", cut, len(full))
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: err = %v, want ErrUnexpectedEOF wrap", cut, err)
+		}
+		if !strings.Contains(err.Error(), "requires") {
+			t.Fatalf("truncation at %d: error not descriptive: %v", cut, err)
+		}
+	}
+	// Corrupt family byte.
+	bad := append([]byte{}, full...)
+	bad[0] = 0x77
+	if _, err := NewStreamReader(bytes.NewReader(bad)).Next(); err == nil || !strings.Contains(err.Error(), "bad family") {
+		t.Fatalf("bad family: err = %v", err)
+	}
+	// A v6 family byte followed by a v4-sized body: the advertised size
+	// exceeds what the stream carries.
+	lied := append([]byte{famV6}, full[1:]...)
+	_, err := NewStreamReader(bytes.NewReader(lied)).Next()
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("oversized-count body: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "family 6") {
+		t.Fatalf("oversized-count body error not descriptive: %v", err)
+	}
+}
+
+// TestEncodeV5ClampedCounter: saturated counters are counted, and the
+// sentinel survives the round trip for the collector to observe.
+func TestEncodeV5ClampedCounter(t *testing.T) {
+	r := rec("1.1.1.1", "2.2.2.2", 1, 2, 1<<40, 1<<36)
+	pkt, clamped, err := EncodeV5Clamped(V5Header{}, []Record{r, rec("1.1.1.1", "2.2.2.2", 1, 2, 3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped != 2 {
+		t.Fatalf("clamped = %d, want 2", clamped)
+	}
+	_, recs, err := DecodeV5Strict(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Bytes != 0xFFFFFFFF || recs[0].Packets != 0xFFFFFFFF {
+		t.Fatalf("sentinel lost: %+v", recs[0])
+	}
+	if recs[1].Bytes != 3 || recs[1].Packets != 4 {
+		t.Fatalf("unsaturated record perturbed: %+v", recs[1])
+	}
+}
+
+func TestPackSamplingInterval(t *testing.T) {
+	si, err := PackSamplingInterval(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (V5Header{SamplingInterval: si}).SamplingRate() != 100 {
+		t.Fatalf("rate round trip: %d", si)
+	}
+	if si>>14 != 1 {
+		t.Fatalf("sampling mode bits = %b", si>>14)
+	}
+	for _, rate := range []uint32{0, 1} {
+		si, err := PackSamplingInterval(rate)
+		if err != nil || si != 0 {
+			t.Fatalf("rate %d: si=%d err=%v", rate, si, err)
+		}
+	}
+	if (V5Header{}).SamplingRate() != 1 {
+		t.Fatal("unsampled header rate != 1")
+	}
+	if _, err := PackSamplingInterval(1 << 14); err == nil {
+		t.Fatal("14-bit overflow accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package netflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeV5 drives the v5 decoder (and its strict framed variant)
+// with arbitrary bytes: it must never panic, never return records on
+// error, and on success return exactly the advertised record count with
+// the packet long enough to have carried it.
+func FuzzDecodeV5(f *testing.F) {
+	valid, err := EncodeV5(V5Header{SysUptime: 1, UnixSecs: 1646042400, FlowSequence: 3, SamplingInterval: 1<<14 | 100},
+		[]Record{
+			rec("95.1.2.3", "52.0.0.9", 40123, 8883, 5000, 12),
+			rec("95.9.9.9", "20.1.1.1", 51000, 443, 900, 3),
+		})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:24])                               // header only, count lies
+	f.Add(valid[:30])                               // truncated mid-record
+	f.Add([]byte{})                                 // empty
+	f.Add([]byte{0, 5})                             // short header
+	f.Add(append(append([]byte{}, valid...), 0xCC)) // trailing byte
+	// Header advertising the record-count maximum with no records.
+	big := make([]byte, v5HeaderLen)
+	binary.BigEndian.PutUint16(big[0:], 5)
+	binary.BigEndian.PutUint16(big[2:], V5MaxRecords)
+	f.Add(big)
+	// Count field past the maximum.
+	over := append([]byte{}, big...)
+	binary.BigEndian.PutUint16(over[2:], V5MaxRecords+1)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, recs, err := DecodeV5(data)
+		if err != nil {
+			if recs != nil {
+				t.Fatalf("records returned alongside error %v", err)
+			}
+		} else {
+			if len(recs) > V5MaxRecords {
+				t.Fatalf("decoded %d records > max", len(recs))
+			}
+			if want := v5HeaderLen + len(recs)*v5RecordLen; len(data) < want {
+				t.Fatalf("decoded %d records from a %d-byte packet (needs %d): silent short read", len(recs), len(data), want)
+			}
+			// A successful decode must re-encode (all decoded records are
+			// IPv4 with in-range counters by construction).
+			if _, _, err := EncodeV5Clamped(h, recs); err != nil {
+				t.Fatalf("re-encode of decoded packet failed: %v", err)
+			}
+		}
+		// The strict variant must agree or fail — never panic.
+		if _, _, serr := DecodeV5Strict(data); serr == nil && err != nil {
+			t.Fatalf("strict accepted what DecodeV5 rejected: %v", err)
+		}
+	})
+}
+
+// FuzzFrameReader feeds arbitrary bytes through the frame layer and the
+// per-type payload decoders — the full collector parse path. Clean
+// errors only; a fuzz-found panic here would be a collector crash on a
+// hostile feed.
+func FuzzFrameReader(f *testing.F) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	pkt, err := EncodeV5(V5Header{}, []Record{rec("95.1.2.3", "52.0.0.9", 40123, 8883, 5000, 12)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := fw.WriteV5(pkt); err != nil {
+		f.Fatal(err)
+	}
+	if err := fw.WriteFlush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:5])
+	f.Add([]byte("NF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			fme, err := fr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // clean error; done
+			}
+			switch fme.Type {
+			case FrameV5:
+				_, _, _ = DecodeV5Strict(fme.Payload)
+			case FrameV6:
+				_, _ = DecodeV6Payload(fme.Payload)
+			}
+		}
+	})
+}

@@ -72,8 +72,17 @@ type V5Header struct {
 
 // EncodeV5 serializes records into one v5 packet.
 func EncodeV5(h V5Header, records []Record) ([]byte, error) {
+	pkt, _, err := EncodeV5Clamped(h, records)
+	return pkt, err
+}
+
+// EncodeV5Clamped is EncodeV5 with the lossiness made visible: clamped
+// counts the Bytes/Packets counters that exceeded v5's 32-bit fields and
+// were saturated to 0xFFFFFFFF. Exporters accumulate it so the collector
+// side can report how much of the feed rode on saturated counters.
+func EncodeV5Clamped(h V5Header, records []Record) (pkt []byte, clamped int, err error) {
 	if len(records) > V5MaxRecords {
-		return nil, ErrV5TooMany
+		return nil, 0, ErrV5TooMany
 	}
 	buf := make([]byte, v5HeaderLen+len(records)*v5RecordLen)
 	be := binary.BigEndian
@@ -89,7 +98,7 @@ func EncodeV5(h V5Header, records []Record) ([]byte, error) {
 
 	for i, r := range records {
 		if !r.IsV4() {
-			return nil, ErrV5NeedsV4
+			return nil, clamped, ErrV5NeedsV4
 		}
 		off := v5HeaderLen + i*v5RecordLen
 		src := r.Src.Unmap().As4()
@@ -97,6 +106,12 @@ func EncodeV5(h V5Header, records []Record) ([]byte, error) {
 		copy(buf[off:], src[:])
 		copy(buf[off+4:], dst[:])
 		// nexthop (4B), input/output ifindex (2B each) stay zero.
+		if r.Packets > 0xFFFFFFFF {
+			clamped++
+		}
+		if r.Bytes > 0xFFFFFFFF {
+			clamped++
+		}
 		be.PutUint32(buf[off+16:], clamp32(r.Packets))
 		be.PutUint32(buf[off+20:], clamp32(r.Bytes))
 		first := uint32(r.Start.Unix()) // sysuptime-relative in real kit
@@ -108,7 +123,7 @@ func EncodeV5(h V5Header, records []Record) ([]byte, error) {
 		buf[off+38] = r.Proto
 		// tos, src_as, dst_as, masks, pad: zero.
 	}
-	return buf, nil
+	return buf, clamped, nil
 }
 
 // DecodeV5 parses one v5 packet.
@@ -124,8 +139,9 @@ func DecodeV5(pkt []byte) (V5Header, []Record, error) {
 	if count > V5MaxRecords {
 		return V5Header{}, nil, ErrV5TooMany
 	}
-	if len(pkt) < v5HeaderLen+count*v5RecordLen {
-		return V5Header{}, nil, ErrV5Truncated
+	if want := v5HeaderLen + count*v5RecordLen; len(pkt) < want {
+		return V5Header{}, nil, fmt.Errorf("%w: header advertises %d records (%d bytes) but packet carries %d bytes",
+			ErrV5Truncated, count, want, len(pkt))
 	}
 	h := V5Header{
 		SysUptime:        be.Uint32(pkt[4:]),
@@ -241,9 +257,12 @@ func (sr *StreamReader) Next() (Record, error) {
 		return Record{}, fmt.Errorf("netflow: bad family %d", fam[0])
 	}
 	body := make([]byte, 2*alen+2+2+1+8+8+8)
-	if _, err := io.ReadFull(sr.r, body); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	if n, err := io.ReadFull(sr.r, body); err != nil {
+		// Never a silent short read: a record that starts must be whole,
+		// and the error says exactly how much of it the stream carried.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("netflow: stream record truncated: family %d requires a %d-byte body but the stream carries %d: %w",
+				fam[0], len(body), n, io.ErrUnexpectedEOF)
 		}
 		return Record{}, err
 	}

@@ -2,8 +2,10 @@ package netflow
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"net/netip"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -80,8 +82,10 @@ func TestV5Errors(t *testing.T) {
 		t.Fatalf("version err = %v", err)
 	}
 	pkt2, _ := EncodeV5(V5Header{}, []Record{rec("1.1.1.1", "2.2.2.2", 1, 2, 3, 4)})
-	if _, _, err := DecodeV5(pkt2[:30]); err != ErrV5Truncated {
+	if _, _, err := DecodeV5(pkt2[:30]); !errors.Is(err, ErrV5Truncated) {
 		t.Fatalf("truncated records err = %v", err)
+	} else if !strings.Contains(err.Error(), "advertises 1 records") {
+		t.Fatalf("truncation error not descriptive: %v", err)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"iotmap/internal/bgpstream"
 	"iotmap/internal/blocklist"
 	"iotmap/internal/certmodel"
+	"iotmap/internal/collector"
 	"iotmap/internal/core/discovery"
 	"iotmap/internal/core/disrupt"
 	"iotmap/internal/core/flows"
@@ -88,7 +89,25 @@ type Config struct {
 	// SkipLiveScan disables the vnet deployment + real TLS scanning of
 	// the IPv6 estate (faster; discovery falls back to DNS channels).
 	SkipLiveScan bool
+	// TrafficMode selects TrafficStudy's data path: TrafficModeMemory
+	// (default) hands aggregators in-memory records; TrafficModeWire
+	// exports every line shard as framed NetFlow v5 packet streams and
+	// re-ingests them through internal/collector — the production-shaped
+	// path, byte-identical in output.
+	TrafficMode string
+	// WireStreams is the concurrent stream count in wire mode
+	// (default GOMAXPROCS).
+	WireStreams int
 }
+
+// TrafficStudy data paths (Config.TrafficMode).
+const (
+	// TrafficModeMemory simulates straight into in-process aggregators.
+	TrafficModeMemory = "memory"
+	// TrafficModeWire runs simulate→NetFlow-export→collect end-to-end:
+	// figures are computed from packets, not memory.
+	TrafficModeWire = "wire"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
@@ -145,6 +164,11 @@ type System struct {
 	Contacts *flows.ContactCounter
 	Index    *flows.BackendIndex
 	Study    *flows.Study
+	// WireExport/WireIngest are the wire-mode transfer counters (nil in
+	// memory mode): what the border routers framed onto the streams, and
+	// what the collector decoded, scaled, and folded back out of them.
+	WireExport *isp.WireStats
+	WireIngest *collector.Stats
 
 	// Disrupt outputs.
 	OutageReport *disrupt.OutageReport
@@ -263,47 +287,43 @@ func (s *System) ValidateAndLocate() error {
 // Section 5 traffic study — one simulation pass for both analyses, as
 // the paper runs both over the same recorded NetFlow feed.
 func (s *System) TrafficStudy() error {
-	if s.Rows == nil {
-		return fmt.Errorf("iotmap: ValidateAndLocate must run first")
-	}
-	net, err := isp.NewNetwork(isp.Config{Seed: s.Cfg.Seed, Lines: s.Cfg.Lines}, s.World)
+	net, idx, err := s.TrafficInputs()
 	if err != nil {
 		return err
 	}
-	if s.Cfg.Outage != nil {
-		net.Modifier = s.Cfg.Outage.Modifier()
-	}
 	s.Net = net
-
-	idx := flows.NewBackendIndex()
-	for _, p := range s.Patterns {
-		id := p.ProviderID()
-		alias := s.World.AliasOf(id)
-		union := s.Discovery[id].Union()
-		located := s.Located[id]
-		for _, a := range s.Dedicated[id] {
-			loc := located[a]
-			certFound := union[a] != nil && union[a].Sources.Has(discovery.SrcCert)
-			idx.Add(a, alias, loc.Location.Continent, loc.Location.Region, certFound)
-		}
-	}
 	s.Index = idx
+	s.WireExport, s.WireIngest = nil, nil
 
 	focusAlias, focusRegion := "T1", "us-east-1"
 	if s.Cfg.Outage != nil {
 		focusRegion = s.Cfg.Outage.Region
 	}
-	agg := flows.NewShardedAggregator(idx, s.World.Days, flows.Options{
+	opts := flows.Options{
 		ScannerThreshold: s.Cfg.ScannerThreshold,
 		SamplingRate:     net.Cfg.SamplingRate,
 		FocusAlias:       focusAlias,
 		FocusRegion:      focusRegion,
-	}, runtime.GOMAXPROCS(0))
-	net.SimulateLines(agg.Shards(),
-		func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
-		func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
-	)
-	cc, col := agg.Merge()
+	}
+	var cc *flows.ContactCounter
+	var col *flows.Collector
+	switch s.Cfg.TrafficMode {
+	case TrafficModeMemory, "":
+		agg := flows.NewShardedAggregator(idx, s.World.Days, opts, runtime.GOMAXPROCS(0))
+		net.SimulateLines(agg.Shards(),
+			func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+			func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+		)
+		cc, col = agg.Merge()
+	case TrafficModeWire:
+		var err error
+		cc, col, err = s.trafficWire(net, idx, opts)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("iotmap: unknown TrafficMode %q", s.Cfg.TrafficMode)
+	}
 	s.Contacts = cc
 	s.Study = col.Study()
 
@@ -320,6 +340,68 @@ func (s *System) TrafficStudy() error {
 		s.Validation.Traffic[id] = validate.AgainstTraffic(s.Discovery[id].UnionAddrs(), perProvider)
 	}
 	return nil
+}
+
+// TrafficInputs builds the traffic stage's raw material — the ISP
+// subscriber model (with any configured outage modifier installed) and
+// the backend index over the validated dedicated sets — without running
+// an analysis. TrafficStudy uses it internally; standalone
+// exporter/collector frontends (cmd/iotcollect) use it to drive the
+// wire path by hand. Requires ValidateAndLocate.
+func (s *System) TrafficInputs() (*isp.Network, *flows.BackendIndex, error) {
+	if s.Rows == nil {
+		return nil, nil, fmt.Errorf("iotmap: ValidateAndLocate must run first")
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: s.Cfg.Seed, Lines: s.Cfg.Lines}, s.World)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Cfg.Outage != nil {
+		net.Modifier = s.Cfg.Outage.Modifier()
+	}
+	idx := flows.NewBackendIndex()
+	for _, p := range s.Patterns {
+		id := p.ProviderID()
+		alias := s.World.AliasOf(id)
+		union := s.Discovery[id].Union()
+		located := s.Located[id]
+		for _, a := range s.Dedicated[id] {
+			loc := located[a]
+			certFound := union[a] != nil && union[a].Sources.Has(discovery.SrcCert)
+			idx.Add(a, alias, loc.Location.Continent, loc.Location.Region, certFound)
+		}
+	}
+	return net, idx, nil
+}
+
+// trafficWire runs the wire-mode data path: the ISP exports every line
+// shard's week as a framed NetFlow v5 packet stream over an in-process
+// pipe (synchronous — collector backpressure throttles the exporter),
+// and the collector decodes, validates, rescales, and folds each stream
+// into a shard partial. The merged result is byte-identical to the
+// in-memory path for any stream count.
+func (s *System) trafficWire(net *isp.Network, idx *flows.BackendIndex, opts flows.Options) (*flows.ContactCounter, *flows.Collector, error) {
+	streams := s.Cfg.WireStreams
+	if streams <= 0 {
+		streams = runtime.GOMAXPROCS(0)
+	}
+	col, err := collector.New(collector.Config{Index: idx, Days: s.World.Days, Opts: opts})
+	if err != nil {
+		return nil, nil, err
+	}
+	writers, wait := col.IngestPipes(streams)
+	wireStats, exportErr := net.SimulateLinesToWire(writers, 0)
+	if err := wait(); err != nil {
+		return nil, nil, err
+	}
+	if exportErr != nil {
+		return nil, nil, exportErr
+	}
+	ingestStats := col.Stats()
+	s.WireExport = &wireStats
+	s.WireIngest = &ingestStats
+	cc, fcol := col.Finalize()
+	return cc, fcol, nil
 }
 
 // Disrupt runs the Section 6 analyses: the outage report when the run
