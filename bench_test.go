@@ -373,6 +373,66 @@ func BenchmarkStageWireWeek(b *testing.B) {
 	}
 }
 
+// BenchmarkStageFederation measures the three-vantage federated
+// pipeline over the study week: two residential ISP worlds plus an
+// IXP-style vantage simulate into vantage-tagged partials, which
+// FederatedMerge folds into per-vantage studies, the exact union, and
+// the cross-vantage coverage report. Compare against StageTrafficWeek
+// to see what federating ~2.1× the single-vantage line count costs.
+func BenchmarkStageFederation(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	type vantage struct {
+		name string
+		net  *isp.Network
+	}
+	var vantages []vantage
+	for _, vc := range []struct {
+		name string
+		cfg  isp.Config
+	}{
+		{"isp-a", isp.Config{Seed: 5, Lines: 5000, VantageID: 0}},
+		{"isp-b", isp.Config{Seed: 7, Lines: 3000, VantageID: 1}},
+		{"ixp", isp.Config{Seed: 9, Lines: 2500, VantageID: 2, SamplingRate: 1024, ScannerFraction: -1}},
+	} {
+		net, err := isp.NewNetwork(vc.cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vantages = append(vantages, vantage{vc.name, net})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var parts []*flows.ShardPartial
+		for _, v := range vantages {
+			agg := flows.NewShardedAggregator(idx, w.Days, flows.Options{
+				ScannerThreshold: 100,
+				SamplingRate:     v.net.Cfg.SamplingRate,
+				Vantage:          v.name,
+			}, runtime.GOMAXPROCS(0))
+			v.net.SimulateLines(agg.Shards(),
+				func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+				func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+			)
+			for k := 0; k < agg.Shards(); k++ {
+				parts = append(parts, agg.Shard(k))
+			}
+		}
+		fed := flows.FederatedMerge(parts)
+		cov := fed.Coverage()
+		if cov.Union == 0 || fed.UnionCol.Study().Hours() == 0 {
+			b.Fatal("empty federation")
+		}
+	}
+}
+
 // BenchmarkStageNetFlowExport measures the v5 wire path end-to-end:
 // simulate a day, encode every IPv4 record into v5 packets, decode back.
 func BenchmarkStageNetFlowExport(b *testing.B) {

@@ -46,6 +46,7 @@ func main() {
 	listen := flag.String("listen", "", "accept framed v5 streams on this TCP address")
 	udp := flag.String("udp", "", "ingest raw v5 datagrams on this UDP address until interrupted")
 	demo := flag.Bool("demo", false, "run the exporter in-process over a TCP loopback")
+	vantage := flag.String("vantage", "", "vantage label attributed to every ingested feed (per-stream stats, federation merges)")
 	flag.Parse()
 
 	sys, err := iotmap.New(iotmap.Config{
@@ -71,6 +72,7 @@ func main() {
 		SamplingRate:     ispNet.Cfg.SamplingRate,
 		FocusAlias:       "T1",
 		FocusRegion:      "us-east-1",
+		Vantage:          *vantage,
 	}
 
 	if *exportDir != "" {
@@ -122,7 +124,7 @@ func main() {
 			defer f.Close()
 			readers[i] = f
 		}
-		if err := col.IngestStreams(readers); err != nil {
+		if err := col.IngestNamedStreams(flag.Args(), readers); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -205,6 +207,14 @@ func report(sys *iotmap.System, col *collector.Collector) {
 		st.Streams, st.Frames, st.V5Packets, st.V4Records, st.V6Records, st.Flushes)
 	fmt.Printf("           %d saturated counters, %d rate mismatches, %d bad packets, %.1f GB estimated volume\n",
 		st.SaturatedCounters, st.RateMismatches, st.BadPackets, float64(st.ScaledBytes)/1e9)
+	for _, ss := range col.StreamStats() {
+		label := ss.Source
+		if ss.Vantage != "" {
+			label = ss.Vantage + " / " + label
+		}
+		fmt.Printf("  stream %d (%s): %d frames, %d records, %d bad, %d mismatched rates, %d saturated\n",
+			ss.Stream, label, ss.Frames, ss.V4Records+ss.V6Records, ss.BadPackets, ss.RateMismatches, ss.SaturatedCounters)
+	}
 	fmt.Println()
 	fmt.Println(figures.Figure5(sys))
 	fmt.Println(figures.Figure8(sys))

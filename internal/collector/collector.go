@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -85,6 +86,21 @@ func (s *Stats) add(o Stats) {
 	s.ScaledBytes += o.ScaledBytes
 }
 
+// StreamStat is one completed stream's counters with its attribution —
+// enough to point at the source feeding a corrupt or mis-rated stream
+// instead of only knowing "somewhere in the sum".
+type StreamStat struct {
+	// Stream is the stream's accept-order index.
+	Stream int
+	// Vantage is the feed's vantage label (Config.Opts.Vantage).
+	Vantage string
+	// Source describes the transport endpoint: a TCP remote address, a
+	// UDP source address, a file path, or "pipe-N"/"stream-N" for
+	// anonymous readers.
+	Source string
+	Stats
+}
+
 // Collector ingests N concurrent NetFlow streams into one merged
 // traffic study. Safe for concurrent IngestStream calls; Finalize once
 // ingestion is done.
@@ -97,9 +113,11 @@ type Collector struct {
 	// agree bit for bit.
 	partialOpts flows.Options
 
-	mu    sync.Mutex
-	parts []*flows.ShardPartial
-	stats Stats
+	mu         sync.Mutex
+	parts      []*flows.ShardPartial
+	stats      Stats
+	perStream  []StreamStat
+	nextStream int
 }
 
 // New builds a collector.
@@ -118,30 +136,57 @@ func New(cfg Config) (*Collector, error) {
 // stream is one shard's decode state.
 type stream struct {
 	part *flows.ShardPartial
+	// index is the stream's accept order; source its endpoint label.
+	index  int
+	source string
 	// rate is the stream's advertised sampling rate (0 = none seen yet).
 	rate    uint32
 	sampler *netflow.Sampler
 	buf     []netflow.Record
 	stats   Stats
+	// live marks a ServeUDP stream, whose datagram counters already
+	// folded into the collector totals as they arrived; finish must not
+	// add them twice.
+	live bool
 	// fallbackUsed is the configured rate a flush actually applied
 	// before any v5 header had advertised one; a later header that
 	// disagrees is a rate mismatch worth counting.
 	fallbackUsed uint32
 }
 
-func (c *Collector) newStream() *stream {
+func (c *Collector) newStream(source string) *stream {
 	part := flows.NewShardPartial(c.cfg.Index, c.cfg.Days, c.partialOpts)
 	c.mu.Lock()
+	idx := c.nextStream
+	c.nextStream++
 	c.parts = append(c.parts, part)
 	c.mu.Unlock()
-	return &stream{part: part}
+	if source == "" {
+		source = fmt.Sprintf("stream-%d", idx)
+	}
+	return &stream{part: part, index: idx, source: source}
 }
 
-// finish folds the stream's stats into the collector totals.
+// finish folds the stream's stats into the collector totals and records
+// the per-stream breakdown.
 func (c *Collector) finish(st *stream) {
 	st.stats.Streams = 1
 	c.mu.Lock()
-	c.stats.add(st.stats)
+	if st.live {
+		// ServeUDP already folded the datagram counters in on arrival;
+		// only the close-time counters remain.
+		c.stats.Streams++
+		c.stats.RateMismatches += st.stats.RateMismatches
+		c.stats.ScaledBytes += st.stats.ScaledBytes
+	} else {
+		c.stats.add(st.stats)
+	}
+	c.perStream = append(c.perStream, StreamStat{
+		Stream:  st.index,
+		Vantage: c.cfg.Opts.Vantage,
+		Source:  st.source,
+		Stats:   st.stats,
+	})
 	c.mu.Unlock()
 }
 
@@ -212,7 +257,15 @@ func (st *stream) flush(fallbackRate uint32) {
 // fails loudly rather than aggregating a partial week silently — but
 // everything ingested up to the error stays counted.
 func (c *Collector) IngestStream(r io.Reader) error {
-	st := c.newStream()
+	return c.IngestNamedStream("", r)
+}
+
+// IngestNamedStream is IngestStream with a source label for the
+// per-stream Stats breakdown (a file path, a peer address — whatever
+// identifies the feed to an operator). An empty name falls back to the
+// accept-order "stream-N" label.
+func (c *Collector) IngestNamedStream(name string, r io.Reader) error {
+	st := c.newStream(name)
 	defer c.finish(st)
 	fr := netflow.NewFrameReader(r)
 	for {
@@ -267,17 +320,34 @@ func abortReader(r io.Reader, cause error) {
 // so the exporter behind it unblocks and the healthy streams still run
 // to completion.
 func (c *Collector) IngestStreams(readers []io.Reader) error {
+	return c.ingestStreams(nil, readers)
+}
+
+// IngestNamedStreams is IngestStreams with per-reader source labels for
+// the Stats breakdown; names and readers must be the same length.
+func (c *Collector) IngestNamedStreams(names []string, readers []io.Reader) error {
+	if len(names) != len(readers) {
+		return fmt.Errorf("collector: %d names for %d readers", len(names), len(readers))
+	}
+	return c.ingestStreams(names, readers)
+}
+
+func (c *Collector) ingestStreams(names []string, readers []io.Reader) error {
 	errs := make([]error, len(readers))
 	var wg sync.WaitGroup
 	for i, r := range readers {
+		name := ""
+		if names != nil {
+			name = names[i]
+		}
 		wg.Add(1)
-		go func(i int, r io.Reader) {
+		go func(i int, name string, r io.Reader) {
 			defer wg.Done()
-			if err := c.IngestStream(r); err != nil {
+			if err := c.IngestNamedStream(name, r); err != nil {
 				errs[i] = err
 				abortReader(r, err)
 			}
-		}(i, r)
+		}(i, name, r)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -306,7 +376,7 @@ func (c *Collector) IngestPipes(streams int) (writers []io.Writer, wait func() e
 		wg.Add(1)
 		go func(i int, pr *io.PipeReader) {
 			defer wg.Done()
-			if err := c.IngestStream(pr); err != nil {
+			if err := c.IngestNamedStream(fmt.Sprintf("pipe-%d", i), pr); err != nil {
 				errs[i] = err
 				pr.CloseWithError(err)
 			}
@@ -338,6 +408,7 @@ func (c *Collector) ListenTCP(l net.Listener, streams int) error {
 			cn.Close()
 		}
 	}()
+	names := make([]string, 0, streams)
 	for i := 0; i < streams; i++ {
 		conn, err := l.Accept()
 		if err != nil {
@@ -345,8 +416,9 @@ func (c *Collector) ListenTCP(l net.Listener, streams int) error {
 		}
 		closers = append(closers, conn)
 		conns = append(conns, conn)
+		names = append(names, conn.RemoteAddr().String())
 	}
-	return c.IngestStreams(conns)
+	return c.ingestStreams(names, conns)
 }
 
 // ServeUDP ingests raw v5 datagrams (real-router interop: no frame
@@ -376,28 +448,38 @@ func (c *Collector) ServeUDP(pc net.PacketConn) error {
 		key := addr.String()
 		st, ok := streams[key]
 		if !ok {
-			st = c.newStream()
+			st = c.newStream(key)
+			st.live = true
 			streams[key] = st
 		}
 		h, recs, derr := netflow.DecodeV5Strict(buf[:n])
 		// Datagram counters fold into the totals immediately (not at
 		// close) so a live feed is observable through Stats() while it
-		// runs; only the flush-time counters wait for close.
+		// runs, and are mirrored into the stream's own counters for the
+		// per-source breakdown; only the flush-time counters wait for
+		// close (finish knows a live stream's arrival counters are
+		// already in the totals).
 		c.mu.Lock()
 		if derr != nil {
 			c.stats.BadPackets++
+			st.stats.BadPackets++
 			c.mu.Unlock()
 			continue
 		}
 		c.stats.Frames++
 		c.stats.V5Packets++
 		c.stats.V4Records += uint64(len(recs))
+		st.stats.Frames++
+		st.stats.V5Packets++
+		st.stats.V4Records += uint64(len(recs))
 		for _, r := range recs {
 			if r.Bytes == 0xFFFFFFFF {
 				c.stats.SaturatedCounters++
+				st.stats.SaturatedCounters++
 			}
 			if r.Packets == 0xFFFFFFFF {
 				c.stats.SaturatedCounters++
+				st.stats.SaturatedCounters++
 			}
 		}
 		c.mu.Unlock()
@@ -424,9 +506,34 @@ func (c *Collector) Finalize() (*flows.ContactCounter, *flows.Collector) {
 	return flows.MergePartials(c.parts)
 }
 
+// Partials hands over the per-stream shard partials — each carrying its
+// vantage tag (Config.Opts.Vantage) — for a cross-collector
+// flows.FederatedMerge, instead of finalizing in place. The caller
+// assumes ownership: the collector is left empty, and a later Finalize
+// returns empty aggregates. Call only after all ingestion completed.
+func (c *Collector) Partials() []*flows.ShardPartial {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := c.parts
+	c.parts = nil
+	return parts
+}
+
 // Stats returns a snapshot of the wire counters.
 func (c *Collector) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// StreamStats returns the per-stream breakdown of completed streams in
+// accept order, so anomalies in the totals (bad packets, rate
+// mismatches, saturated counters) can be attributed to the feed that
+// produced them.
+func (c *Collector) StreamStats() []StreamStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]StreamStat(nil), c.perStream...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
 }

@@ -500,3 +500,116 @@ func TestIngestCorruptStream(t *testing.T) {
 		t.Fatalf("truncated stream err = %v", err)
 	}
 }
+
+// TestStreamStatsBreakdown: the per-stream Stats breakdown must sum to
+// the global counters and attribute every feed to its vantage and
+// source label — the "which feed is corrupt" satellite.
+func TestStreamStatsBreakdown(t *testing.T) {
+	f := buildFixture(t, 600)
+	f.opts.Vantage = "isp-test"
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 3
+	bufs := make([]*bytes.Buffer, streams)
+	writers := make([]io.Writer, streams)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	if _, err := f.net.SimulateLinesToWire(writers, 0); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"feed-a", "feed-b", "feed-c"}
+	readers := make([]io.Reader, streams)
+	for i := range bufs {
+		readers[i] = bufs[i]
+	}
+	if err := col.IngestNamedStreams(names, readers); err != nil {
+		t.Fatal(err)
+	}
+	per := col.StreamStats()
+	if len(per) != streams {
+		t.Fatalf("stream stats = %d entries, want %d", len(per), streams)
+	}
+	var sum Stats
+	seen := map[string]bool{}
+	for i, ss := range per {
+		if ss.Stream != i {
+			t.Fatalf("stream stats out of accept order: %d at %d", ss.Stream, i)
+		}
+		if ss.Vantage != "isp-test" {
+			t.Fatalf("stream %d vantage = %q", ss.Stream, ss.Vantage)
+		}
+		seen[ss.Source] = true
+		if ss.Streams != 1 || ss.Frames == 0 || ss.V4Records == 0 {
+			t.Fatalf("stream %d stats degenerate: %+v", ss.Stream, ss.Stats)
+		}
+		sum.add(ss.Stats)
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Fatalf("source %q missing from breakdown %v", name, per)
+		}
+	}
+	if total := col.Stats(); sum != total {
+		t.Fatalf("per-stream sum %+v != totals %+v", sum, total)
+	}
+
+	// A corrupt feed is attributable: a fresh collector fed one good and
+	// one truncated stream reports the error stream's partial counters
+	// under its own label.
+	col2, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &bytes.Buffer{}
+	if _, err := f.net.SimulateLinesToWire([]io.Writer{good}, 0); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := bytes.NewReader(good.Bytes()[:good.Len()/2])
+	if err := col2.IngestNamedStreams(
+		[]string{"good", "corrupt"},
+		[]io.Reader{bytes.NewReader(good.Bytes()), corrupt},
+	); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	for _, ss := range col2.StreamStats() {
+		if ss.Source == "corrupt" && ss.Frames == 0 {
+			t.Fatal("corrupt stream's pre-error counters lost")
+		}
+	}
+}
+
+// TestPartialsHandoff: Partials drains the collector for a federated
+// merge — the partials carry the vantage tag, reproduce the same
+// analysis, and the drained collector finalizes empty.
+func TestPartialsHandoff(t *testing.T) {
+	f := buildFixture(t, 600)
+	f.opts.Vantage = "vp-wire"
+	memCC, memCol := f.memoryRun(4)
+
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &bytes.Buffer{}
+	if _, err := f.net.SimulateLinesToWire([]io.Writer{buf}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.IngestStream(buf); err != nil {
+		t.Fatal(err)
+	}
+	parts := col.Partials()
+	if len(parts) != 1 || parts[0].Vantage != "vp-wire" {
+		t.Fatalf("partials = %d entries, vantage %q", len(parts), parts[0].Vantage)
+	}
+	fed := flows.FederatedMerge(parts)
+	assertSameAnalysis(t, "partials-handoff", fed.CC["vp-wire"], memCC, fed.Col["vp-wire"], memCol)
+
+	emptyCC, emptyCol := col.Finalize()
+	if len(emptyCC.Scanners(0)) != 0 || len(emptyCol.Study().Aliases()) != 0 {
+		t.Fatal("drained collector finalized non-empty aggregates")
+	}
+}

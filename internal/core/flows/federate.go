@@ -1,0 +1,182 @@
+package flows
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Multi-vantage federation: the paper's measurement runs over two
+// vantage points (a residential ISP and an IXP) and asks which parts of
+// the IoT backend ecosystem each can see. FederatedMerge is the
+// aggregation seam for that question — shard partials arrive tagged
+// with the vantage that observed them (ShardPartial.Vantage), merge
+// into one ContactCounter/Collector per vantage exactly as the
+// single-vantage pipeline would, and additionally fold into an exact
+// union across vantages. Everything is built from the PR-2 merge
+// algebra (sums, sets, integer-valued float64 additions), so the result
+// is independent of both shard order and vantage order, and union
+// volumes equal the per-vantage sums bit for bit.
+
+// Federation is FederatedMerge's result: the per-vantage aggregates
+// plus their union. Per-vantage values are the exact collectors a
+// single-vantage pipeline over the same feed would produce; the union
+// is a deep-copied merge, so finalizing one never disturbs another.
+type Federation struct {
+	// Names lists the vantage labels, sorted.
+	Names []string
+	// CC and Col are the per-vantage merged aggregates.
+	CC  map[string]*ContactCounter
+	Col map[string]*Collector
+	// UnionCC and UnionCol merge every vantage's aggregates: contact
+	// sets union, volumes add exactly (integer-valued float64), line
+	// sets union (vantage address plans are disjoint, so no aliasing).
+	UnionCC  *ContactCounter
+	UnionCol *Collector
+}
+
+// FederatedMerge folds vantage-tagged shard partials into per-vantage
+// aggregates and their union. Partials group by ShardPartial.Vantage;
+// within and across groups the merge is order-independent, so any
+// permutation of parts yields identical results. Like MergePartials it
+// consumes the partials (donor maps are adopted by reference) and
+// requires a non-empty slice; all partials must share the backend
+// index, study days, and per-vantage Options.
+func FederatedMerge(parts []*ShardPartial) *Federation {
+	groups := map[string][]*ShardPartial{}
+	for _, p := range parts {
+		groups[p.Vantage] = append(groups[p.Vantage], p)
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	f := &Federation{
+		Names: names,
+		CC:    make(map[string]*ContactCounter, len(names)),
+		Col:   make(map[string]*Collector, len(names)),
+	}
+	for _, name := range names {
+		f.CC[name], f.Col[name] = MergePartials(groups[name])
+	}
+	for _, name := range names {
+		if f.UnionCC == nil {
+			f.UnionCC = f.CC[name].clone()
+			f.UnionCol = f.Col[name].clone()
+			continue
+		}
+		f.UnionCC.Merge(f.CC[name].clone())
+		f.UnionCol.Merge(f.Col[name].clone())
+	}
+	return f
+}
+
+// VantageCoverage is one vantage's slice of the cross-vantage backend
+// comparison.
+type VantageCoverage struct {
+	Vantage string
+	// Backends counts distinct backend addresses with observed traffic.
+	Backends int
+	// Exclusive counts backends visible at this vantage and nowhere else.
+	Exclusive int
+	// Providers counts aliases with at least one visible backend.
+	Providers int
+}
+
+// AliasCoverage is one provider's cross-vantage row.
+type AliasCoverage struct {
+	Alias string
+	// Union counts the provider's backends visible from any vantage.
+	Union int
+	// Everywhere counts those visible from every vantage.
+	Everywhere int
+	// PerVantage counts visible backends per vantage name.
+	PerVantage map[string]int
+}
+
+// CoverageReport is the paper's vantage-comparison angle quantified:
+// which backends (and providers) are visible from which vantage, what
+// only one vantage contributes, and what the union looks like.
+type CoverageReport struct {
+	// Vantages holds per-vantage totals, sorted by name.
+	Vantages []VantageCoverage
+	// Union is |A ∪ B ∪ ...| over all vantages' visible backends.
+	Union int
+	// Everywhere counts backends visible at every vantage.
+	Everywhere int
+	// Aliases holds the per-provider breakdown, sorted by alias.
+	Aliases []AliasCoverage
+}
+
+// Coverage computes the cross-vantage coverage report from the
+// federation's per-vantage collectors.
+func (f *Federation) Coverage() *CoverageReport {
+	type addrView struct {
+		alias    string
+		vantages map[string]struct{}
+	}
+	views := map[netip.Addr]*addrView{}
+	perVantage := map[string]map[netip.Addr]struct{}{}
+	perVantageAliases := map[string]map[string]struct{}{}
+	for _, name := range f.Names {
+		seen := map[netip.Addr]struct{}{}
+		aliases := map[string]struct{}{}
+		for alias, set := range f.Col[name].visible {
+			if len(set) > 0 {
+				aliases[alias] = struct{}{}
+			}
+			for addr := range set {
+				seen[addr] = struct{}{}
+				v, ok := views[addr]
+				if !ok {
+					v = &addrView{alias: alias, vantages: map[string]struct{}{}}
+					views[addr] = v
+				}
+				v.vantages[name] = struct{}{}
+			}
+		}
+		perVantage[name] = seen
+		perVantageAliases[name] = aliases
+	}
+
+	rep := &CoverageReport{Union: len(views)}
+	aliasRows := map[string]*AliasCoverage{}
+	for _, v := range views {
+		row, ok := aliasRows[v.alias]
+		if !ok {
+			row = &AliasCoverage{Alias: v.alias, PerVantage: map[string]int{}}
+			aliasRows[v.alias] = row
+		}
+		row.Union++
+		if len(v.vantages) == len(f.Names) {
+			row.Everywhere++
+			rep.Everywhere++
+		}
+		for name := range v.vantages {
+			row.PerVantage[name]++
+		}
+	}
+	for _, name := range f.Names {
+		vc := VantageCoverage{
+			Vantage:   name,
+			Backends:  len(perVantage[name]),
+			Providers: len(perVantageAliases[name]),
+		}
+		for addr := range perVantage[name] {
+			if len(views[addr].vantages) == 1 {
+				vc.Exclusive++
+			}
+		}
+		rep.Vantages = append(rep.Vantages, vc)
+	}
+	aliases := make([]string, 0, len(aliasRows))
+	for alias := range aliasRows {
+		aliases = append(aliases, alias)
+	}
+	sort.Strings(aliases)
+	for _, alias := range aliases {
+		rep.Aliases = append(rep.Aliases, *aliasRows[alias])
+	}
+	return rep
+}

@@ -249,6 +249,10 @@ type Options struct {
 	// region (Figures 15/16: T1, us-east-1).
 	FocusAlias  string
 	FocusRegion string
+	// Vantage labels the vantage-point world this aggregation observes.
+	// NewShardPartial stamps it onto every partial so FederatedMerge can
+	// group shards by origin; "" is the single-vantage default.
+	Vantage string
 }
 
 // NewCollector builds a collector for a study period.

@@ -1,12 +1,14 @@
 package flows
 
 import (
+	"maps"
 	"math"
 	"net/netip"
 	"time"
 
 	"iotmap/internal/analysis"
 	"iotmap/internal/netflow"
+	"iotmap/internal/proto"
 )
 
 // lineSide splits a record into its subscriber and backend endpoints,
@@ -136,6 +138,102 @@ func (c *Collector) Merge(o *Collector) {
 	}
 }
 
+// --- Deep copies --------------------------------------------------------
+//
+// The clones live next to Merge on purpose: clone, Merge, and the
+// Collector struct must enumerate the same aggregate fields, and
+// TestCollectorCloneComplete fails loudly if a future field reaches the
+// struct and Merge without reaching clone.
+
+// clone deep-copies the counter so the copy can be consumed by a merge
+// while the original stays usable.
+func (c *ContactCounter) clone() *ContactCounter {
+	out := NewContactCounter(c.idx)
+	for line, set := range c.contacts {
+		out.contacts[line] = maps.Clone(set)
+	}
+	return out
+}
+
+// clone deep-copies every aggregate; the index, study days, and the
+// excluded set are immutable after construction and stay shared.
+func (c *Collector) clone() *Collector {
+	out := &Collector{
+		idx:            c.idx,
+		days:           c.days,
+		hours:          c.hours,
+		rate:           c.rate,
+		excluded:       c.excluded,
+		focusAlias:     c.focusAlias,
+		focusRegion:    c.focusRegion,
+		visible:        map[string]map[netip.Addr]struct{}{},
+		linesHour:      map[string][]map[netip.Addr]struct{}{},
+		downHour:       cloneSeriesMap(c.downHour),
+		upHour:         cloneSeriesMap(c.upHour),
+		portVol:        map[string]map[proto.PortKey]float64{},
+		lineDaily:      map[netip.Addr][][2]float64{},
+		lineAliasDaily: cloneDailyMap(c.lineAliasDaily),
+		linePortDaily:  cloneDailyMap(c.linePortDaily),
+		lineAliases:    maps.Clone(c.lineAliases),
+		lineCertSeen:   maps.Clone(c.lineCertSeen),
+		lineConts:      maps.Clone(c.lineConts),
+		contVol:        maps.Clone(c.contVol),
+		backendVol:     maps.Clone(c.backendVol),
+	}
+	for alias, set := range c.visible {
+		out.visible[alias] = maps.Clone(set)
+	}
+	for alias, sets := range c.linesHour {
+		out.linesHour[alias] = cloneHourSets(sets)
+	}
+	for alias, pv := range c.portVol {
+		out.portVol[alias] = maps.Clone(pv)
+	}
+	for line, days := range c.lineDaily {
+		out.lineDaily[line] = append([][2]float64(nil), days...)
+	}
+	if c.focusAlias != "" {
+		out.focusDownAll = cloneSeries(c.focusDownAll)
+		out.focusDownRegion = cloneSeries(c.focusDownRegion)
+		out.focusDownEU = cloneSeries(c.focusDownEU)
+		out.focusLinesAll = cloneHourSets(c.focusLinesAll)
+		out.focusLinesRegion = cloneHourSets(c.focusLinesRegion)
+		out.focusLinesEU = cloneHourSets(c.focusLinesEU)
+	}
+	return out
+}
+
+func cloneSeries(s *analysis.Series) *analysis.Series {
+	if s == nil {
+		return nil
+	}
+	return &analysis.Series{Label: s.Label, Values: append([]float64(nil), s.Values...)}
+}
+
+func cloneSeriesMap(m map[string]*analysis.Series) map[string]*analysis.Series {
+	out := make(map[string]*analysis.Series, len(m))
+	for alias, s := range m {
+		out[alias] = cloneSeries(s)
+	}
+	return out
+}
+
+func cloneDailyMap[K comparable](m map[K][]float64) map[K][]float64 {
+	out := make(map[K][]float64, len(m))
+	for k, days := range m {
+		out[k] = append([]float64(nil), days...)
+	}
+	return out
+}
+
+func cloneHourSets(sets []map[netip.Addr]struct{}) []map[netip.Addr]struct{} {
+	out := make([]map[netip.Addr]struct{}, len(sets))
+	for h, set := range sets {
+		out[h] = maps.Clone(set)
+	}
+	return out
+}
+
 func mergeSeries(dst, src map[string]*analysis.Series) {
 	for alias, s := range src {
 		d, ok := dst[alias]
@@ -180,6 +278,11 @@ func addDaily[K comparable](dst map[K][]float64, k K, days []float64) {
 // and forwards only non-scanner addresses' records into the shard's
 // Collector. A partial is owned by exactly one worker; no locking.
 type ShardPartial struct {
+	// Vantage is the vantage-point label the partial's records were
+	// observed at (Options.Vantage); FederatedMerge groups partials by
+	// it. All partials of one ShardedAggregator share one vantage.
+	Vantage string
+
 	idx       *BackendIndex
 	threshold int
 	cc        *ContactCounter
@@ -212,6 +315,7 @@ func NewShardPartial(idx *BackendIndex, days []time.Time, opts Options) *ShardPa
 		threshold = math.MaxInt
 	}
 	return &ShardPartial{
+		Vantage:   opts.Vantage,
 		idx:       idx,
 		threshold: threshold,
 		cc:        NewContactCounter(idx),

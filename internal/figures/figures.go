@@ -499,6 +499,39 @@ func sortedKeys[V any](m map[string]V) []string {
 	return out
 }
 
+// FederationCoverage renders the cross-vantage coverage comparison of a
+// FederationStudy run: backends and providers visible per vantage, each
+// vantage's exclusive contribution, and the union — the paper's
+// which-vantage-sees-what angle, quantified.
+func FederationCoverage(sys *iotmap.System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Federation: backend visibility per vantage point\n")
+	fed := sys.Federation
+	if fed == nil || fed.Coverage == nil {
+		return b.String() + "  (run FederationStudy first)\n"
+	}
+	cov := fed.Coverage
+	fmt.Fprintf(&b, "%-12s %9s %10s %10s\n", "Vantage", "Backends", "Exclusive", "Providers")
+	for _, vc := range cov.Vantages {
+		fmt.Fprintf(&b, "%-12s %9d %10d %10d\n", vc.Vantage, vc.Backends, vc.Exclusive, vc.Providers)
+	}
+	fmt.Fprintf(&b, "%-12s %9d %10s %10s  (%d visible at every vantage)\n",
+		"union", cov.Union, "-", "-", cov.Everywhere)
+	names := make([]string, 0, len(cov.Vantages))
+	for _, vc := range cov.Vantages {
+		names = append(names, vc.Vantage)
+	}
+	fmt.Fprintf(&b, "per-provider (union / everywhere / per vantage):\n")
+	for _, ac := range cov.Aliases {
+		fmt.Fprintf(&b, "  %-6s %5d %5d  |", ac.Alias, ac.Union, ac.Everywhere)
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%d", name, ac.PerVantage[name])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
 // VantagePointGain renders the §3.3 multi-VP coverage gain.
 func VantagePointGain(sys *iotmap.System) string {
 	var b strings.Builder

@@ -52,6 +52,16 @@ type Config struct {
 	SamplingRate uint32
 	// LocalUTCOffset shifts activity shapes to the ISP's local time.
 	LocalUTCOffset int
+	// VantageID distinguishes federated vantage-point worlds: it is
+	// folded into subscriber address derivation (v4 first octet, v6
+	// prefix) so lines of different vantages never alias in a union
+	// analysis. 0 is the classic single-ISP address plan.
+	VantageID int
+	// ContinentBias, when non-nil, reweights the continents devices home
+	// their backends to (an ISP in another market sees another backend
+	// mix). Weights multiply the per-provider profile mix; continents
+	// absent from the map keep weight 1.
+	ContinentBias map[geo.Continent]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -130,11 +140,19 @@ type FlowModifier func(rng *simrand.Source, day, hour int, srv *world.Server, do
 // alias earlier lines' V4 and V6 addresses.
 const maxLines = 1 << 24
 
+// maxVantageID bounds the federated address plan: vantage v's lines
+// live in (95+v).0.0.0/8, which must stay clear of the world's backend
+// pools (16.0.0.0/6) and of the byte ceiling.
+const maxVantageID = 63
+
 // NewNetwork builds the subscriber population against a world.
 func NewNetwork(cfg Config, w *world.World) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Lines > maxLines {
 		return nil, fmt.Errorf("isp: %d lines exceed the %d address-derivation limit (IDs wrap into colliding subscriber addresses)", cfg.Lines, maxLines)
+	}
+	if cfg.VantageID < 0 || cfg.VantageID > maxVantageID {
+		return nil, fmt.Errorf("isp: vantage ID %d outside [0, %d] (the per-vantage /8 address plan)", cfg.VantageID, maxVantageID)
 	}
 	n := &Network{
 		Cfg:       cfg,
@@ -156,14 +174,16 @@ func NewNetwork(cfg Config, w *world.World) (*Network, error) {
 	}
 
 	rng := simrand.Derive(cfg.Seed, "isp")
+	v4Base := byte(95 + cfg.VantageID)
 	for i := 0; i < cfg.Lines; i++ {
 		line := &Line{
 			ID: i,
-			V4: netip.AddrFrom4([4]byte{95, byte(i >> 16), byte(i >> 8), byte(i)}),
+			V4: netip.AddrFrom4([4]byte{v4Base, byte(i >> 16), byte(i >> 8), byte(i)}),
 		}
 		if rng.Bool(cfg.V6Fraction) {
 			var b [16]byte
 			b[0], b[1] = 0x20, 0x03
+			b[2] = byte(cfg.VantageID)
 			b[4], b[5], b[6] = byte(i>>16), byte(i>>8), byte(i)
 			b[15] = 1
 			line.V6 = netip.AddrFrom16(b)
@@ -175,7 +195,7 @@ func NewNetwork(cfg Config, w *world.World) (*Network, error) {
 				prof := n.profiles[id]
 				dev := Device{
 					Provider:  id,
-					Continent: prof.PickContinent(rng),
+					Continent: prof.PickContinentBiased(rng, cfg.ContinentBias),
 					Heavy:     prof.HeavyFrac > 0 && rng.Bool(prof.HeavyFrac),
 				}
 				line.Devices = append(line.Devices, dev)

@@ -310,3 +310,85 @@ func TestV6DevicesNeedV6Lines(t *testing.T) {
 		})
 	}
 }
+
+// TestVantageAddressPlans: federated vantages must never alias
+// subscriber addresses — vantage v's lines live in their own v4 /8 and
+// v6 prefix — while vantage 0 keeps the classic single-ISP plan, and
+// out-of-range IDs fail fast.
+func TestVantageAddressPlans(t *testing.T) {
+	w, base := testNetwork(t)
+	v1, err := NewNetwork(Config{Seed: 11, Lines: 4000, VantageID: 1}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range base.Lines {
+		if l.V4.As4()[0] != 95 {
+			t.Fatalf("vantage 0 line %d v4 = %v, want 95/8", i, l.V4)
+		}
+		o := v1.Lines[i]
+		if o.V4.As4()[0] != 96 {
+			t.Fatalf("vantage 1 line %d v4 = %v, want 96/8", i, o.V4)
+		}
+		if l.V4 == o.V4 {
+			t.Fatalf("line %d aliases across vantages: %v", i, l.V4)
+		}
+		if l.HasV6() && o.HasV6() && l.V6 == o.V6 {
+			t.Fatalf("line %d v6 aliases across vantages: %v", i, l.V6)
+		}
+	}
+	// Same seed => same structure, different addresses only.
+	if base.IoTLines() != v1.IoTLines() {
+		t.Fatalf("same-seed vantages differ structurally: %d vs %d IoT lines", base.IoTLines(), v1.IoTLines())
+	}
+	for _, id := range []int{-1, maxVantageID + 1} {
+		if _, err := NewNetwork(Config{Seed: 11, Lines: 10, VantageID: id}, w); err == nil {
+			t.Fatalf("vantage ID %d accepted", id)
+		}
+	}
+}
+
+// TestContinentBias: a NA-heavy bias must shift device homing toward
+// North America, and a nil bias must leave the population exactly as
+// the unbiased model built it (the golden-pinning property).
+func TestContinentBias(t *testing.T) {
+	w, base := testNetwork(t)
+	biased, err := NewNetwork(Config{Seed: 11, Lines: 4000, ContinentBias: map[geo.Continent]float64{
+		geo.NorthAmerica: 8, geo.Europe: 0.1,
+	}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(n *Network, c geo.Continent) int {
+		total := 0
+		for _, l := range n.Lines {
+			for _, d := range l.Devices {
+				if d.Continent == c {
+					total++
+				}
+			}
+		}
+		return total
+	}
+	if bNA, oNA := count(biased, geo.NorthAmerica), count(base, geo.NorthAmerica); bNA <= oNA {
+		t.Errorf("NA bias did not raise NA homing: %d vs %d", bNA, oNA)
+	}
+	if bEU, oEU := count(biased, geo.Europe), count(base, geo.Europe); bEU >= oEU {
+		t.Errorf("EU down-bias did not lower EU homing: %d vs %d", bEU, oEU)
+	}
+	// nil bias reproduces the unbiased population device for device.
+	plain, err := NewNetwork(Config{Seed: 11, Lines: 4000}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range base.Lines {
+		p := plain.Lines[i]
+		if len(l.Devices) != len(p.Devices) || l.ScanBreadth != p.ScanBreadth {
+			t.Fatalf("line %d structure drifted", i)
+		}
+		for d := range l.Devices {
+			if l.Devices[d].Provider != p.Devices[d].Provider || l.Devices[d].Continent != p.Devices[d].Continent {
+				t.Fatalf("line %d device %d drifted", i, d)
+			}
+		}
+	}
+}

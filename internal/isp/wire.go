@@ -22,16 +22,21 @@ import (
 // come from the records themselves — so stream s of an S-stream export
 // is a pure function of (seed, config, S, s), byte for byte.
 //
-// Backpressure: each shard's encoder hands frames to its writer
-// goroutine over a channel holding at most WireBufferFrames frames, so
-// a slow collector throttles the simulation instead of growing an
-// unbounded buffer. A write error stops the stream's output but lets
-// the simulation drain to completion; SimulateLinesToWire reports the
-// first error per stream.
+// Buffering: each shard encodes a whole line batch's frames into one
+// reusable flush buffer (netflow.AppendV5Frame and friends — no
+// intermediate per-frame allocations) and hands the filled buffer to
+// its writer goroutine, which issues a single Write per batch and
+// recycles the buffer through a fixed pool. The pool bounds memory: a
+// slow collector exhausts the free buffers and throttles the simulation
+// instead of growing an unbounded backlog. A write error stops the
+// stream's output but lets the simulation drain to completion;
+// SimulateLinesToWire reports the first error per stream.
 
-// WireBufferFrames is the default per-stream frame buffer (the bounded
-// channel between one shard's encoder and its writer goroutine).
-const WireBufferFrames = 64
+// WireBufferBatches is the default per-stream buffer pool size: how
+// many encoded line batches may be in flight between one shard's
+// encoder and its writer goroutine before backpressure stalls the
+// simulation.
+const WireBufferBatches = 16
 
 // WireStats summarizes one export run.
 type WireStats struct {
@@ -50,27 +55,19 @@ type WireStats struct {
 	Clamped uint64
 }
 
-// chanWriter copies writes onto a bounded channel; the shard's writer
-// goroutine drains it to the real io.Writer.
-type chanWriter struct {
-	ch chan []byte
-}
-
-func (cw chanWriter) Write(p []byte) (int, error) {
-	b := make([]byte, len(p))
-	copy(b, p)
-	cw.ch <- b
-	return len(p), nil
-}
-
 // wireShard is one stream's encoder state, owned by one worker.
 type wireShard struct {
-	fw  *netflow.FrameWriter
 	si  uint16 // packed sampling interval for every header
 	id  uint8  // engine ID: the shard index
 	seq uint32 // running v5 record count (FlowSequence)
 	buf []netflow.Record
-	err error // first encode error; the shard goes quiet after
+	// out is the flush buffer the current line batch's frames append
+	// into; filled buffers go to the writer over ch and come back
+	// empty over pool.
+	out  []byte
+	ch   chan []byte
+	pool chan []byte
+	err  error // first encode error; the shard goes quiet after
 	WireStats
 }
 
@@ -78,13 +75,17 @@ func (ws *wireShard) sink(r netflow.Record) { ws.buf = append(ws.buf, r) }
 
 // endLine frames the buffered line batch: consecutive same-family runs
 // become v5 packets (up to 30 records each) or v6 extension frames,
-// preserving record order, then a flush marks the batch boundary.
+// preserving record order, then a flush marks the batch boundary. The
+// whole batch lands in one flush buffer and crosses to the writer as a
+// single send.
 func (ws *wireShard) endLine() {
 	defer func() { ws.buf = ws.buf[:0] }()
 	if ws.err != nil {
 		return
 	}
 	recs := ws.buf
+	out := ws.out
+	var err error
 	for i := 0; i < len(recs); {
 		j := i
 		v4 := recs[i].IsV4()
@@ -101,43 +102,45 @@ func (ws *wireShard) endLine() {
 					EngineID:         ws.id,
 					SamplingInterval: ws.si,
 				}
-				pkt, clamped, err := netflow.EncodeV5Clamped(h, chunk)
+				var clamped int
+				out, clamped, err = netflow.AppendV5Frame(out, h, chunk)
 				if err != nil {
-					ws.err = err
-					return
-				}
-				if err := ws.fw.WriteV5(pkt); err != nil {
 					ws.err = err
 					return
 				}
 				ws.Clamped += uint64(clamped)
 				ws.seq += uint32(len(chunk))
+				ws.Frames++
 				ws.V5Packets++
 				ws.V4Records += uint64(len(chunk))
 			}
 		} else {
-			if err := ws.fw.WriteV6(recs[i:j]); err != nil {
+			if out, err = netflow.AppendV6Frame(out, recs[i:j]); err != nil {
 				ws.err = err
 				return
 			}
+			ws.Frames++
 			ws.V6Records += uint64(j - i)
 		}
 		i = j
 	}
-	if err := ws.fw.WriteFlush(); err != nil {
-		ws.err = err
-		return
-	}
+	out = netflow.AppendFlushFrame(out)
+	ws.Frames++
 	ws.Flushes++
+	// Hand the batch to the writer and take a recycled buffer; blocking
+	// here is the backpressure that throttles the simulation.
+	ws.ch <- out
+	ws.out = <-ws.pool
 }
 
 // SimulateLinesToWire exports the whole study period as len(writers)
 // concurrent framed NetFlow streams, one contiguous line shard per
 // writer — the wire twin of SimulateLines. buffer is the per-stream
-// frame backlog before backpressure (<=0 means WireBufferFrames). It
-// returns aggregate export stats and the first error any stream hit
-// (encode or write); writers are not closed — the caller owns their
-// lifecycle, and must close them for collectors reading until EOF.
+// in-flight line-batch pool before backpressure (<=0 means
+// WireBufferBatches). It returns aggregate export stats and the first
+// error any stream hit (encode or write); writers are not closed — the
+// caller owns their lifecycle, and must close them for collectors
+// reading until EOF.
 func (n *Network) SimulateLinesToWire(writers []io.Writer, buffer int) (WireStats, error) {
 	if len(writers) == 0 {
 		return WireStats{}, fmt.Errorf("isp: no writers")
@@ -147,48 +150,52 @@ func (n *Network) SimulateLinesToWire(writers []io.Writer, buffer int) (WireStat
 		return WireStats{}, err
 	}
 	if buffer <= 0 {
-		buffer = WireBufferFrames
+		buffer = WireBufferBatches
 	}
 
 	shards := make([]*wireShard, len(writers))
-	chans := make([]chan []byte, len(writers))
 	writeErrs := make([]error, len(writers))
 	var wg sync.WaitGroup
 	for i, w := range writers {
-		ch := make(chan []byte, buffer)
-		chans[i] = ch
-		shards[i] = &wireShard{
-			fw: netflow.NewFrameWriter(chanWriter{ch: ch}),
-			si: si,
-			id: uint8(i),
+		ws := &wireShard{
+			si:   si,
+			id:   uint8(i),
+			ch:   make(chan []byte, buffer),
+			pool: make(chan []byte, buffer),
 		}
+		// One buffer in the encoder's hand, `buffer` more in the pool.
+		ws.out = make([]byte, 0, 4096)
+		for b := 0; b < buffer; b++ {
+			ws.pool <- make([]byte, 0, 4096)
+		}
+		shards[i] = ws
 		wg.Add(1)
-		go func(w io.Writer, ch chan []byte, errp *error) {
+		go func(w io.Writer, ws *wireShard, errp *error) {
 			defer wg.Done()
-			for b := range ch {
-				if *errp != nil {
-					continue // drain so the encoder never blocks
+			for b := range ws.ch {
+				if *errp == nil && len(b) > 0 {
+					if _, err := w.Write(b); err != nil {
+						*errp = err
+					}
 				}
-				if _, err := w.Write(b); err != nil {
-					*errp = err
-				}
+				ws.pool <- b[:0] // recycle so the encoder never starves
 			}
-		}(w, ch, &writeErrs[i])
+		}(w, ws, &writeErrs[i])
 	}
 
 	n.SimulateLines(len(writers),
 		func(shard int) func(netflow.Record) { return shards[shard].sink },
 		func(shard int, _ *Line) { shards[shard].endLine() },
 	)
-	for _, ch := range chans {
-		close(ch)
+	for _, ws := range shards {
+		close(ws.ch)
 	}
 	wg.Wait()
 
 	stats := WireStats{Streams: len(writers)}
 	var firstErr error
 	for i, ws := range shards {
-		stats.Frames += ws.fw.Frames[netflow.FrameV5] + ws.fw.Frames[netflow.FrameV6] + ws.fw.Frames[netflow.FrameFlush]
+		stats.Frames += ws.Frames
 		stats.V5Packets += ws.V5Packets
 		stats.V4Records += ws.V4Records
 		stats.V6Records += ws.V6Records

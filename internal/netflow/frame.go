@@ -110,6 +110,71 @@ func (fw *FrameWriter) WriteV6(records []Record) error {
 // WriteFlush marks the end of one subscriber line's batch.
 func (fw *FrameWriter) WriteFlush() error { return fw.WriteFrame(FrameFlush, nil) }
 
+// --- Append-based frame encoding ---------------------------------------
+
+// The FrameWriter path materializes each payload (one v5 packet, one v6
+// batch) as its own allocation and hands the writer two Write calls per
+// frame. The Append* family below is the zero-intermediate alternative
+// the ISP's wire exporter uses: frames are appended directly onto one
+// reusable flush buffer — envelope, payload, everything — so a whole
+// subscriber-line batch becomes a single contiguous byte run that can be
+// handed to an io.Writer (or a channel) in one piece. Byte output is
+// identical to the FrameWriter path.
+
+// beginFrame appends a frame envelope with a zero length field and
+// returns the offset where the payload starts; endFrame patches the
+// length once the payload has been appended in place.
+func beginFrame(dst []byte, typ byte) ([]byte, int) {
+	dst = append(dst, frameMagic0, frameMagic1, typ, 0, 0, 0, 0)
+	return dst, len(dst)
+}
+
+// endFrame validates the in-place payload and patches the envelope's
+// length field. payloadStart must come from the matching beginFrame.
+func endFrame(dst []byte, payloadStart int) ([]byte, error) {
+	n := len(dst) - payloadStart
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	binary.BigEndian.PutUint32(dst[payloadStart-4:], uint32(n))
+	return dst, nil
+}
+
+// AppendFrame appends one complete frame (envelope plus payload copy).
+func AppendFrame(dst []byte, typ byte, payload []byte) ([]byte, error) {
+	dst, start := beginFrame(dst, typ)
+	return endFrame(append(dst, payload...), start)
+}
+
+// AppendV5Frame appends a FrameV5 envelope and encodes the records'
+// v5 packet directly into it — no intermediate packet buffer. clamped
+// counts 32-bit counter saturations exactly like EncodeV5Clamped.
+func AppendV5Frame(dst []byte, h V5Header, records []Record) (out []byte, clamped int, err error) {
+	dst, start := beginFrame(dst, FrameV5)
+	dst, clamped, err = appendV5(dst, h, records)
+	if err != nil {
+		return nil, clamped, err
+	}
+	out, err = endFrame(dst, start)
+	return out, clamped, err
+}
+
+// AppendV6Frame appends a FrameV6 envelope and stream-encodes the
+// records directly into it.
+func AppendV6Frame(dst []byte, records []Record) ([]byte, error) {
+	dst, start := beginFrame(dst, FrameV6)
+	for _, r := range records {
+		dst = appendRecord(dst, r)
+	}
+	return endFrame(dst, start)
+}
+
+// AppendFlushFrame appends a line-batch boundary marker.
+func AppendFlushFrame(dst []byte) []byte {
+	dst, _ = beginFrame(dst, FrameFlush)
+	return dst
+}
+
 // FrameReader parses frames from an io.Reader.
 type FrameReader struct {
 	r   io.Reader

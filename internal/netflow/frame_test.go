@@ -209,3 +209,72 @@ func TestPackSamplingInterval(t *testing.T) {
 		t.Fatal("14-bit overflow accepted")
 	}
 }
+
+// TestAppendFramesMatchFrameWriter: the append-based encoding (the wire
+// exporter's reusable-buffer path) must be byte-identical to the
+// FrameWriter reference for the same frames — envelope, payload,
+// everything — and count clamps the same way.
+func TestAppendFramesMatchFrameWriter(t *testing.T) {
+	v4recs := []Record{
+		rec("95.1.2.3", "52.0.0.9", 40123, 8883, 5000, 12),
+		rec("95.1.2.4", "52.0.0.9", 40124, 443, 1<<33, 1<<33), // clamps both counters
+	}
+	v6recs := []Record{
+		{
+			Src: netip.MustParseAddr("2003::1"), Dst: netip.MustParseAddr("2600:1::9"),
+			SrcPort: 55555, DstPort: 8883, Proto: ProtoTCP, Bytes: 4242, Packets: 9,
+			Start: time.Date(2022, 3, 1, 2, 0, 0, 0, time.UTC),
+		},
+	}
+	h := V5Header{FlowSequence: 7, EngineID: 3, SamplingInterval: 1<<14 | 100}
+
+	var want bytes.Buffer
+	fw := NewFrameWriter(&want)
+	pkt, wantClamped, err := EncodeV5Clamped(h, v4recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteV5(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteV6(v6recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFlush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the buffer with stale capacity to prove reuse cannot leak
+	// old bytes into the zeroed v5 fields.
+	got := bytes.Repeat([]byte{0xAA}, 512)[:0]
+	got, clamped, err := AppendV5Frame(got, h, v4recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped != wantClamped || clamped != 2 {
+		t.Fatalf("clamped = %d, want %d", clamped, wantClamped)
+	}
+	if got, err = AppendV6Frame(got, v6recs); err != nil {
+		t.Fatal(err)
+	}
+	got = AppendFlushFrame(got)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("append encoding drifted from FrameWriter:\n got:  %x\n want: %x", got, want.Bytes())
+	}
+
+	// AppendFrame with a verbatim payload matches WriteFrame too.
+	raw, err := AppendFrame(nil, FrameV5, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rawWant bytes.Buffer
+	if err := NewFrameWriter(&rawWant).WriteFrame(FrameV5, pkt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, rawWant.Bytes()) {
+		t.Fatal("AppendFrame drifted from WriteFrame")
+	}
+	if _, err := AppendFrame(nil, FrameV6, make([]byte, MaxFramePayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}

@@ -81,10 +81,22 @@ func EncodeV5(h V5Header, records []Record) ([]byte, error) {
 // were saturated to 0xFFFFFFFF. Exporters accumulate it so the collector
 // side can report how much of the feed rode on saturated counters.
 func EncodeV5Clamped(h V5Header, records []Record) (pkt []byte, clamped int, err error) {
+	return appendV5(make([]byte, 0, v5HeaderLen+len(records)*v5RecordLen), h, records)
+}
+
+// appendV5 serializes the packet onto dst — the allocation-free core of
+// EncodeV5Clamped, also used to encode straight into frame buffers.
+func appendV5(dst []byte, h V5Header, records []Record) (out []byte, clamped int, err error) {
 	if len(records) > V5MaxRecords {
 		return nil, 0, ErrV5TooMany
 	}
-	buf := make([]byte, v5HeaderLen+len(records)*v5RecordLen)
+	base := len(dst)
+	// Append from a static zero run: the codec only writes the non-zero
+	// fields and relies on the rest (nexthop, ifindexes, AS numbers,
+	// masks, padding) being zeroed — reusing a recycled buffer's stale
+	// capacity directly would leak old bytes into them.
+	dst = append(dst, v5Zero[:v5HeaderLen+len(records)*v5RecordLen]...)
+	buf := dst[base:]
 	be := binary.BigEndian
 	be.PutUint16(buf[0:], v5Version)
 	be.PutUint16(buf[2:], uint16(len(records)))
@@ -123,7 +135,7 @@ func EncodeV5Clamped(h V5Header, records []Record) (pkt []byte, clamped int, err
 		buf[off+38] = r.Proto
 		// tos, src_as, dst_as, masks, pad: zero.
 	}
-	return buf, clamped, nil
+	return dst, clamped, nil
 }
 
 // DecodeV5 parses one v5 packet.
@@ -172,6 +184,9 @@ func DecodeV5(pkt []byte) (V5Header, []Record, error) {
 	return h, records, nil
 }
 
+// v5Zero is the zero-fill source for appendV5 (one max-size packet).
+var v5Zero [v5HeaderLen + V5MaxRecords*v5RecordLen]byte
+
 func clamp32(v uint64) uint32 {
 	if v > 0xFFFFFFFF {
 		return 0xFFFFFFFF
@@ -205,7 +220,19 @@ func NewStreamWriter(w io.Writer) *StreamWriter {
 
 // Write serializes one record.
 func (sw *StreamWriter) Write(r Record) error {
-	b := sw.buf[:0]
+	b := appendRecord(sw.buf[:0], r)
+	sw.buf = b
+	if _, err := sw.w.Write(b); err != nil {
+		return err
+	}
+	sw.N++
+	return nil
+}
+
+// appendRecord appends one record in the mixed-family stream encoding —
+// the core of StreamWriter.Write, also used to encode straight into
+// frame buffers.
+func appendRecord(b []byte, r Record) []byte {
 	if r.IsV4() {
 		b = append(b, famV4)
 		s := r.Src.Unmap().As4()
@@ -225,12 +252,7 @@ func (sw *StreamWriter) Write(r Record) error {
 	b = binary.BigEndian.AppendUint64(b, r.Bytes)
 	b = binary.BigEndian.AppendUint64(b, r.Packets)
 	b = binary.BigEndian.AppendUint64(b, uint64(r.Start.Unix()))
-	sw.buf = b
-	if _, err := sw.w.Write(b); err != nil {
-		return err
-	}
-	sw.N++
-	return nil
+	return b
 }
 
 // StreamReader parses records written by StreamWriter.

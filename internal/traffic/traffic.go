@@ -250,20 +250,43 @@ func (p Profile) PickPort(rng *simrand.Source) proto.PortKey {
 	return p.Ports[rng.WeightedChoice(weights)].Port
 }
 
+// continentOrder fixes the draw order for continent weighting; both
+// the plain and biased picks must walk it identically or same-seed
+// worlds would consume RNG draws differently.
+var continentOrder = []geo.Continent{geo.Europe, geo.NorthAmerica, geo.Asia, geo.SouthAmerica, geo.Oceania, geo.Africa}
+
 // PickContinent draws the continent a device homes to.
 func (p Profile) PickContinent(rng *simrand.Source) geo.Continent {
+	return p.PickContinentBiased(rng, nil)
+}
+
+// PickContinentBiased is PickContinent with per-continent weight
+// multipliers — a vantage-point world in another market sees another
+// backend mix. A nil bias keeps the profile mix untouched (bit-
+// identical draws to PickContinent); continents absent from the map
+// keep weight 1, and a bias that zeroes the whole mix falls back to
+// the unbiased profile.
+func (p Profile) PickContinentBiased(rng *simrand.Source, bias map[geo.Continent]float64) geo.Continent {
 	conts := make([]geo.Continent, 0, len(p.Continents))
-	for _, c := range []geo.Continent{geo.Europe, geo.NorthAmerica, geo.Asia, geo.SouthAmerica, geo.Oceania, geo.Africa} {
-		if p.Continents[c] > 0 {
+	weights := make([]float64, 0, len(p.Continents))
+	for _, c := range continentOrder {
+		w := p.Continents[c]
+		if w <= 0 {
+			continue
+		}
+		if b, ok := bias[c]; ok {
+			w *= b
+		}
+		if w > 0 {
 			conts = append(conts, c)
+			weights = append(weights, w)
 		}
 	}
 	if len(conts) == 0 {
+		if bias != nil {
+			return p.PickContinent(rng)
+		}
 		return geo.Europe
-	}
-	weights := make([]float64, len(conts))
-	for i, c := range conts {
-		weights[i] = p.Continents[c]
 	}
 	return conts[rng.WeightedChoice(weights)]
 }

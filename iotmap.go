@@ -37,9 +37,11 @@ import (
 	"iotmap/internal/core/validate"
 	"iotmap/internal/dnsdb"
 	"iotmap/internal/dnszone"
+	"iotmap/internal/geo"
 	"iotmap/internal/isp"
 	"iotmap/internal/netflow"
 	"iotmap/internal/outage"
+	"iotmap/internal/simrand"
 	"iotmap/internal/vnet"
 	"iotmap/internal/world"
 )
@@ -98,6 +100,47 @@ type Config struct {
 	// WireStreams is the concurrent stream count in wire mode
 	// (default GOMAXPROCS).
 	WireStreams int
+	// Vantages configures FederationStudy's vantage-point worlds — one
+	// isp.Network per spec, observed through the TrafficMode data path
+	// and merged into per-vantage plus union analyses. Empty means one
+	// default vantage, which makes FederationStudy produce exactly
+	// TrafficStudy's single-ISP results.
+	Vantages []VantageSpec
+}
+
+// VantageSpec describes one vantage-point world of a federated run: a
+// subscriber population observed through its own sampled NetFlow feed.
+// The zero value inherits the run's Config (seed, lines) and the ISP
+// model defaults — the paper's residential-ISP vantage. An IXP-style
+// vantage is just a spec with aggressive sampling and no scanner lines:
+//
+//	VantageSpec{Name: "ixp", SamplingRate: 4096, ScannerFraction: -1}
+type VantageSpec struct {
+	// Name labels the vantage in studies, coverage reports, and
+	// collector stream stats (default "vp<index>"). Names must be
+	// unique within a run.
+	Name string
+	// Lines is the subscriber-line count (default Config.Lines).
+	Lines int
+	// Seed drives the vantage's world. Zero derives a per-vantage seed
+	// from Config.Seed — except for the first vantage, which inherits
+	// Config.Seed itself so a single-vantage federation reproduces
+	// TrafficStudy byte for byte.
+	Seed int64
+	// SamplingRate is the vantage's NetFlow packet-sampling denominator
+	// (default 1:100; IXPs sample far more aggressively).
+	SamplingRate uint32
+	// ScannerFraction is the share of lines running Internet-wide
+	// scanners; zero keeps the ISP default, negative means none (an IXP
+	// sees transit, not subscriber scanners).
+	ScannerFraction float64
+	// IoTPenetration and V6Fraction override the ISP model defaults
+	// when positive.
+	IoTPenetration float64
+	V6Fraction     float64
+	// ContinentMix reweights device backend homing per continent (an
+	// ISP in another market). Nil keeps each provider's profile mix.
+	ContinentMix map[geo.Continent]float64
 }
 
 // TrafficStudy data paths (Config.TrafficMode).
@@ -167,8 +210,14 @@ type System struct {
 	// WireExport/WireIngest are the wire-mode transfer counters (nil in
 	// memory mode): what the border routers framed onto the streams, and
 	// what the collector decoded, scaled, and folded back out of them.
-	WireExport *isp.WireStats
-	WireIngest *collector.Stats
+	// WireStreams breaks the ingest down per stream, so anomalies point
+	// at the feed that produced them.
+	WireExport  *isp.WireStats
+	WireIngest  *collector.Stats
+	WireStreams []collector.StreamStat
+
+	// FederationStudy outputs.
+	Federation *FederationResult
 
 	// Disrupt outputs.
 	OutageReport *disrupt.OutageReport
@@ -176,6 +225,39 @@ type System struct {
 	Disruptions  *disrupt.Report
 
 	fabric *vnet.Fabric
+}
+
+// VantageResult is one vantage's slice of a federated run.
+type VantageResult struct {
+	// Spec is the normalized spec the vantage ran with.
+	Spec VantageSpec
+	// Net is the vantage's subscriber world.
+	Net *isp.Network
+	// Contacts and Study are the vantage's own Figure 5 counter and
+	// Section 5 analysis — exactly what a single-vantage TrafficStudy
+	// over this world would produce.
+	Contacts *flows.ContactCounter
+	Study    *flows.Study
+	// WireExport/WireIngest/WireStreams are the wire-mode transfer
+	// counters (nil/empty in memory mode); WireStreams breaks the
+	// ingest down per stream with vantage attribution.
+	WireExport  *isp.WireStats
+	WireIngest  *collector.Stats
+	WireStreams []collector.StreamStat
+}
+
+// FederationResult is FederationStudy's output: per-vantage studies,
+// their exact union, and the cross-vantage coverage comparison.
+type FederationResult struct {
+	// Vantages holds one result per configured spec, in Config order.
+	Vantages []*VantageResult
+	// Union merges every vantage's analysis exactly (volumes add, sets
+	// union; vantage address plans are disjoint so lines never alias).
+	Union *flows.Study
+	// UnionContacts is the merged Figure 5 counter.
+	UnionContacts *flows.ContactCounter
+	// Coverage is the backends/providers-per-vantage comparison.
+	Coverage *flows.CoverageReport
 }
 
 // New builds the synthetic world for a run.
@@ -293,7 +375,7 @@ func (s *System) TrafficStudy() error {
 	}
 	s.Net = net
 	s.Index = idx
-	s.WireExport, s.WireIngest = nil, nil
+	s.WireExport, s.WireIngest, s.WireStreams = nil, nil, nil
 
 	focusAlias, focusRegion := "T1", "us-east-1"
 	if s.Cfg.Outage != nil {
@@ -305,31 +387,26 @@ func (s *System) TrafficStudy() error {
 		FocusAlias:       focusAlias,
 		FocusRegion:      focusRegion,
 	}
-	var cc *flows.ContactCounter
-	var col *flows.Collector
-	switch s.Cfg.TrafficMode {
-	case TrafficModeMemory, "":
-		agg := flows.NewShardedAggregator(idx, s.World.Days, opts, runtime.GOMAXPROCS(0))
-		net.SimulateLines(agg.Shards(),
-			func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
-			func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
-		)
-		cc, col = agg.Merge()
-	case TrafficModeWire:
-		var err error
-		cc, col, err = s.trafficWire(net, idx, opts)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("iotmap: unknown TrafficMode %q", s.Cfg.TrafficMode)
+	run, err := s.runPipeline(net, idx, opts)
+	if err != nil {
+		return err
 	}
+	cc, col := flows.MergePartials(run.parts)
 	s.Contacts = cc
 	s.Study = col.Study()
+	s.WireExport = run.wireExport
+	s.WireIngest = run.wireIngest
+	s.WireStreams = run.streamStats
 
 	// Traffic cross-check for the prefix-disclosing providers
 	// (Section 3.4's "52 active IPs, 4 missed, <1% volume").
-	volumes := s.Study.BackendVolumes()
+	s.trafficCrossCheck(s.Study.BackendVolumes())
+	return nil
+}
+
+// trafficCrossCheck fills the §3.4 active-traffic validation from the
+// per-backend volume evidence of a completed study.
+func (s *System) trafficCrossCheck(volumes map[netip.Addr]float64) {
 	for id := range s.Validation.Prefixes {
 		perProvider := map[netip.Addr]float64{}
 		for a, v := range volumes {
@@ -339,7 +416,6 @@ func (s *System) TrafficStudy() error {
 		}
 		s.Validation.Traffic[id] = validate.AgainstTraffic(s.Discovery[id].UnionAddrs(), perProvider)
 	}
-	return nil
 }
 
 // TrafficInputs builds the traffic stage's raw material — the ISP
@@ -349,8 +425,9 @@ func (s *System) TrafficStudy() error {
 // exporter/collector frontends (cmd/iotcollect) use it to drive the
 // wire path by hand. Requires ValidateAndLocate.
 func (s *System) TrafficInputs() (*isp.Network, *flows.BackendIndex, error) {
-	if s.Rows == nil {
-		return nil, nil, fmt.Errorf("iotmap: ValidateAndLocate must run first")
+	idx, err := s.backendIndex()
+	if err != nil {
+		return nil, nil, err
 	}
 	net, err := isp.NewNetwork(isp.Config{Seed: s.Cfg.Seed, Lines: s.Cfg.Lines}, s.World)
 	if err != nil {
@@ -358,6 +435,17 @@ func (s *System) TrafficInputs() (*isp.Network, *flows.BackendIndex, error) {
 	}
 	if s.Cfg.Outage != nil {
 		net.Modifier = s.Cfg.Outage.Modifier()
+	}
+	return net, idx, nil
+}
+
+// backendIndex builds the collector's backend index over the validated
+// dedicated sets — the single source of truth every vantage of a
+// federated run shares (discovery is global; only the observation
+// points differ). Requires ValidateAndLocate.
+func (s *System) backendIndex() (*flows.BackendIndex, error) {
+	if s.Rows == nil {
+		return nil, fmt.Errorf("iotmap: ValidateAndLocate must run first")
 	}
 	idx := flows.NewBackendIndex()
 	for _, p := range s.Patterns {
@@ -371,37 +459,185 @@ func (s *System) TrafficInputs() (*isp.Network, *flows.BackendIndex, error) {
 			idx.Add(a, alias, loc.Location.Continent, loc.Location.Region, certFound)
 		}
 	}
-	return net, idx, nil
+	return idx, nil
 }
 
-// trafficWire runs the wire-mode data path: the ISP exports every line
-// shard's week as a framed NetFlow v5 packet stream over an in-process
-// pipe (synchronous — collector backpressure throttles the exporter),
-// and the collector decodes, validates, rescales, and folds each stream
-// into a shard partial. The merged result is byte-identical to the
-// in-memory path for any stream count.
-func (s *System) trafficWire(net *isp.Network, idx *flows.BackendIndex, opts flows.Options) (*flows.ContactCounter, *flows.Collector, error) {
-	streams := s.Cfg.WireStreams
-	if streams <= 0 {
-		streams = runtime.GOMAXPROCS(0)
+// pipelineRun is one vantage world pushed through the configured
+// traffic data path: its vantage-tagged shard partials, plus the wire
+// transfer stats when the feed crossed the wire (nil in memory mode).
+type pipelineRun struct {
+	parts       []*flows.ShardPartial
+	wireExport  *isp.WireStats
+	wireIngest  *collector.Stats
+	streamStats []collector.StreamStat
+}
+
+// runPipeline drives one network through the Config.TrafficMode data
+// path into shard partials — the single pipeline seam TrafficStudy and
+// FederationStudy share. Memory mode simulates straight into a sharded
+// aggregator; wire mode exports every line shard as a framed NetFlow v5
+// stream over an in-process pipe (synchronous — collector backpressure
+// throttles the exporter) and decodes, validates, and rescales it back.
+// Merging the partials yields byte-identical results either way.
+func (s *System) runPipeline(net *isp.Network, idx *flows.BackendIndex, opts flows.Options) (pipelineRun, error) {
+	switch s.Cfg.TrafficMode {
+	case TrafficModeMemory, "":
+		agg := flows.NewShardedAggregator(idx, s.World.Days, opts, runtime.GOMAXPROCS(0))
+		net.SimulateLines(agg.Shards(),
+			func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+			func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+		)
+		parts := make([]*flows.ShardPartial, agg.Shards())
+		for i := range parts {
+			parts[i] = agg.Shard(i)
+		}
+		return pipelineRun{parts: parts}, nil
+	case TrafficModeWire:
+		streams := s.Cfg.WireStreams
+		if streams <= 0 {
+			streams = runtime.GOMAXPROCS(0)
+		}
+		col, err := collector.New(collector.Config{Index: idx, Days: s.World.Days, Opts: opts})
+		if err != nil {
+			return pipelineRun{}, err
+		}
+		writers, wait := col.IngestPipes(streams)
+		wireStats, exportErr := net.SimulateLinesToWire(writers, 0)
+		if err := wait(); err != nil {
+			return pipelineRun{}, err
+		}
+		if exportErr != nil {
+			return pipelineRun{}, exportErr
+		}
+		ingestStats := col.Stats()
+		return pipelineRun{
+			parts:       col.Partials(),
+			wireExport:  &wireStats,
+			wireIngest:  &ingestStats,
+			streamStats: col.StreamStats(),
+		}, nil
+	default:
+		return pipelineRun{}, fmt.Errorf("iotmap: unknown TrafficMode %q", s.Cfg.TrafficMode)
 	}
-	col, err := collector.New(collector.Config{Index: idx, Days: s.World.Days, Opts: opts})
+}
+
+// vantageSpecs normalizes Config.Vantages: an empty list becomes one
+// default vantage, zero-valued fields inherit the run Config, and the
+// first vantage's zero seed inherits Config.Seed itself so the default
+// federation is TrafficStudy under another name.
+func (s *System) vantageSpecs() ([]VantageSpec, error) {
+	specs := s.Cfg.Vantages
+	if len(specs) == 0 {
+		specs = []VantageSpec{{}}
+	}
+	out := make([]VantageSpec, len(specs))
+	seen := map[string]struct{}{}
+	for i, sp := range specs {
+		if sp.Name == "" {
+			sp.Name = fmt.Sprintf("vp%d", i)
+		}
+		if _, dup := seen[sp.Name]; dup {
+			return nil, fmt.Errorf("iotmap: duplicate vantage name %q", sp.Name)
+		}
+		seen[sp.Name] = struct{}{}
+		if sp.Lines <= 0 {
+			sp.Lines = s.Cfg.Lines
+		}
+		if sp.Seed == 0 {
+			if i == 0 {
+				sp.Seed = s.Cfg.Seed
+			} else {
+				sp.Seed = simrand.SeedN(s.Cfg.Seed, "vantage", int64(i))
+			}
+		}
+		out[i] = sp
+	}
+	return out, nil
+}
+
+// FederationStudy is the multi-vantage TrafficStudy: one isp.Network
+// per configured VantageSpec (each with its own seed, sampling rate,
+// and disjoint subscriber address plan), every world streamed through
+// the single-pass sharded pipeline — in-memory or over framed NetFlow
+// streams per Config.TrafficMode, with per-feed vantage attribution in
+// the collector stats — and the vantage-tagged shard partials folded by
+// flows.FederatedMerge into per-vantage studies, an exact union study,
+// and the cross-vantage coverage report (which backends are visible
+// from which vantage — the paper's ISP-versus-IXP comparison angle).
+// With no Vantages configured it runs one default vantage whose study
+// is byte-identical to TrafficStudy's. Requires ValidateAndLocate.
+func (s *System) FederationStudy() error {
+	specs, err := s.vantageSpecs()
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	writers, wait := col.IngestPipes(streams)
-	wireStats, exportErr := net.SimulateLinesToWire(writers, 0)
-	if err := wait(); err != nil {
-		return nil, nil, err
+	idx, err := s.backendIndex()
+	if err != nil {
+		return err
 	}
-	if exportErr != nil {
-		return nil, nil, exportErr
+
+	focusAlias, focusRegion := "T1", "us-east-1"
+	if s.Cfg.Outage != nil {
+		focusRegion = s.Cfg.Outage.Region
 	}
-	ingestStats := col.Stats()
-	s.WireExport = &wireStats
-	s.WireIngest = &ingestStats
-	cc, fcol := col.Finalize()
-	return cc, fcol, nil
+	var parts []*flows.ShardPartial
+	results := make([]*VantageResult, len(specs))
+	for i, sp := range specs {
+		net, err := isp.NewNetwork(isp.Config{
+			Seed:            sp.Seed,
+			Lines:           sp.Lines,
+			SamplingRate:    sp.SamplingRate,
+			ScannerFraction: sp.ScannerFraction,
+			IoTPenetration:  sp.IoTPenetration,
+			V6Fraction:      sp.V6Fraction,
+			VantageID:       i,
+			ContinentBias:   sp.ContinentMix,
+		}, s.World)
+		if err != nil {
+			return fmt.Errorf("iotmap: vantage %q: %w", sp.Name, err)
+		}
+		if s.Cfg.Outage != nil {
+			// A backend-side outage is visible from every vantage.
+			net.Modifier = s.Cfg.Outage.Modifier()
+		}
+		opts := flows.Options{
+			ScannerThreshold: s.Cfg.ScannerThreshold,
+			SamplingRate:     net.Cfg.SamplingRate,
+			FocusAlias:       focusAlias,
+			FocusRegion:      focusRegion,
+			Vantage:          sp.Name,
+		}
+		run, err := s.runPipeline(net, idx, opts)
+		if err != nil {
+			return fmt.Errorf("iotmap: vantage %q: %w", sp.Name, err)
+		}
+		parts = append(parts, run.parts...)
+		results[i] = &VantageResult{
+			Spec:        sp,
+			Net:         net,
+			WireExport:  run.wireExport,
+			WireIngest:  run.wireIngest,
+			WireStreams: run.streamStats,
+		}
+	}
+
+	fed := flows.FederatedMerge(parts)
+	for _, vr := range results {
+		vr.Contacts = fed.CC[vr.Spec.Name]
+		vr.Study = fed.Col[vr.Spec.Name].Study()
+	}
+	union := fed.UnionCol.Study()
+	s.Federation = &FederationResult{
+		Vantages:      results,
+		Union:         union,
+		UnionContacts: fed.UnionCC,
+		Coverage:      fed.Coverage(),
+	}
+
+	// §3.4 traffic cross-check over the federated union — with one
+	// vantage this is exactly TrafficStudy's per-backend evidence.
+	s.trafficCrossCheck(union.BackendVolumes())
+	return nil
 }
 
 // Disrupt runs the Section 6 analyses: the outage report when the run

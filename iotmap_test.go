@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"iotmap"
+	"iotmap/internal/figures"
+	"iotmap/internal/geo"
 )
 
 // TestStageOrdering: stages must refuse to run out of order.
@@ -44,6 +46,132 @@ func TestStageOrdering(t *testing.T) {
 	}
 	if sys.Cascade != nil {
 		t.Fatal("cascade entries without an outage scenario")
+	}
+}
+
+// federationConfig is the three-vantage acceptance setup: two ISPs and
+// an IXP-style feed over one discovered backend set.
+func federationConfig(mode string) iotmap.Config {
+	return iotmap.Config{
+		Seed: 3, Scale: 0.02, Lines: 900, SkipLiveScan: true,
+		TrafficMode: mode, WireStreams: 3,
+		Vantages: []iotmap.VantageSpec{
+			{Name: "isp-a"},
+			{Name: "isp-b", Lines: 600, ContinentMix: map[geo.Continent]float64{
+				geo.NorthAmerica: 4, geo.Europe: 0.25,
+			}},
+			{Name: "ixp", Lines: 700, SamplingRate: 1024, ScannerFraction: -1},
+		},
+	}
+}
+
+func runFederation(t *testing.T, mode string) *iotmap.System {
+	t.Helper()
+	sys, err := iotmap.New(federationConfig(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.FederationStudy(); err == nil {
+		t.Fatal("FederationStudy ran before ValidateAndLocate")
+	}
+	if err := sys.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FederationStudy(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestFederationStudyMultiVantage: a three-vantage run produces a
+// coverage report whose union dominates every single vantage, an exact
+// union study, and — run once per TrafficMode — identical analyses
+// whether each vantage's feed stayed in memory or crossed the wire.
+func TestFederationStudyMultiVantage(t *testing.T) {
+	mem := runFederation(t, iotmap.TrafficModeMemory)
+	fed := mem.Federation
+	if len(fed.Vantages) != 3 {
+		t.Fatalf("vantages = %d", len(fed.Vantages))
+	}
+	seeds := map[int64]bool{}
+	for _, vr := range fed.Vantages {
+		seeds[vr.Spec.Seed] = true
+		if vr.Study == nil || vr.Contacts == nil {
+			t.Fatalf("vantage %s missing outputs", vr.Spec.Name)
+		}
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("vantage seeds not distinct: %v", seeds)
+	}
+	cov := fed.Coverage
+	maxB := 0
+	for _, vc := range cov.Vantages {
+		if vc.Backends > maxB {
+			maxB = vc.Backends
+		}
+	}
+	if cov.Union < maxB || maxB == 0 {
+		t.Fatalf("|A∪B∪C| = %d vs best vantage %d", cov.Union, maxB)
+	}
+	var sum float64
+	for _, vr := range fed.Vantages {
+		sum += vr.Study.Downstream("T1").Total()
+	}
+	if got := fed.Union.Downstream("T1").Total(); got != sum {
+		t.Fatalf("union T1 downstream %v != per-vantage sum %v (must be exact)", got, sum)
+	}
+
+	// The same federation over the wire: every per-vantage study and the
+	// coverage report must match the in-memory run byte for byte.
+	wire := runFederation(t, iotmap.TrafficModeWire)
+	for i, vr := range fed.Vantages {
+		wvr := wire.Federation.Vantages[i]
+		if wvr.WireIngest == nil || len(wvr.WireStreams) == 0 {
+			t.Fatalf("vantage %s: wire run kept no ingest stats", wvr.Spec.Name)
+		}
+		for _, ss := range wvr.WireStreams {
+			if ss.Vantage != wvr.Spec.Name {
+				t.Fatalf("stream %d attributed to %q, want %q", ss.Stream, ss.Vantage, wvr.Spec.Name)
+			}
+		}
+		msys, wsys := *mem, *wire
+		msys.Study, msys.Contacts = vr.Study, vr.Contacts
+		wsys.Study, wsys.Contacts = wvr.Study, wvr.Contacts
+		for _, render := range []func(*iotmap.System) string{
+			figures.Figure5, figures.Figure6, figures.Figure9, figures.Figure11,
+		} {
+			if render(&msys) != render(&wsys) {
+				t.Fatalf("vantage %s: wire figures differ from memory", vr.Spec.Name)
+			}
+		}
+	}
+	if figures.FederationCoverage(mem) != figures.FederationCoverage(wire) {
+		t.Fatal("coverage report differs between memory and wire federation")
+	}
+}
+
+// TestFederationDuplicateNames: duplicate vantage names must fail fast
+// (they would silently merge into one vantage group).
+func TestFederationDuplicateNames(t *testing.T) {
+	cfg := federationConfig(iotmap.TrafficModeMemory)
+	cfg.Vantages[1].Name = cfg.Vantages[0].Name
+	sys, err := iotmap.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FederationStudy(); err == nil {
+		t.Fatal("duplicate vantage names accepted")
 	}
 }
 
