@@ -433,6 +433,79 @@ func BenchmarkStageFederation(b *testing.B) {
 	}
 }
 
+// BenchmarkStageFederationParallel is StageFederation with the vantage
+// worlds simulated concurrently — the drive FederationStudy now uses.
+// Each vantage produces independent vantage-tagged partials, so the
+// wall clock should approach the slowest single vantage rather than the
+// sum of all three; the delta to StageFederation is the tracked
+// speedup.
+func BenchmarkStageFederationParallel(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	idx.Build()
+	type vantage struct {
+		name string
+		net  *isp.Network
+	}
+	var vantages []vantage
+	for _, vc := range []struct {
+		name string
+		cfg  isp.Config
+	}{
+		{"isp-a", isp.Config{Seed: 5, Lines: 5000, VantageID: 0}},
+		{"isp-b", isp.Config{Seed: 7, Lines: 3000, VantageID: 1}},
+		{"ixp", isp.Config{Seed: 9, Lines: 2500, VantageID: 2, SamplingRate: 1024, ScannerFraction: -1}},
+	} {
+		net, err := isp.NewNetwork(vc.cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vantages = append(vantages, vantage{vc.name, net})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partsPer := make([][]*flows.ShardPartial, len(vantages))
+		var wg sync.WaitGroup
+		for vi, v := range vantages {
+			wg.Add(1)
+			go func(vi int, v vantage) {
+				defer wg.Done()
+				agg := flows.NewShardedAggregator(idx, w.Days, flows.Options{
+					ScannerThreshold: 100,
+					SamplingRate:     v.net.Cfg.SamplingRate,
+					Vantage:          v.name,
+				}, runtime.GOMAXPROCS(0))
+				v.net.SimulateLines(agg.Shards(),
+					func(shard int) func(netflow.Record) { return agg.Shard(shard).Ingest },
+					func(shard int, _ *isp.Line) { agg.Shard(shard).EndLine() },
+				)
+				parts := make([]*flows.ShardPartial, agg.Shards())
+				for k := range parts {
+					parts[k] = agg.Shard(k)
+				}
+				partsPer[vi] = parts
+			}(vi, v)
+		}
+		wg.Wait()
+		var parts []*flows.ShardPartial
+		for _, p := range partsPer {
+			parts = append(parts, p...)
+		}
+		fed := flows.FederatedMerge(parts)
+		cov := fed.Coverage()
+		if cov.Union == 0 || fed.UnionCol.Study().Hours() == 0 {
+			b.Fatal("empty federation")
+		}
+	}
+}
+
 // BenchmarkStageNetFlowExport measures the v5 wire path end-to-end:
 // simulate a day, encode every IPv4 record into v5 packets, decode back.
 func BenchmarkStageNetFlowExport(b *testing.B) {

@@ -9,6 +9,8 @@
 //	go test -bench=. -benchmem . | go run ./cmd/bench2json -stdin -out out.json
 //	go run ./cmd/bench2json -compare BENCH_PR2.json -candidate ci.json \
 //	    -gate StageTrafficWeek,StageDiscovery -max-regress 25
+//	go run ./cmd/bench2json -compare BENCH_PR5.json -candidate ci.json \
+//	    -gate StageTrafficWeek -gate-metrics ns/op,allocs/op -max-regress 25
 //
 // The output maps benchmark name to ns/op, B/op, allocs/op, and any
 // custom metrics (addrs, scanners, ...), plus the runs counter and the
@@ -17,7 +19,10 @@
 // regression gate on noisy runners.
 //
 // Compare mode exits non-zero when any gated benchmark's candidate
-// ns/op exceeds the baseline by more than -max-regress percent.
+// value exceeds the baseline by more than -max-regress percent on any
+// gated metric (-gate-metrics, default ns/op; allocs/op makes the gate
+// catch allocation regressions that a fast-but-churning change would
+// sneak past a wall-clock-only bar).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"sort"
@@ -57,11 +63,12 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON: compare -candidate against it instead of recording")
 	candidate := flag.String("candidate", "", "candidate JSON for -compare")
 	gate := flag.String("gate", "", "comma-separated benchmark names the -compare gate enforces (default: all shared names)")
-	maxRegress := flag.Float64("max-regress", 25, "ns/op regression percentage that fails the -compare gate")
+	gateMetrics := flag.String("gate-metrics", "ns/op", "comma-separated metrics the -compare gate enforces per benchmark")
+	maxRegress := flag.Float64("max-regress", 25, "regression percentage that fails the -compare gate")
 	flag.Parse()
 
 	if *compare != "" {
-		if err := runCompare(*compare, *candidate, *gate, *maxRegress); err != nil {
+		if err := runCompare(*compare, *candidate, *gate, *gateMetrics, *maxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
 			os.Exit(1)
 		}
@@ -178,19 +185,21 @@ func loadReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// Regression is one gate verdict.
+// Regression is one gate verdict: one benchmark, one metric.
 type Regression struct {
 	Name               string
-	BaseNs, CandNs     float64
+	Metric             string
+	Base, Cand         float64
 	DeltaPct, LimitPct float64
 	Failed             bool
 }
 
-// CompareReports checks each gated benchmark's candidate ns/op against
-// the baseline. An empty gate list gates every benchmark present in
-// both reports; a named benchmark missing from either side is an error
-// (a silently vanished benchmark must not pass the gate).
-func CompareReports(base, cand *Report, gates []string, maxRegressPct float64) ([]Regression, error) {
+// CompareReports checks each gated benchmark's candidate metrics
+// against the baseline. An empty gate list gates every benchmark
+// present in both reports; an empty metric list gates ns/op. A named
+// benchmark — or a gated metric — missing from either side is an error
+// (a silently vanished measurement must not pass the gate).
+func CompareReports(base, cand *Report, gates, metrics []string, maxRegressPct float64) ([]Regression, error) {
 	if len(gates) == 0 {
 		for name := range base.Benchmarks {
 			if _, ok := cand.Benchmarks[name]; ok {
@@ -199,7 +208,10 @@ func CompareReports(base, cand *Report, gates []string, maxRegressPct float64) (
 		}
 		sort.Strings(gates)
 	}
-	out := make([]Regression, 0, len(gates))
+	if len(metrics) == 0 {
+		metrics = []string{"ns/op"}
+	}
+	out := make([]Regression, 0, len(gates)*len(metrics))
 	for _, name := range gates {
 		b, ok := base.Benchmarks[name]
 		if !ok {
@@ -209,25 +221,47 @@ func CompareReports(base, cand *Report, gates []string, maxRegressPct float64) (
 		if !ok {
 			return nil, fmt.Errorf("benchmark %q missing from candidate", name)
 		}
-		bn, ok := b.Metrics["ns/op"]
-		if !ok || bn <= 0 {
-			return nil, fmt.Errorf("benchmark %q has no baseline ns/op", name)
+		for _, metric := range metrics {
+			bn, ok := b.Metrics[metric]
+			if !ok {
+				return nil, fmt.Errorf("benchmark %q has no baseline %s", name, metric)
+			}
+			cn, ok := c.Metrics[metric]
+			if !ok {
+				return nil, fmt.Errorf("benchmark %q has no candidate %s", name, metric)
+			}
+			var delta float64
+			switch {
+			case bn > 0:
+				delta = 100 * (cn - bn) / bn
+			case cn > 0:
+				// A zero baseline (e.g. a benchmark that allocated
+				// nothing) regressing to non-zero is an unbounded
+				// regression, not a divide-by-zero pass.
+				delta = math.Inf(1)
+			}
+			out = append(out, Regression{
+				Name: name, Metric: metric, Base: bn, Cand: cn,
+				DeltaPct: delta, LimitPct: maxRegressPct,
+				Failed: delta > maxRegressPct,
+			})
 		}
-		cn, ok := c.Metrics["ns/op"]
-		if !ok {
-			return nil, fmt.Errorf("benchmark %q has no candidate ns/op", name)
-		}
-		delta := 100 * (cn - bn) / bn
-		out = append(out, Regression{
-			Name: name, BaseNs: bn, CandNs: cn,
-			DeltaPct: delta, LimitPct: maxRegressPct,
-			Failed: delta > maxRegressPct,
-		})
 	}
 	return out, nil
 }
 
-func runCompare(basePath, candPath, gate string, maxRegressPct float64) error {
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func runCompare(basePath, candPath, gate, gateMetrics string, maxRegressPct float64) error {
 	if candPath == "" {
 		return fmt.Errorf("-compare requires -candidate")
 	}
@@ -239,28 +273,22 @@ func runCompare(basePath, candPath, gate string, maxRegressPct float64) error {
 	if err != nil {
 		return err
 	}
-	var gates []string
-	for _, g := range strings.Split(gate, ",") {
-		if g = strings.TrimSpace(g); g != "" {
-			gates = append(gates, g)
-		}
-	}
-	regs, err := CompareReports(base, cand, gates, maxRegressPct)
+	regs, err := CompareReports(base, cand, splitList(gate), splitList(gateMetrics), maxRegressPct)
 	if err != nil {
 		return err
 	}
 	failed := 0
-	fmt.Printf("%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "cand ns/op", "delta")
+	fmt.Printf("%-28s %-10s %14s %14s %9s\n", "benchmark", "metric", "base", "cand", "delta")
 	for _, r := range regs {
 		mark := "ok"
 		if r.Failed {
 			mark = "FAIL"
 			failed++
 		}
-		fmt.Printf("%-28s %14.0f %14.0f %+8.1f%% %s\n", r.Name, r.BaseNs, r.CandNs, r.DeltaPct, mark)
+		fmt.Printf("%-28s %-10s %14.0f %14.0f %+8.1f%% %s\n", r.Name, r.Metric, r.Base, r.Cand, r.DeltaPct, mark)
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% over %s", failed, maxRegressPct, basePath)
+		return fmt.Errorf("%d measurement(s) regressed more than %.0f%% over %s", failed, maxRegressPct, basePath)
 	}
 	return nil
 }

@@ -42,7 +42,7 @@ func TestCompareReportsGate(t *testing.T) {
 	base := mkReport(map[string]float64{"StageTrafficWeek": 100, "StageDiscovery": 200, "Extra": 1})
 	cand := mkReport(map[string]float64{"StageTrafficWeek": 124, "StageDiscovery": 260, "Extra": 50})
 
-	regs, err := CompareReports(base, cand, []string{"StageTrafficWeek", "StageDiscovery"}, 25)
+	regs, err := CompareReports(base, cand, []string{"StageTrafficWeek", "StageDiscovery"}, nil, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestCompareReportsGate(t *testing.T) {
 		t.Fatalf("+30%% passed a 25%% limit: %+v", regs[1])
 	}
 	// Ungated: every shared benchmark is checked, Extra's 50x fails.
-	regs, err = CompareReports(base, cand, nil, 25)
+	regs, err = CompareReports(base, cand, nil, nil, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,59 @@ func TestCompareReportsGate(t *testing.T) {
 		t.Fatalf("ungated: %d regs, %d failed", len(regs), failed)
 	}
 	// A vanished gated benchmark is an error, not a pass.
-	if _, err := CompareReports(base, mkReport(map[string]float64{"StageDiscovery": 1}), []string{"StageTrafficWeek"}, 25); err == nil {
+	if _, err := CompareReports(base, mkReport(map[string]float64{"StageDiscovery": 1}), []string{"StageTrafficWeek"}, nil, 25); err == nil {
 		t.Fatal("missing candidate benchmark passed the gate")
+	}
+}
+
+func mkMetricReport(benches map[string]map[string]float64) *Report {
+	rep := &Report{Benchmarks: map[string]Result{}}
+	for name, metrics := range benches {
+		rep.Benchmarks[name] = Result{Runs: 1, Metrics: metrics}
+	}
+	return rep
+}
+
+// TestCompareReportsMetricGate: the multi-metric gate flags an
+// allocs/op regression even when ns/op improved, errors on a missing
+// gated metric, and treats zero-baseline→non-zero as a failure rather
+// than a divide-by-zero pass.
+func TestCompareReportsMetricGate(t *testing.T) {
+	base := mkMetricReport(map[string]map[string]float64{
+		"StageTrafficWeek": {"ns/op": 100, "allocs/op": 1000},
+		"NoAllocs":         {"ns/op": 100, "allocs/op": 0},
+	})
+	cand := mkMetricReport(map[string]map[string]float64{
+		"StageTrafficWeek": {"ns/op": 80, "allocs/op": 1500},
+		"NoAllocs":         {"ns/op": 100, "allocs/op": 3},
+	})
+
+	regs, err := CompareReports(base, cand, []string{"StageTrafficWeek"}, []string{"ns/op", "allocs/op"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regs = %d, want one per metric", len(regs))
+	}
+	if regs[0].Metric != "ns/op" || regs[0].Failed {
+		t.Fatalf("improved ns/op flagged: %+v", regs[0])
+	}
+	if regs[1].Metric != "allocs/op" || !regs[1].Failed {
+		t.Fatalf("+50%% allocs/op passed: %+v", regs[1])
+	}
+
+	// Zero baseline regressing to non-zero fails.
+	regs, err = CompareReports(base, cand, []string{"NoAllocs"}, []string{"allocs/op"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !regs[0].Failed {
+		t.Fatalf("0→3 allocs/op passed the gate: %+v", regs)
+	}
+
+	// A gated metric missing from a report is an error.
+	noMem := mkReport(map[string]float64{"StageTrafficWeek": 80})
+	if _, err := CompareReports(base, noMem, []string{"StageTrafficWeek"}, []string{"allocs/op"}, 25); err == nil {
+		t.Fatal("missing candidate metric passed the gate")
 	}
 }

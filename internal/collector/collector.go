@@ -128,6 +128,10 @@ func New(cfg Config) (*Collector, error) {
 	if len(cfg.Days) == 0 {
 		return nil, errors.New("collector: Config.Days is required")
 	}
+	// Freeze the dense backend/alias ID assignment now, while New is
+	// still single-threaded: every accepted stream builds its shard
+	// partial concurrently, and they must all see one built index.
+	cfg.Index.Build()
 	po := cfg.Opts
 	po.SamplingRate = 1
 	return &Collector{cfg: cfg, partialOpts: po}, nil

@@ -1,7 +1,7 @@
 package flows
 
 import (
-	"net/netip"
+	"math/bits"
 	"sort"
 )
 
@@ -15,7 +15,9 @@ import (
 // union across vantages. Everything is built from the PR-2 merge
 // algebra (sums, sets, integer-valued float64 additions), so the result
 // is independent of both shard order and vantage order, and union
-// volumes equal the per-vantage sums bit for bit.
+// volumes equal the per-vantage sums bit for bit. Backend IDs are
+// global to the shared index, so the cross-vantage set comparisons in
+// Coverage are plain bitset algebra.
 
 // Federation is FederatedMerge's result: the per-vantage aggregates
 // plus their union. Per-vantage values are the exact collectors a
@@ -38,7 +40,7 @@ type Federation struct {
 // aggregates and their union. Partials group by ShardPartial.Vantage;
 // within and across groups the merge is order-independent, so any
 // permutation of parts yields identical results. Like MergePartials it
-// consumes the partials (donor maps are adopted by reference) and
+// consumes the partials (donor aggregates are adopted by reference) and
 // requires a non-empty slice; all partials must share the backend
 // index, study days, and per-vantage Options.
 func FederatedMerge(parts []*ShardPartial) *Federation {
@@ -110,73 +112,101 @@ type CoverageReport struct {
 }
 
 // Coverage computes the cross-vantage coverage report from the
-// federation's per-vantage collectors.
+// federation's per-vantage collectors: per-vantage visibility unions,
+// their global union and intersection, and per-alias slices — all as
+// bitset algebra over the shared backend ID space.
 func (f *Federation) Coverage() *CoverageReport {
-	type addrView struct {
-		alias    string
-		vantages map[string]struct{}
-	}
-	views := map[netip.Addr]*addrView{}
-	perVantage := map[string]map[netip.Addr]struct{}{}
-	perVantageAliases := map[string]map[string]struct{}{}
-	for _, name := range f.Names {
-		seen := map[netip.Addr]struct{}{}
-		aliases := map[string]struct{}{}
-		for alias, set := range f.Col[name].visible {
-			if len(set) > 0 {
-				aliases[alias] = struct{}{}
-			}
-			for addr := range set {
-				seen[addr] = struct{}{}
-				v, ok := views[addr]
-				if !ok {
-					v = &addrView{alias: alias, vantages: map[string]struct{}{}}
-					views[addr] = v
-				}
-				v.vantages[name] = struct{}{}
+	first := f.Col[f.Names[0]]
+	first.idx.checkGen(first.gen)
+	idx := first.idx
+	words := idx.words
+
+	// Per-vantage all-alias visibility unions, plus global union/
+	// intersection.
+	perVantage := make([][]uint64, len(f.Names))
+	union := make([]uint64, words)
+	everywhere := make([]uint64, words)
+	for vi, name := range f.Names {
+		vb := make([]uint64, words)
+		for a := 0; a < len(idx.aliasNames); a++ {
+			if vs := f.Col[name].visible[a]; vs != nil {
+				orBits(vb, vs)
 			}
 		}
-		perVantage[name] = seen
-		perVantageAliases[name] = aliases
+		perVantage[vi] = vb
+		orBits(union, vb)
+		if vi == 0 {
+			copy(everywhere, vb)
+		} else {
+			for w := range everywhere {
+				everywhere[w] &= vb[w]
+			}
+		}
+	}
+	rep := &CoverageReport{Union: popcount(union), Everywhere: popcount(everywhere)}
+
+	for vi, name := range f.Names {
+		others := make([]uint64, words)
+		for vj := range f.Names {
+			if vj != vi {
+				orBits(others, perVantage[vj])
+			}
+		}
+		exclusive := 0
+		for w := range perVantage[vi] {
+			exclusive += bits.OnesCount64(perVantage[vi][w] &^ others[w])
+		}
+		providers := 0
+		for a := 0; a < len(idx.aliasNames); a++ {
+			if f.Col[name].visible[a] != nil {
+				providers++
+			}
+		}
+		rep.Vantages = append(rep.Vantages, VantageCoverage{
+			Vantage:   name,
+			Backends:  popcount(perVantage[vi]),
+			Exclusive: exclusive,
+			Providers: providers,
+		})
 	}
 
-	rep := &CoverageReport{Union: len(views)}
-	aliasRows := map[string]*AliasCoverage{}
-	for _, v := range views {
-		row, ok := aliasRows[v.alias]
-		if !ok {
-			row = &AliasCoverage{Alias: v.alias, PerVantage: map[string]int{}}
-			aliasRows[v.alias] = row
-		}
-		row.Union++
-		if len(v.vantages) == len(f.Names) {
-			row.Everywhere++
-			rep.Everywhere++
-		}
-		for name := range v.vantages {
-			row.PerVantage[name]++
-		}
-	}
-	for _, name := range f.Names {
-		vc := VantageCoverage{
-			Vantage:   name,
-			Backends:  len(perVantage[name]),
-			Providers: len(perVantageAliases[name]),
-		}
-		for addr := range perVantage[name] {
-			if len(views[addr].vantages) == 1 {
-				vc.Exclusive++
+	// Per-alias rows: aliasNames is sorted, so the rows come out sorted.
+	aliasUnion := make([]uint64, words)
+	aliasEvery := make([]uint64, words)
+	for a := 0; a < len(idx.aliasNames); a++ {
+		clearBits(aliasUnion)
+		perV := map[string]int{}
+		any, missing := false, false
+		for _, name := range f.Names {
+			vs := f.Col[name].visible[a]
+			if vs == nil {
+				// An absent vantage empties the intersection.
+				missing = true
+				continue
 			}
+			if !any {
+				copy(aliasEvery, vs)
+			} else {
+				for w := range aliasEvery {
+					aliasEvery[w] &= vs[w]
+				}
+			}
+			any = true
+			orBits(aliasUnion, vs)
+			perV[name] = popcount(vs)
 		}
-		rep.Vantages = append(rep.Vantages, vc)
-	}
-	aliases := make([]string, 0, len(aliasRows))
-	for alias := range aliasRows {
-		aliases = append(aliases, alias)
-	}
-	sort.Strings(aliases)
-	for _, alias := range aliases {
-		rep.Aliases = append(rep.Aliases, *aliasRows[alias])
+		if !any {
+			continue
+		}
+		if missing {
+			clearBits(aliasEvery)
+		}
+		rep.Aliases = append(rep.Aliases, AliasCoverage{
+			Alias:      idx.aliasNames[a],
+			Union:      popcount(aliasUnion),
+			Everywhere: popcount(aliasEvery),
+			PerVantage: perV,
+		})
 	}
 	return rep
 }

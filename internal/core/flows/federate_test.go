@@ -90,14 +90,14 @@ func TestFederatedMergeOrderInvariance(t *testing.T) {
 			t.Fatalf("%s: vantage names differ: %v vs %v", name, got.Names, ref.Names)
 		}
 		for _, v := range ref.Names {
-			if !reflect.DeepEqual(got.CC[v].contacts, ref.CC[v].contacts) {
+			if !reflect.DeepEqual(got.CC[v].contactSets(), ref.CC[v].contactSets()) {
 				t.Errorf("%s: vantage %s contact counter differs", name, v)
 			}
 			if !reflect.DeepEqual(got.Col[v].Study(), ref.Col[v].Study()) {
 				t.Errorf("%s: vantage %s study differs", name, v)
 			}
 		}
-		if !reflect.DeepEqual(got.UnionCC.contacts, ref.UnionCC.contacts) {
+		if !reflect.DeepEqual(got.UnionCC.contactSets(), ref.UnionCC.contactSets()) {
 			t.Errorf("%s: union contact counter differs", name)
 		}
 		if !reflect.DeepEqual(got.UnionCol.Study(), ref.UnionCol.Study()) {
@@ -239,7 +239,7 @@ func TestFederatedSingleVantageTransparent(t *testing.T) {
 	if fmt.Sprint(fed.Names) != "[solo]" {
 		t.Fatalf("names = %v", fed.Names)
 	}
-	if !reflect.DeepEqual(fed.CC["solo"].contacts, pipeCC.contacts) {
+	if !reflect.DeepEqual(fed.CC["solo"].contactSets(), pipeCC.contactSets()) {
 		t.Error("single-vantage federation contact counter differs from the plain pipeline")
 	}
 	if !reflect.DeepEqual(fed.Col["solo"].Study(), pipeStudy) {
@@ -248,7 +248,7 @@ func TestFederatedSingleVantageTransparent(t *testing.T) {
 	if !reflect.DeepEqual(fed.UnionCol.Study(), pipeStudy) {
 		t.Error("single-vantage union differs from its only vantage")
 	}
-	if !reflect.DeepEqual(fed.UnionCC.contacts, pipeCC.contacts) {
+	if !reflect.DeepEqual(fed.UnionCC.contactSets(), pipeCC.contactSets()) {
 		t.Error("single-vantage union contacts differ from its only vantage")
 	}
 }
@@ -266,7 +266,7 @@ func TestCollectorCloneComplete(t *testing.T) {
 	if !reflect.DeepEqual(colClone, col) {
 		t.Fatal("collector clone not deeply equal to the original (a field is missing from clone())")
 	}
-	if !reflect.DeepEqual(ccClone.contacts, cc.contacts) {
+	if !reflect.DeepEqual(ccClone.contactSets(), cc.contactSets()) {
 		t.Fatal("contact counter clone not deeply equal to the original")
 	}
 
@@ -277,7 +277,7 @@ func TestCollectorCloneComplete(t *testing.T) {
 	if !reflect.DeepEqual(col.Study(), pipeStudy) {
 		t.Error("merging a clone mutated the original collector (aliased aggregate)")
 	}
-	if !reflect.DeepEqual(cc.contacts, pipeCC.contacts) {
+	if !reflect.DeepEqual(cc.contactSets(), pipeCC.contactSets()) {
 		t.Error("merging a clone mutated the original contact counter")
 	}
 }

@@ -10,6 +10,15 @@
 // (Figure 11), per-line daily volume distributions (Figure 12), and the
 // cross-continent breakdowns (Figures 13-14).
 //
+// Aggregation is dense-ID end to end: BackendIndex assigns every
+// validated backend (and alias) a deterministic dense integer at build
+// time, subscriber addresses intern to per-aggregate line IDs via the
+// arithmetic isp address plan (map fallback for foreign addresses), and
+// ContactCounter/Collector keep bitsets and stride-packed slices
+// instead of nested address-keyed maps — see dense.go. Addresses and
+// names reappear only at Study()/finalization, so every figure is
+// byte-identical to the historical map-keyed implementation.
+//
 // Both ContactCounter and Collector are shard-mergeable: every
 // aggregate is a sum, set, or series whose merge is order-independent
 // (volumes are integer-valued float64s well under 2^53, so addition is
@@ -27,6 +36,8 @@ package flows
 import (
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"iotmap/internal/analysis"
@@ -35,21 +46,56 @@ import (
 	"iotmap/internal/proto"
 )
 
-// backendInfo is everything the collector knows about one backend IP.
+// backendInfo is everything the collector knows about one backend IP,
+// including its dense IDs once the index is built.
 type backendInfo struct {
 	alias     string
 	cont      geo.Continent
 	region    string
 	certFound bool
+	// id and aliasID are the dense identifiers Build assigns; valid only
+	// while the index is built (Add invalidates them).
+	id      int32
+	aliasID int32
 }
 
 // BackendIndex is the collector's view of the discovered, validated
 // backend IPs: owner alias, location, region code, and whether the
 // TLS-certificate channel alone would have found the address. One map
 // keyed by address holds all of it, so classifying a flow record costs a
-// single hash lookup per direction.
+// single hash lookup per direction — and Build() additionally assigns
+// every address a dense uint32 ID (addresses in sorted order, so the
+// assignment is deterministic) plus a dense alias ID, which the
+// aggregation layer uses for its bitsets and flat arrays.
 type BackendIndex struct {
 	info map[netip.Addr]backendInfo
+
+	// Dense view, built lazily by ensureBuilt and invalidated by Add.
+	// built is atomic so concurrent aggregate constructors (one per wire
+	// stream) can share a freshly added-to index safely; Add itself must
+	// not race with readers.
+	built   atomic.Bool
+	buildMu sync.Mutex
+	// gen counts rebuilds. Aggregates stamp the generation they were
+	// built against and refuse (loudly) to produce results or merge
+	// after a rebuild reassigned the ID space underneath them.
+	gen int
+	// addrs and infos are the ID→address and ID→info reverse tables.
+	addrs []netip.Addr
+	infos []backendInfo
+	// words is the backend-bitset width in uint64 words.
+	words int
+	// v4Mask marks the IDs of IPv4 (and 4-in-6) addresses; totalV4 is
+	// its popcount (Figure 5's coverage denominator).
+	v4Mask  []uint64
+	totalV4 int
+	// aliasNames is the sorted alias list (aliasID → name) and
+	// aliasTotals the per-alias [v4, v6] address counts — the caches
+	// behind Aliases()/TotalPerAlias().
+	aliasNames  []string
+	aliasTotals [][2]int
+	// aliasWords is the alias-bitset width in uint64 words.
+	aliasWords int
 }
 
 // NewBackendIndex returns an empty index.
@@ -57,9 +103,84 @@ func NewBackendIndex() *BackendIndex {
 	return &BackendIndex{info: map[netip.Addr]backendInfo{}}
 }
 
-// Add registers one backend address under its anonymized alias.
+// Add registers one backend address under its anonymized alias. Adding
+// invalidates the dense ID view: IDs are reassigned on the next Build,
+// so no ContactCounter/Collector may be built before the final Add.
 func (b *BackendIndex) Add(addr netip.Addr, alias string, cont geo.Continent, region string, certFound bool) {
 	b.info[addr] = backendInfo{alias: alias, cont: cont, region: region, certFound: certFound}
+	b.built.Store(false)
+}
+
+// Build finalizes the dense ID view: every address gets a stable dense
+// ID (sorted address order) and every alias a dense alias ID (sorted
+// alias order), with the per-alias totals and the v4 mask cached
+// alongside. Idempotent and safe to call concurrently; the aggregation
+// constructors imply it, so explicit calls are only a warm-up.
+func (b *BackendIndex) Build() { b.ensureBuilt() }
+
+func (b *BackendIndex) ensureBuilt() {
+	if b.built.Load() {
+		return
+	}
+	b.buildMu.Lock()
+	defer b.buildMu.Unlock()
+	if b.built.Load() {
+		return
+	}
+	b.build()
+	b.built.Store(true)
+}
+
+// checkGen panics when an aggregate built against an older ID
+// assignment touches a rebuilt index: after an Add-triggered rebuild
+// the aggregate's bitsets encode stale IDs, and producing results from
+// them would be silent corruption.
+func (b *BackendIndex) checkGen(gen int) {
+	if gen != b.gen {
+		panic("flows: BackendIndex was rebuilt (Add after aggregation started) — dense IDs no longer match this aggregate")
+	}
+}
+
+func (b *BackendIndex) build() {
+	b.gen++
+	addrs := make([]netip.Addr, 0, len(b.info))
+	aliasSeen := map[string]struct{}{}
+	for a, bi := range b.info {
+		addrs = append(addrs, a)
+		aliasSeen[bi.alias] = struct{}{}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	names := make([]string, 0, len(aliasSeen))
+	for a := range aliasSeen {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	aliasID := make(map[string]int32, len(names))
+	for i, n := range names {
+		aliasID[n] = int32(i)
+	}
+
+	b.addrs = addrs
+	b.infos = make([]backendInfo, len(addrs))
+	b.words = (len(addrs) + 63) / 64
+	b.v4Mask = make([]uint64, b.words)
+	b.aliasNames = names
+	b.aliasTotals = make([][2]int, len(names))
+	b.aliasWords = (len(names) + 63) / 64
+	for i, a := range addrs {
+		bi := b.info[a]
+		bi.id = int32(i)
+		bi.aliasID = aliasID[bi.alias]
+		b.info[a] = bi
+		b.infos[i] = bi
+		if a.Is4() || a.Is4In6() {
+			setBit(b.v4Mask, i)
+			b.aliasTotals[bi.aliasID][0]++
+		} else {
+			b.aliasTotals[bi.aliasID][1]++
+		}
+	}
+	b.totalV4 = popcount(b.v4Mask)
 }
 
 // Owner returns the alias owning addr ("" if unknown).
@@ -68,31 +189,20 @@ func (b *BackendIndex) Owner(addr netip.Addr) string { return b.info[addr].alias
 // Size returns the number of indexed addresses.
 func (b *BackendIndex) Size() int { return len(b.info) }
 
-// Aliases returns the sorted alias list.
+// Aliases returns the sorted alias list (cached at Build, not rescanned
+// per call).
 func (b *BackendIndex) Aliases() []string {
-	seen := map[string]struct{}{}
-	for _, bi := range b.info {
-		seen[bi.alias] = struct{}{}
-	}
-	out := make([]string, 0, len(seen))
-	for a := range seen {
-		out = append(out, a)
-	}
-	sort.Strings(out)
-	return out
+	b.ensureBuilt()
+	return append([]string(nil), b.aliasNames...)
 }
 
-// TotalPerAlias counts indexed addresses per alias, split by family.
+// TotalPerAlias counts indexed addresses per alias, split by family
+// (cached at Build, not rescanned per call).
 func (b *BackendIndex) TotalPerAlias() map[string][2]int {
-	out := map[string][2]int{}
-	for addr, bi := range b.info {
-		c := out[bi.alias]
-		if addr.Is4() || addr.Is4In6() {
-			c[0]++
-		} else {
-			c[1]++
-		}
-		out[bi.alias] = c
+	b.ensureBuilt()
+	out := make(map[string][2]int, len(b.aliasNames))
+	for i, name := range b.aliasNames {
+		out[name] = b.aliasTotals[i]
 	}
 	return out
 }
@@ -100,39 +210,69 @@ func (b *BackendIndex) TotalPerAlias() map[string][2]int {
 // --- Pass 1: scanner identification ------------------------------------
 
 // ContactCounter tallies how many distinct backend IPs each subscriber
-// line contacts (the Richter et al. scanner heuristic of Section 5.2).
+// line contacts (the Richter et al. scanner heuristic of Section 5.2):
+// one backend bitset per interned line address.
 type ContactCounter struct {
-	idx *BackendIndex
-	// contacts maps a line address to its contacted backend set.
-	contacts map[netip.Addr]map[netip.Addr]struct{}
+	idx   *BackendIndex
+	gen   int
+	words int
+	lines lineTab
+	// bits holds one idx.words-stride backend bitset per line ID.
+	bits []uint64
 }
 
-// NewContactCounter returns a counter over idx.
+// NewContactCounter returns a counter over idx (building idx's dense ID
+// view if needed — Adding to idx afterwards invalidates the counter,
+// which its result methods turn into a panic rather than silent
+// corruption).
 func NewContactCounter(idx *BackendIndex) *ContactCounter {
-	return &ContactCounter{idx: idx, contacts: map[netip.Addr]map[netip.Addr]struct{}{}}
+	idx.ensureBuilt()
+	return &ContactCounter{idx: idx, gen: idx.gen, words: idx.words}
+}
+
+// lineID interns a line address, growing the bitset arena for new lines.
+func (c *ContactCounter) lineID(a netip.Addr) int32 {
+	id := c.lines.id(a)
+	c.bits = grown(c.bits, (int(id)+1)*c.words)
+	return id
 }
 
 // Ingest processes one record.
 func (c *ContactCounter) Ingest(r netflow.Record) {
-	line, backend, _, ok := c.idx.lineSide(r)
+	line, backendID, _, ok := c.idx.lineSide(r)
 	if !ok {
 		return
 	}
-	set, ok := c.contacts[line]
-	if !ok {
-		set = map[netip.Addr]struct{}{}
-		c.contacts[line] = set
-	}
-	set[backend] = struct{}{}
+	id := c.lineID(line)
+	setBit(c.bits[int(id)*c.words:], int(backendID))
+}
+
+// lineBits returns line ID i's backend bitset.
+func (c *ContactCounter) lineBits(i int) []uint64 {
+	return c.bits[i*c.words : (i+1)*c.words]
 }
 
 // Scanners returns the lines contacting more than threshold backend IPs.
 func (c *ContactCounter) Scanners(threshold int) map[netip.Addr]struct{} {
+	c.idx.checkGen(c.gen)
 	out := map[netip.Addr]struct{}{}
-	for line, set := range c.contacts {
-		if len(set) > threshold {
-			out[line] = struct{}{}
+	for i, a := range c.lines.addrs {
+		if popcount(c.lineBits(i)) > threshold {
+			out[a] = struct{}{}
 		}
+	}
+	return out
+}
+
+// contactSets materializes the per-line contacted-backend sets in the
+// historical map-keyed shape (tests compare counters through it).
+func (c *ContactCounter) contactSets() map[netip.Addr]map[netip.Addr]struct{} {
+	c.idx.checkGen(c.gen)
+	out := make(map[netip.Addr]map[netip.Addr]struct{}, len(c.lines.addrs))
+	for i, a := range c.lines.addrs {
+		set := map[netip.Addr]struct{}{}
+		forEachBit(c.lineBits(i), func(b int) { set[c.idx.addrs[b]] = struct{}{} })
+		out[a] = set
 	}
 	return out
 }
@@ -147,34 +287,49 @@ type CurvePoint struct {
 	CoveragePct float64
 }
 
-// Curve sweeps scanner thresholds (Figure 5's two axes).
+// Curve sweeps scanner thresholds (Figure 5's two axes). Lines are
+// sorted by distinct-backend count once and the thresholds sweep
+// incrementally over that order — each line's bitset is folded into the
+// visible set exactly once, instead of the historical
+// O(thresholds × lines × set-size) rescan.
 func (c *ContactCounter) Curve(thresholds []int) []CurvePoint {
-	totalV4 := 0
-	for addr := range c.idx.info {
-		if addr.Is4() || addr.Is4In6() {
-			totalV4++
-		}
+	c.idx.checkGen(c.gen)
+	n := len(c.lines.addrs)
+	counts := make([]int, n)
+	order := make([]int32, n)
+	for i := range counts {
+		counts[i] = popcount(c.lineBits(i))
+		order[i] = int32(i)
 	}
-	out := make([]CurvePoint, 0, len(thresholds))
-	for _, t := range thresholds {
-		visible := map[netip.Addr]struct{}{}
-		scanners := 0
-		for _, set := range c.contacts {
-			if len(set) > t {
-				scanners++
-				continue
+	sort.Slice(order, func(i, j int) bool { return counts[order[i]] < counts[order[j]] })
+
+	ts := append([]int(nil), thresholds...)
+	sort.Ints(ts)
+	visible := make([]uint64, c.words)
+	byThreshold := make(map[int]CurvePoint, len(ts))
+	p := 0
+	for _, t := range ts {
+		if _, done := byThreshold[t]; done {
+			continue
+		}
+		// Lines at or below the threshold are kept; their IPv4 contacts
+		// join the visible set (the union is order-independent).
+		for p < n && counts[order[p]] <= t {
+			row := c.lineBits(int(order[p]))
+			for k, w := range row {
+				visible[k] |= w & c.idx.v4Mask[k]
 			}
-			for b := range set {
-				if b.Is4() || b.Is4In6() {
-					visible[b] = struct{}{}
-				}
-			}
+			p++
 		}
 		pct := 0.0
-		if totalV4 > 0 {
-			pct = 100 * float64(len(visible)) / float64(totalV4)
+		if c.idx.totalV4 > 0 {
+			pct = 100 * float64(popcount(visible)) / float64(c.idx.totalV4)
 		}
-		out = append(out, CurvePoint{Threshold: t, Scanners: scanners, CoveragePct: pct})
+		byThreshold[t] = CurvePoint{Threshold: t, Scanners: n - p, CoveragePct: pct}
+	}
+	out := make([]CurvePoint, len(thresholds))
+	for i, t := range thresholds {
+		out[i] = byThreshold[t]
 	}
 	return out
 }
@@ -182,44 +337,67 @@ func (c *ContactCounter) Curve(thresholds []int) []CurvePoint {
 // --- Pass 2: full aggregation -------------------------------------------
 
 // Collector aggregates everything the figures need, with scanner lines
-// excluded up front.
+// excluded up front. Internally every aggregate is a slice or bitset
+// indexed by line/backend/alias/port ID (see dense.go); Study()
+// converts back to the address-keyed result shape.
 type Collector struct {
 	idx      *BackendIndex
+	gen      int
 	days     []time.Time
 	hours    int
 	rate     float64
 	excluded map[netip.Addr]struct{}
 	// focusAlias drives the regional outage series (Figures 15/16).
-	focusAlias  string
-	focusRegion string
+	focusAlias   string
+	focusRegion  string
+	focusAliasID int32
 
-	// visibility.
-	visible map[string]map[netip.Addr]struct{}
-	// per-alias per-hour active line sets.
-	linesHour map[string][]map[netip.Addr]struct{}
-	// per-alias hourly volumes.
-	downHour, upHour map[string]*analysis.Series
-	// per-alias port volumes.
-	portVol map[string]map[proto.PortKey]float64
-	// per-line daily totals [day][down,up].
-	lineDaily map[netip.Addr][][2]float64
-	// per-line-alias daily downstream.
-	lineAliasDaily map[lineAliasKey][]float64
-	// per-line-port daily downstream.
-	linePortDaily map[linePortKey][]float64
-	// per-line alias set and cert-only detectability.
-	lineAliases  map[lineAliasKey]struct{}
-	lineCertSeen map[lineAliasKey]struct{}
-	// per-line contacted-continent mask.
-	lineConts map[netip.Addr]uint8
-	// traffic per server continent.
+	// Stride bookkeeping: ds = len(days), hw/aw = hour/alias bitset words.
+	ds, hw, aw, nAliases int
+
+	lines lineTab
+	ports portTab
+
+	// Per-line aggregates, stride-packed by line ID (grown on intern):
+	// daily [down, up] volumes, contacted-continent masks, alias-seen and
+	// cert-seen alias bitsets, and the lineAliasDaily slot table.
+	lineDaily     []float64 // stride 2*ds: [day][down,up]
+	lineConts     []uint8
+	lineAliasBits []uint64 // stride aw
+	lineCertBits  []uint64 // stride aw
+	laIdx         []int32  // stride nAliases: slot+1 into laDaily
+
+	// Per-alias aggregates, indexed by alias ID.
+	visible   [][]uint64 // backend bitset
+	lineHours [][]uint64 // per line: stride-hw active-hour bitset
+	downHour  []*analysis.Series
+	upHour    []*analysis.Series
+	portVol   [][]float64 // per port ID
+	portSeen  [][]uint64  // port-ID presence bitset
+
+	// lineAliasDaily/linePortDaily slot arenas: slot s owns
+	// laDaily[s*ds:(s+1)*ds] with its (line, alias) key in laKeys[s].
+	laDaily []float64
+	laKeys  []laKey
+	lpIdx   [][]int32 // per port ID: per line slot+1
+	lpDaily []float64
+	lpKeys  []lpKey
+
+	// Per-backend traffic (the §3.4 traffic cross-check) with presence
+	// bits (a touched backend with zero bytes is still "active").
+	backendVol  []float64
+	backendSeen []uint64
+	// contVol stays a map: a handful of continents at most.
 	contVol map[geo.Continent]float64
-	// traffic per backend address (the §3.4 traffic cross-check).
-	backendVol map[netip.Addr]float64
-	// focus series.
+
+	// Focus series (Figures 15/16).
 	focusDownAll, focusDownRegion, focusDownEU    *analysis.Series
-	focusLinesAll, focusLinesRegion, focusLinesEU []map[netip.Addr]struct{}
+	focusHoursAll, focusHoursRegion, focusHoursEU []uint64 // per line, stride hw
 }
+
+type laKey struct{ line, alias int32 }
+
+type lpKey struct{ line, port int32 }
 
 type lineAliasKey struct {
 	line  netip.Addr
@@ -255,51 +433,69 @@ type Options struct {
 	Vantage string
 }
 
-// NewCollector builds a collector for a study period.
+// NewCollector builds a collector for a study period (building idx's
+// dense ID view if needed — Adding to idx afterwards invalidates the
+// collector, which Study/Merge turn into a panic rather than silent
+// corruption).
 func NewCollector(idx *BackendIndex, days []time.Time, opts Options) *Collector {
+	idx.ensureBuilt()
 	hours := len(days) * 24
+	nAliases := len(idx.aliasNames)
 	c := &Collector{
-		idx:            idx,
-		days:           days,
-		hours:          hours,
-		rate:           float64(opts.SamplingRate),
-		excluded:       opts.Excluded,
-		focusAlias:     opts.FocusAlias,
-		focusRegion:    opts.FocusRegion,
-		visible:        map[string]map[netip.Addr]struct{}{},
-		linesHour:      map[string][]map[netip.Addr]struct{}{},
-		downHour:       map[string]*analysis.Series{},
-		upHour:         map[string]*analysis.Series{},
-		portVol:        map[string]map[proto.PortKey]float64{},
-		lineDaily:      map[netip.Addr][][2]float64{},
-		lineAliasDaily: map[lineAliasKey][]float64{},
-		linePortDaily:  map[linePortKey][]float64{},
-		lineAliases:    map[lineAliasKey]struct{}{},
-		lineCertSeen:   map[lineAliasKey]struct{}{},
-		lineConts:      map[netip.Addr]uint8{},
-		contVol:        map[geo.Continent]float64{},
-		backendVol:     map[netip.Addr]float64{},
+		idx:          idx,
+		gen:          idx.gen,
+		days:         days,
+		hours:        hours,
+		rate:         float64(opts.SamplingRate),
+		excluded:     opts.Excluded,
+		focusAlias:   opts.FocusAlias,
+		focusRegion:  opts.FocusRegion,
+		focusAliasID: -1,
+		ds:           len(days),
+		hw:           (hours + 63) / 64,
+		aw:           idx.aliasWords,
+		nAliases:     nAliases,
+		visible:      make([][]uint64, nAliases),
+		lineHours:    make([][]uint64, nAliases),
+		downHour:     make([]*analysis.Series, nAliases),
+		upHour:       make([]*analysis.Series, nAliases),
+		portVol:      make([][]float64, nAliases),
+		portSeen:     make([][]uint64, nAliases),
+		backendVol:   make([]float64, len(idx.addrs)),
+		backendSeen:  make([]uint64, idx.words),
+		contVol:      map[geo.Continent]float64{},
 	}
 	if c.rate <= 0 {
 		c.rate = 1
 	}
 	if c.focusAlias != "" {
+		for i, name := range idx.aliasNames {
+			if name == c.focusAlias {
+				c.focusAliasID = int32(i)
+			}
+		}
 		c.focusDownAll = analysis.NewSeries(c.focusAlias+": All", hours)
 		c.focusDownRegion = analysis.NewSeries(c.focusAlias+": "+c.focusRegion, hours)
 		c.focusDownEU = analysis.NewSeries(c.focusAlias+": EU", hours)
-		c.focusLinesAll = makeHourSets(hours)
-		c.focusLinesRegion = makeHourSets(hours)
-		c.focusLinesEU = makeHourSets(hours)
 	}
 	return c
 }
 
-func makeHourSets(hours int) []map[netip.Addr]struct{} {
-	out := make([]map[netip.Addr]struct{}, hours)
-	for i := range out {
-		out[i] = map[netip.Addr]struct{}{}
+// lineID interns a line address, growing every per-line aggregate for
+// new lines (the lazily-grown per-alias/per-port tables grow at touch).
+func (c *Collector) lineID(a netip.Addr) int32 {
+	n := len(c.lines.addrs)
+	id := c.lines.id(a)
+	if int(id) < n {
+		return id
 	}
-	return out
+	ln := n + 1
+	c.lineDaily = grown(c.lineDaily, ln*2*c.ds)
+	c.lineConts = grown(c.lineConts, ln)
+	c.lineAliasBits = grown(c.lineAliasBits, ln*c.aw)
+	c.lineCertBits = grown(c.lineCertBits, ln*c.aw)
+	c.laIdx = grown(c.laIdx, ln*c.nAliases)
+	return id
 }
 
 func contBit(c geo.Continent) uint8 {
@@ -317,22 +513,52 @@ func contBit(c geo.Continent) uint8 {
 
 // Ingest processes one sampled record.
 func (c *Collector) Ingest(r netflow.Record) {
-	line, backend, bi, ok := c.idx.lineSide(r)
+	line, backendID, down, ok := c.idx.lineSide(r)
 	if !ok {
 		return
 	}
-	c.ingestClassified(r, line, backend, bi)
+	c.ingestClassified(r, line, backendID, down)
+}
+
+// laSlotBase finds or creates the lineAliasDaily slot for (line, alias)
+// and returns its base offset into laDaily.
+func (c *Collector) laSlotBase(line, alias int) int {
+	si := line*c.nAliases + alias
+	slot := c.laIdx[si]
+	if slot == 0 {
+		slot = int32(len(c.laKeys)) + 1
+		c.laKeys = append(c.laKeys, laKey{line: int32(line), alias: int32(alias)})
+		c.laDaily = grown(c.laDaily, int(slot)*c.ds)
+		c.laIdx[si] = slot
+	}
+	return (int(slot) - 1) * c.ds
+}
+
+// lpSlotBase finds or creates the linePortDaily slot for (line, port)
+// and returns its base offset into lpDaily.
+func (c *Collector) lpSlotBase(line, port int) int {
+	for len(c.lpIdx) <= port {
+		c.lpIdx = append(c.lpIdx, nil)
+	}
+	arr := grown(c.lpIdx[port], line+1)
+	c.lpIdx[port] = arr
+	slot := arr[line]
+	if slot == 0 {
+		slot = int32(len(c.lpKeys)) + 1
+		c.lpKeys = append(c.lpKeys, lpKey{line: int32(line), port: int32(port)})
+		c.lpDaily = grown(c.lpDaily, int(slot)*c.ds)
+		arr[line] = slot
+	}
+	return (int(slot) - 1) * c.ds
 }
 
 // ingestClassified is Ingest after endpoint classification — the
 // pipeline's ShardPartial calls it directly with the classification it
 // already computed for scanner exclusion.
-func (c *Collector) ingestClassified(r netflow.Record, line, backend netip.Addr, bi backendInfo) {
-	downstream := backend == r.Src
-	if _, skip := c.excluded[line]; skip {
+func (c *Collector) ingestClassified(r netflow.Record, lineAddr netip.Addr, backendID int32, down bool) {
+	if _, skip := c.excluded[lineAddr]; skip {
 		return
 	}
-	alias := bi.alias
 	// Integer nanosecond division: the old float64 Hours() path could
 	// round a record sitting nanoseconds before a bucket edge up into
 	// the next hour. Pre-study records are rejected before dividing —
@@ -348,88 +574,74 @@ func (c *Collector) ingestClassified(r netflow.Record, line, backend netip.Addr,
 	}
 	day := hour / 24
 	bytes := float64(r.Bytes) * c.rate
+	bi := &c.idx.infos[backendID]
+	a := int(bi.aliasID)
+	line := int(c.lineID(lineAddr))
 
 	// Visibility.
-	vs, ok := c.visible[alias]
-	if !ok {
-		vs = map[netip.Addr]struct{}{}
-		c.visible[alias] = vs
+	vs := c.visible[a]
+	if vs == nil {
+		vs = make([]uint64, c.idx.words)
+		c.visible[a] = vs
 	}
-	vs[backend] = struct{}{}
+	setBit(vs, int(backendID))
 
 	// Hourly activity.
-	lh, ok := c.linesHour[alias]
-	if !ok {
-		lh = makeHourSets(c.hours)
-		c.linesHour[alias] = lh
-	}
-	lh[hour][line] = struct{}{}
+	lh := grown(c.lineHours[a], (line+1)*c.hw)
+	c.lineHours[a] = lh
+	setBit(lh[line*c.hw:], hour)
 
 	// Hourly volumes.
-	if downstream {
-		s, ok := c.downHour[alias]
-		if !ok {
-			s = analysis.NewSeries(alias, c.hours)
-			c.downHour[alias] = s
+	if down {
+		s := c.downHour[a]
+		if s == nil {
+			s = analysis.NewSeries(bi.alias, c.hours)
+			c.downHour[a] = s
 		}
 		s.Add(hour, bytes)
 	} else {
-		s, ok := c.upHour[alias]
-		if !ok {
-			s = analysis.NewSeries(alias, c.hours)
-			c.upHour[alias] = s
+		s := c.upHour[a]
+		if s == nil {
+			s = analysis.NewSeries(bi.alias, c.hours)
+			c.upHour[a] = s
 		}
 		s.Add(hour, bytes)
 	}
 
 	// Port mix: the backend-side port identifies the service.
 	port := proto.PortKey{Port: r.SrcPort}
-	if !downstream {
+	if !down {
 		port = proto.PortKey{Port: r.DstPort}
 	}
 	if r.Proto == netflow.ProtoUDP {
 		port.Transport = proto.UDP
 	}
-	pv, ok := c.portVol[alias]
-	if !ok {
-		pv = map[proto.PortKey]float64{}
-		c.portVol[alias] = pv
-	}
-	pv[port] += bytes
+	pid := int(c.ports.id(port))
+	pv := grown(c.portVol[a], pid+1)
+	c.portVol[a] = pv
+	pv[pid] += bytes
+	ps := grown(c.portSeen[a], pid>>6+1)
+	c.portSeen[a] = ps
+	setBit(ps, pid)
 
 	// Per-line dailies.
-	ld, ok := c.lineDaily[line]
-	if !ok {
-		ld = make([][2]float64, len(c.days))
-		c.lineDaily[line] = ld
-	}
-	if downstream {
-		ld[day][0] += bytes
+	base := line*2*c.ds + 2*day
+	if down {
+		c.lineDaily[base] += bytes
 	} else {
-		ld[day][1] += bytes
+		c.lineDaily[base+1] += bytes
 	}
-	lak := lineAliasKey{line: line, alias: alias}
-	c.lineAliases[lak] = struct{}{}
+	setBit(c.lineAliasBits[line*c.aw:], a)
 	if bi.certFound {
-		c.lineCertSeen[lak] = struct{}{}
+		setBit(c.lineCertBits[line*c.aw:], a)
 	}
-	if downstream {
-		lad, ok := c.lineAliasDaily[lak]
-		if !ok {
-			lad = make([]float64, len(c.days))
-			c.lineAliasDaily[lak] = lad
-		}
-		lad[day] += bytes
-		lpk := linePortKey{line: line, port: port}
-		lpd, ok := c.linePortDaily[lpk]
-		if !ok {
-			lpd = make([]float64, len(c.days))
-			c.linePortDaily[lpk] = lpd
-		}
-		lpd[day] += bytes
+	if down {
+		c.laDaily[c.laSlotBase(line, a)+day] += bytes
+		c.lpDaily[c.lpSlotBase(line, pid)+day] += bytes
 	}
 
-	c.backendVol[backend] += bytes
+	c.backendVol[backendID] += bytes
+	setBit(c.backendSeen, int(backendID))
 
 	// Continent bookkeeping.
 	cont := bi.cont
@@ -437,22 +649,25 @@ func (c *Collector) ingestClassified(r netflow.Record, line, backend netip.Addr,
 	c.contVol[cont] += bytes
 
 	// Outage focus.
-	if c.focusAlias != "" && alias == c.focusAlias {
-		if downstream {
+	if int32(a) == c.focusAliasID {
+		if down {
 			c.focusDownAll.Add(hour, bytes)
 		}
-		c.focusLinesAll[hour][line] = struct{}{}
+		c.focusHoursAll = grown(c.focusHoursAll, (line+1)*c.hw)
+		setBit(c.focusHoursAll[line*c.hw:], hour)
 		switch {
 		case bi.region == c.focusRegion:
-			if downstream {
+			if down {
 				c.focusDownRegion.Add(hour, bytes)
 			}
-			c.focusLinesRegion[hour][line] = struct{}{}
+			c.focusHoursRegion = grown(c.focusHoursRegion, (line+1)*c.hw)
+			setBit(c.focusHoursRegion[line*c.hw:], hour)
 		case cont == geo.Europe:
-			if downstream {
+			if down {
 				c.focusDownEU.Add(hour, bytes)
 			}
-			c.focusLinesEU[hour][line] = struct{}{}
+			c.focusHoursEU = grown(c.focusHoursEU, (line+1)*c.hw)
+			setBit(c.focusHoursEU[line*c.hw:], hour)
 		}
 	}
 }

@@ -348,7 +348,7 @@ func TestPipelineMatchesSequentialTwoPass(t *testing.T) {
 	for _, r := range recs {
 		col.Ingest(r)
 	}
-	if !reflect.DeepEqual(cc.contacts, pipeCC.contacts) {
+	if !reflect.DeepEqual(cc.contactSets(), pipeCC.contactSets()) {
 		t.Error("pipeline contact counter differs from sequential pass")
 	}
 	if !reflect.DeepEqual(col.Study(), pipeStudy) {
@@ -360,7 +360,7 @@ func TestPipelineMatchesSequentialTwoPass(t *testing.T) {
 func TestShardCountInvariance(t *testing.T) {
 	w, pipeStudy, pipeCC := buildStudy(t)
 	cc1, col1 := runPipeline(cachedNet, cachedIdx, w, 1)
-	if !reflect.DeepEqual(cc1.contacts, pipeCC.contacts) {
+	if !reflect.DeepEqual(cc1.contactSets(), pipeCC.contactSets()) {
 		t.Error("1-shard contacts differ from multi-shard")
 	}
 	if !reflect.DeepEqual(col1.Study(), pipeStudy) {
@@ -421,7 +421,7 @@ func TestContactCounterMerge(t *testing.T) {
 		i++
 	})
 	a.Merge(b)
-	if !reflect.DeepEqual(a.contacts, seq.contacts) {
+	if !reflect.DeepEqual(a.contactSets(), seq.contactSets()) {
 		t.Error("merged contact counters differ from sequential")
 	}
 	if len(a.Scanners(100)) != len(seq.Scanners(100)) {

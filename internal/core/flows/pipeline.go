@@ -8,44 +8,42 @@ import (
 
 	"iotmap/internal/analysis"
 	"iotmap/internal/netflow"
-	"iotmap/internal/proto"
 )
 
-// lineSide splits a record into its subscriber and backend endpoints,
-// with the backend's index entry (ok=false when neither endpoint is an
-// indexed backend). Dst takes precedence; every classification in this
-// package goes through here so exclusion and aggregation always agree
-// on which side is the subscriber.
-func (b *BackendIndex) lineSide(r netflow.Record) (line, backend netip.Addr, bi backendInfo, ok bool) {
+// lineSide splits a record into its subscriber address and backend
+// endpoint, returning the backend's dense ID and flow direction
+// (down=true when the backend is the source). ok=false when neither
+// endpoint is an indexed backend. Dst takes precedence; every
+// classification in this package goes through here so exclusion and
+// aggregation always agree on which side is the subscriber.
+func (b *BackendIndex) lineSide(r netflow.Record) (line netip.Addr, backendID int32, down, ok bool) {
 	if hit, found := b.info[r.Dst]; found {
-		return r.Src, r.Dst, hit, true
+		// down mirrors the historical `backend == r.Src` test: on a
+		// Dst-hit that is only true for the degenerate Src==Dst record.
+		return r.Src, hit.id, r.Src == r.Dst, true
 	}
 	if hit, found := b.info[r.Src]; found {
-		return r.Dst, r.Src, hit, true
+		return r.Dst, hit.id, true, true
 	}
-	return line, backend, bi, false
+	return line, -1, false, false
 }
 
-// addContacts folds one line address's contacted-backend set into the
-// counter, adopting the set by reference when the address is new (the
-// donor must not reuse it — the same consume contract as the Merges).
-func (c *ContactCounter) addContacts(line netip.Addr, backends map[netip.Addr]struct{}) {
-	set, ok := c.contacts[line]
-	if !ok {
-		c.contacts[line] = backends
-		return
-	}
-	for b := range backends {
-		set[b] = struct{}{}
-	}
+// addContacts ORs one line address's contacted-backend bitset (stride
+// idx.words) into the counter.
+func (c *ContactCounter) addContacts(line netip.Addr, backends []uint64) {
+	id := c.lineID(line)
+	orBits(c.bits[int(id)*c.words:(int(id)+1)*c.words], backends)
 }
 
-// Merge folds another counter's contact sets into c. Merging shard
-// partials in any order yields the same counter as a sequential pass
-// over the concatenated streams.
+// Merge folds another counter's contact sets into c, remapping the
+// donor's line IDs through its reverse table. Merging shard partials in
+// any order yields the same counter as a sequential pass over the
+// concatenated streams.
 func (c *ContactCounter) Merge(o *ContactCounter) {
-	for line, set := range o.contacts {
-		c.addContacts(line, set)
+	c.idx.checkGen(c.gen)
+	c.idx.checkGen(o.gen)
+	for i, a := range o.lines.addrs {
+		c.addContacts(a, o.lineBits(i))
 	}
 }
 
@@ -60,81 +58,118 @@ func (c *ContactCounter) Merge(o *ContactCounter) {
 // simulation scales; only approachable near isp's 2^24-line ceiling)
 // the merge is exact and order-independent: merging shard partials
 // reproduces a sequential ingest byte-for-byte regardless of shard
-// count. Beyond that bound sums are still statistically sound but may
-// differ in the last bit across shard groupings.
+// count. Backend and alias IDs are global (assigned by the shared
+// index), so bitsets OR directly; the donor's line and port IDs are
+// local and remap through its reverse tables.
 //
 // Merge consumes o: missing aggregates are adopted by reference, not
 // copied, so the donor must not be ingested into or merged again.
 func (c *Collector) Merge(o *Collector) {
-	for alias, set := range o.visible {
-		dst, ok := c.visible[alias]
-		if !ok {
-			c.visible[alias] = set
-			continue
+	c.idx.checkGen(c.gen)
+	c.idx.checkGen(o.gen)
+	// Remap donor line/port IDs into c's spaces (interning as needed).
+	remap := make([]int32, len(o.lines.addrs))
+	for i, a := range o.lines.addrs {
+		remap[i] = c.lineID(a)
+	}
+	portRemap := make([]int32, len(o.ports.keys))
+	for i, k := range o.ports.keys {
+		portRemap[i] = c.ports.id(k)
+	}
+
+	ds2 := 2 * c.ds
+	for i, t := range remap {
+		for d := 0; d < ds2; d++ {
+			c.lineDaily[int(t)*ds2+d] += o.lineDaily[i*ds2+d]
 		}
-		for b := range set {
-			dst[b] = struct{}{}
+		c.lineConts[t] |= o.lineConts[i]
+		orBits(c.lineAliasBits[int(t)*c.aw:(int(t)+1)*c.aw], o.lineAliasBits[i*c.aw:(i+1)*c.aw])
+		orBits(c.lineCertBits[int(t)*c.aw:(int(t)+1)*c.aw], o.lineCertBits[i*c.aw:(i+1)*c.aw])
+	}
+
+	for a := 0; a < c.nAliases; a++ {
+		if src := o.visible[a]; src != nil {
+			if c.visible[a] == nil {
+				c.visible[a] = src
+			} else {
+				orBits(c.visible[a], src)
+			}
+		}
+		c.lineHours[a] = mergeLineHours(c.lineHours[a], o.lineHours[a], remap, c.hw, len(c.lines.addrs))
+		mergeSeriesAt(c.downHour, o.downHour, a)
+		mergeSeriesAt(c.upHour, o.upHour, a)
+		if src := o.portVol[a]; len(src) > 0 {
+			forEachBit(o.portSeen[a], func(pid int) {
+				t := int(portRemap[pid])
+				pv := grown(c.portVol[a], t+1)
+				c.portVol[a] = pv
+				pv[t] += src[pid]
+				ps := grown(c.portSeen[a], t>>6+1)
+				c.portSeen[a] = ps
+				setBit(ps, t)
+			})
 		}
 	}
-	for alias, sets := range o.linesHour {
-		dst, ok := c.linesHour[alias]
-		if !ok {
-			c.linesHour[alias] = sets
-			continue
-		}
-		mergeHourSets(dst, sets)
-	}
-	mergeSeries(c.downHour, o.downHour)
-	mergeSeries(c.upHour, o.upHour)
-	for alias, pv := range o.portVol {
-		dst, ok := c.portVol[alias]
-		if !ok {
-			c.portVol[alias] = pv
-			continue
-		}
-		for p, v := range pv {
-			dst[p] += v
+
+	for s, k := range o.laKeys {
+		base := c.laSlotBase(int(remap[k.line]), int(k.alias))
+		for d := 0; d < c.ds; d++ {
+			c.laDaily[base+d] += o.laDaily[s*c.ds+d]
 		}
 	}
-	for line, days := range o.lineDaily {
-		dst, ok := c.lineDaily[line]
-		if !ok {
-			c.lineDaily[line] = days
-			continue
-		}
-		for d, v := range days {
-			dst[d][0] += v[0]
-			dst[d][1] += v[1]
+	for s, k := range o.lpKeys {
+		base := c.lpSlotBase(int(remap[k.line]), int(portRemap[k.port]))
+		for d := 0; d < c.ds; d++ {
+			c.lpDaily[base+d] += o.lpDaily[s*c.ds+d]
 		}
 	}
-	for k, days := range o.lineAliasDaily {
-		addDaily(c.lineAliasDaily, k, days)
-	}
-	for k, days := range o.linePortDaily {
-		addDaily(c.linePortDaily, k, days)
-	}
-	for k := range o.lineAliases {
-		c.lineAliases[k] = struct{}{}
-	}
-	for k := range o.lineCertSeen {
-		c.lineCertSeen[k] = struct{}{}
-	}
-	for line, mask := range o.lineConts {
-		c.lineConts[line] |= mask
-	}
+
+	forEachBit(o.backendSeen, func(b int) { c.backendVol[b] += o.backendVol[b] })
+	orBits(c.backendSeen, o.backendSeen)
 	for cont, v := range o.contVol {
 		c.contVol[cont] += v
 	}
-	for b, v := range o.backendVol {
-		c.backendVol[b] += v
-	}
+
 	if c.focusAlias != "" && o.focusAlias == c.focusAlias {
 		addValues(c.focusDownAll, o.focusDownAll)
 		addValues(c.focusDownRegion, o.focusDownRegion)
 		addValues(c.focusDownEU, o.focusDownEU)
-		mergeHourSets(c.focusLinesAll, o.focusLinesAll)
-		mergeHourSets(c.focusLinesRegion, o.focusLinesRegion)
-		mergeHourSets(c.focusLinesEU, o.focusLinesEU)
+		c.focusHoursAll = mergeLineHours(c.focusHoursAll, o.focusHoursAll, remap, c.hw, len(c.lines.addrs))
+		c.focusHoursRegion = mergeLineHours(c.focusHoursRegion, o.focusHoursRegion, remap, c.hw, len(c.lines.addrs))
+		c.focusHoursEU = mergeLineHours(c.focusHoursEU, o.focusHoursEU, remap, c.hw, len(c.lines.addrs))
+	}
+}
+
+// mergeLineHours ORs a donor's per-line hour bitsets into dst at the
+// remapped line IDs.
+func mergeLineHours(dst, src []uint64, remap []int32, hw, nLines int) []uint64 {
+	if len(src) == 0 {
+		return dst
+	}
+	dst = grown(dst, nLines*hw)
+	for i := 0; i < len(src)/hw; i++ {
+		orBits(dst[int(remap[i])*hw:(int(remap[i])+1)*hw], src[i*hw:(i+1)*hw])
+	}
+	return dst
+}
+
+// mergeSeriesAt folds src[a] into dst[a], adopting the donor series
+// when the receiver has none.
+func mergeSeriesAt(dst, src []*analysis.Series, a int) {
+	s := src[a]
+	if s == nil {
+		return
+	}
+	if dst[a] == nil {
+		dst[a] = s
+		return
+	}
+	addValues(dst[a], s)
+}
+
+func addValues(dst, src *analysis.Series) {
+	for h, v := range src.Values {
+		dst.Values[h] += v
 	}
 }
 
@@ -148,57 +183,83 @@ func (c *Collector) Merge(o *Collector) {
 // clone deep-copies the counter so the copy can be consumed by a merge
 // while the original stays usable.
 func (c *ContactCounter) clone() *ContactCounter {
-	out := NewContactCounter(c.idx)
-	for line, set := range c.contacts {
-		out.contacts[line] = maps.Clone(set)
+	return &ContactCounter{
+		idx:   c.idx,
+		gen:   c.gen,
+		words: c.words,
+		lines: c.lines.clone(),
+		bits:  cloneSlice(c.bits),
 	}
-	return out
 }
 
 // clone deep-copies every aggregate; the index, study days, and the
 // excluded set are immutable after construction and stay shared.
 func (c *Collector) clone() *Collector {
 	out := &Collector{
-		idx:            c.idx,
-		days:           c.days,
-		hours:          c.hours,
-		rate:           c.rate,
-		excluded:       c.excluded,
-		focusAlias:     c.focusAlias,
-		focusRegion:    c.focusRegion,
-		visible:        map[string]map[netip.Addr]struct{}{},
-		linesHour:      map[string][]map[netip.Addr]struct{}{},
-		downHour:       cloneSeriesMap(c.downHour),
-		upHour:         cloneSeriesMap(c.upHour),
-		portVol:        map[string]map[proto.PortKey]float64{},
-		lineDaily:      map[netip.Addr][][2]float64{},
-		lineAliasDaily: cloneDailyMap(c.lineAliasDaily),
-		linePortDaily:  cloneDailyMap(c.linePortDaily),
-		lineAliases:    maps.Clone(c.lineAliases),
-		lineCertSeen:   maps.Clone(c.lineCertSeen),
-		lineConts:      maps.Clone(c.lineConts),
-		contVol:        maps.Clone(c.contVol),
-		backendVol:     maps.Clone(c.backendVol),
+		idx:          c.idx,
+		gen:          c.gen,
+		days:         c.days,
+		hours:        c.hours,
+		rate:         c.rate,
+		excluded:     c.excluded,
+		focusAlias:   c.focusAlias,
+		focusRegion:  c.focusRegion,
+		focusAliasID: c.focusAliasID,
+		ds:           c.ds,
+		hw:           c.hw,
+		aw:           c.aw,
+		nAliases:     c.nAliases,
+
+		lines: c.lines.clone(),
+		ports: c.ports.clone(),
+
+		lineDaily:     cloneSlice(c.lineDaily),
+		lineConts:     cloneSlice(c.lineConts),
+		lineAliasBits: cloneSlice(c.lineAliasBits),
+		lineCertBits:  cloneSlice(c.lineCertBits),
+		laIdx:         cloneSlice(c.laIdx),
+
+		visible:   cloneNested(c.visible),
+		lineHours: cloneNested(c.lineHours),
+		downHour:  cloneSeriesSlice(c.downHour),
+		upHour:    cloneSeriesSlice(c.upHour),
+		portVol:   cloneNested(c.portVol),
+		portSeen:  cloneNested(c.portSeen),
+
+		laDaily: cloneSlice(c.laDaily),
+		laKeys:  append([]laKey(nil), c.laKeys...),
+		lpIdx:   cloneNested(c.lpIdx),
+		lpDaily: cloneSlice(c.lpDaily),
+		lpKeys:  append([]lpKey(nil), c.lpKeys...),
+
+		backendVol:  cloneSlice(c.backendVol),
+		backendSeen: cloneSlice(c.backendSeen),
+		contVol:     maps.Clone(c.contVol),
+
+		focusDownAll:     cloneSeries(c.focusDownAll),
+		focusDownRegion:  cloneSeries(c.focusDownRegion),
+		focusDownEU:      cloneSeries(c.focusDownEU),
+		focusHoursAll:    cloneSlice(c.focusHoursAll),
+		focusHoursRegion: cloneSlice(c.focusHoursRegion),
+		focusHoursEU:     cloneSlice(c.focusHoursEU),
 	}
-	for alias, set := range c.visible {
-		out.visible[alias] = maps.Clone(set)
+	return out
+}
+
+func cloneSlice[T int32 | uint8 | uint64 | float64](s []T) []T {
+	if s == nil {
+		return nil
 	}
-	for alias, sets := range c.linesHour {
-		out.linesHour[alias] = cloneHourSets(sets)
+	return append([]T(nil), s...)
+}
+
+func cloneNested[T int32 | uint8 | uint64 | float64](s [][]T) [][]T {
+	if s == nil {
+		return nil
 	}
-	for alias, pv := range c.portVol {
-		out.portVol[alias] = maps.Clone(pv)
-	}
-	for line, days := range c.lineDaily {
-		out.lineDaily[line] = append([][2]float64(nil), days...)
-	}
-	if c.focusAlias != "" {
-		out.focusDownAll = cloneSeries(c.focusDownAll)
-		out.focusDownRegion = cloneSeries(c.focusDownRegion)
-		out.focusDownEU = cloneSeries(c.focusDownEU)
-		out.focusLinesAll = cloneHourSets(c.focusLinesAll)
-		out.focusLinesRegion = cloneHourSets(c.focusLinesRegion)
-		out.focusLinesEU = cloneHourSets(c.focusLinesEU)
+	out := make([][]T, len(s))
+	for i, inner := range s {
+		out[i] = cloneSlice(inner)
 	}
 	return out
 }
@@ -210,71 +271,19 @@ func cloneSeries(s *analysis.Series) *analysis.Series {
 	return &analysis.Series{Label: s.Label, Values: append([]float64(nil), s.Values...)}
 }
 
-func cloneSeriesMap(m map[string]*analysis.Series) map[string]*analysis.Series {
-	out := make(map[string]*analysis.Series, len(m))
-	for alias, s := range m {
-		out[alias] = cloneSeries(s)
+func cloneSeriesSlice(s []*analysis.Series) []*analysis.Series {
+	out := make([]*analysis.Series, len(s))
+	for i, ser := range s {
+		out[i] = cloneSeries(ser)
 	}
 	return out
-}
-
-func cloneDailyMap[K comparable](m map[K][]float64) map[K][]float64 {
-	out := make(map[K][]float64, len(m))
-	for k, days := range m {
-		out[k] = append([]float64(nil), days...)
-	}
-	return out
-}
-
-func cloneHourSets(sets []map[netip.Addr]struct{}) []map[netip.Addr]struct{} {
-	out := make([]map[netip.Addr]struct{}, len(sets))
-	for h, set := range sets {
-		out[h] = maps.Clone(set)
-	}
-	return out
-}
-
-func mergeSeries(dst, src map[string]*analysis.Series) {
-	for alias, s := range src {
-		d, ok := dst[alias]
-		if !ok {
-			dst[alias] = s
-			continue
-		}
-		addValues(d, s)
-	}
-}
-
-func addValues(dst, src *analysis.Series) {
-	for h, v := range src.Values {
-		dst.Values[h] += v
-	}
-}
-
-func mergeHourSets(dst, src []map[netip.Addr]struct{}) {
-	for h, set := range src {
-		for line := range set {
-			dst[h][line] = struct{}{}
-		}
-	}
-}
-
-func addDaily[K comparable](dst map[K][]float64, k K, days []float64) {
-	d, ok := dst[k]
-	if !ok {
-		dst[k] = days
-		return
-	}
-	for i, v := range days {
-		d[i] += v
-	}
 }
 
 // ShardPartial is the aggregation half of one simulation worker in the
 // single-pass pipeline: it buffers the line currently being simulated
 // (one line-week, a few hundred records — never the whole feed), and on
 // EndLine classifies each of the line's addresses against the scanner
-// threshold, folds the contact sets into the shard's ContactCounter,
+// threshold, folds the contact bitsets into the shard's ContactCounter,
 // and forwards only non-scanner addresses' records into the shard's
 // Collector. A partial is owned by exactly one worker; no locking.
 type ShardPartial struct {
@@ -288,17 +297,30 @@ type ShardPartial struct {
 	cc        *ContactCounter
 	col       *Collector
 	buf       []netflow.Record
-	// sides caches each buffered record's endpoint classification (an
-	// invalid line for non-backend records), so the whole EndLine flow —
+	// sides caches each buffered record's endpoint classification
+	// (entry < 0 for non-backend records), so the whole EndLine flow —
 	// contact counting, exclusion, Collector ingest — probes the index
 	// once per record.
 	sides []recSide
+	// ents/entOf are the per-EndLine line entries (usually one V4 and
+	// maybe one V6 address per flushed line); their bitsets are recycled
+	// across EndLine calls.
+	ents  []endEnt
+	entOf map[netip.Addr]int32
 }
 
 // recSide is one buffered record's cached classification.
 type recSide struct {
-	line, backend netip.Addr
-	bi            backendInfo
+	backendID int32
+	entry     int32
+	down      bool
+}
+
+// endEnt is one line address's per-EndLine contact evidence.
+type endEnt struct {
+	addr netip.Addr
+	bits []uint64
+	over bool
 }
 
 // NewShardPartial builds one worker-local partial over idx — exactly
@@ -320,16 +342,17 @@ func NewShardPartial(idx *BackendIndex, days []time.Time, opts Options) *ShardPa
 		threshold: threshold,
 		cc:        NewContactCounter(idx),
 		col:       NewCollector(idx, days, opts),
+		entOf:     map[netip.Addr]int32{},
 	}
 }
 
 // MergePartials folds the partials, in slice order, into one
 // ContactCounter and Collector. All partials must share idx, days, and
 // Options, and every buffered line must have been completed with
-// EndLine. The fold consumes the partials (donor maps are adopted by
-// reference); both merges are order-independent, so any stable
-// partition of the feed yields byte-identical results. parts must be
-// non-empty.
+// EndLine. The fold consumes the partials (donor aggregates may be
+// adopted by reference); both merges are order-independent, so any
+// stable partition of the feed yields byte-identical results. parts
+// must be non-empty.
 func MergePartials(parts []*ShardPartial) (*ContactCounter, *Collector) {
 	cc, col := parts[0].cc, parts[0].col
 	for _, p := range parts[1:] {
@@ -350,35 +373,51 @@ func (p *ShardPartial) EndLine() {
 	if len(p.buf) == 0 {
 		return
 	}
+	words := p.idx.words
 	// A line emits from its V4 and (optionally) V6 address; exclusion is
 	// per address, exactly like the threshold sweep over a ContactCounter.
 	p.sides = p.sides[:0]
-	contacts := map[netip.Addr]map[netip.Addr]struct{}{}
+	ents := p.ents[:0]
 	for _, r := range p.buf {
-		line, backend, bi, ok := p.idx.lineSide(r)
+		line, backendID, down, ok := p.idx.lineSide(r)
 		if !ok {
-			p.sides = append(p.sides, recSide{})
+			p.sides = append(p.sides, recSide{entry: -1})
 			continue
 		}
-		p.sides = append(p.sides, recSide{line: line, backend: backend, bi: bi})
-		set, ok := contacts[line]
-		if !ok {
-			set = map[netip.Addr]struct{}{}
-			contacts[line] = set
+		e, found := p.entOf[line]
+		if !found {
+			e = int32(len(ents))
+			if cap(ents) > len(ents) {
+				ents = ents[:len(ents)+1]
+				ent := &ents[e]
+				ent.addr = line
+				if len(ent.bits) != words {
+					ent.bits = make([]uint64, words)
+				} else {
+					clearBits(ent.bits)
+				}
+			} else {
+				ents = append(ents, endEnt{addr: line, bits: make([]uint64, words)})
+			}
+			p.entOf[line] = e
 		}
-		set[backend] = struct{}{}
+		setBit(ents[e].bits, int(backendID))
+		p.sides = append(p.sides, recSide{backendID: backendID, entry: e, down: down})
 	}
-	for line, set := range contacts {
-		p.cc.addContacts(line, set)
+	for i := range ents {
+		p.cc.addContacts(ents[i].addr, ents[i].bits)
+		ents[i].over = popcount(ents[i].bits) > p.threshold
 	}
 	for i, r := range p.buf {
 		s := p.sides[i]
-		if !s.line.IsValid() || len(contacts[s.line]) > p.threshold {
+		if s.entry < 0 || ents[s.entry].over {
 			continue
 		}
-		p.col.ingestClassified(r, s.line, s.backend, s.bi)
+		p.col.ingestClassified(r, ents[s.entry].addr, s.backendID, s.down)
 	}
 	p.buf = p.buf[:0]
+	p.ents = ents
+	clear(p.entOf)
 }
 
 // ShardedAggregator drives the analysis side of the single-pass
@@ -390,8 +429,8 @@ func (p *ShardPartial) EndLine() {
 type ShardedAggregator struct {
 	parts []*ShardPartial
 	// merged caches the Merge result: merging folds partials into
-	// shard 0 in place (and adopts donor maps by reference), so it must
-	// run exactly once.
+	// shard 0 in place (and adopts donor aggregates by reference), so it
+	// must run exactly once.
 	merged bool
 	cc     *ContactCounter
 	col    *Collector
@@ -421,8 +460,8 @@ func (a *ShardedAggregator) Shard(i int) *ShardPartial { return a.parts[i] }
 
 // Merge folds every shard partial, in shard order, into the final
 // ContactCounter and Collector. The fold consumes the partials (donor
-// maps are adopted by reference, not copied), so repeated calls return
-// the cached first result.
+// aggregates may be adopted by reference, not copied), so repeated
+// calls return the cached first result.
 func (a *ShardedAggregator) Merge() (*ContactCounter, *Collector) {
 	if a.merged {
 		return a.cc, a.col

@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"maps"
 	"net/netip"
 	"sort"
 
@@ -9,7 +10,11 @@ import (
 	"iotmap/internal/proto"
 )
 
-// Study is the finalized traffic analysis.
+// Study is the finalized traffic analysis. Study() is the dense→named
+// conversion boundary: the collector's ID-indexed slices and bitsets
+// are materialized back into the historical address- and alias-keyed
+// shape here, once, so every figure renders byte-identically to the
+// map-keyed implementation while the hot path stays dense.
 type Study struct {
 	idx   *BackendIndex
 	days  int
@@ -35,46 +40,95 @@ type Study struct {
 
 // Study finalizes the collector.
 func (c *Collector) Study() *Study {
+	c.idx.checkGen(c.gen)
+	idx := c.idx
 	s := &Study{
-		idx:            c.idx,
-		days:           len(c.days),
+		idx:            idx,
+		days:           c.ds,
 		hours:          c.hours,
-		visible:        c.visible,
+		visible:        map[string]map[netip.Addr]struct{}{},
 		activeLines:    map[string]*analysis.Series{},
-		downHour:       c.downHour,
-		upHour:         c.upHour,
-		portVol:        c.portVol,
-		lineDaily:      c.lineDaily,
-		lineAliasDaily: c.lineAliasDaily,
-		linePortDaily:  c.linePortDaily,
-		lineAliases:    c.lineAliases,
-		lineCertSeen:   c.lineCertSeen,
-		lineConts:      c.lineConts,
-		contVol:        c.contVol,
-		backendVol:     c.backendVol,
+		downHour:       map[string]*analysis.Series{},
+		upHour:         map[string]*analysis.Series{},
+		portVol:        map[string]map[proto.PortKey]float64{},
+		lineDaily:      map[netip.Addr][][2]float64{},
+		lineAliasDaily: map[lineAliasKey][]float64{},
+		linePortDaily:  map[linePortKey][]float64{},
+		lineAliases:    map[lineAliasKey]struct{}{},
+		lineCertSeen:   map[lineAliasKey]struct{}{},
+		lineConts:      map[netip.Addr]uint8{},
+		contVol:        maps.Clone(c.contVol),
+		backendVol:     map[netip.Addr]float64{},
 	}
-	for alias, sets := range c.linesHour {
-		ser := analysis.NewSeries(alias, c.hours)
-		for h, set := range sets {
-			ser.Add(h, float64(len(set)))
+
+	for a := 0; a < c.nAliases; a++ {
+		name := idx.aliasNames[a]
+		if vs := c.visible[a]; vs != nil {
+			set := map[netip.Addr]struct{}{}
+			forEachBit(vs, func(b int) { set[idx.addrs[b]] = struct{}{} })
+			s.visible[name] = set
 		}
-		s.activeLines[alias] = ser
+		if lh := c.lineHours[a]; lh != nil {
+			s.activeLines[name] = hoursToSeries(name, lh, c.hw, c.hours)
+		}
+		if ser := c.downHour[a]; ser != nil {
+			s.downHour[name] = cloneSeries(ser)
+		}
+		if ser := c.upHour[a]; ser != nil {
+			s.upHour[name] = cloneSeries(ser)
+		}
+		if pv := c.portVol[a]; pv != nil {
+			m := map[proto.PortKey]float64{}
+			forEachBit(c.portSeen[a], func(pid int) { m[c.ports.keys[pid]] = pv[pid] })
+			s.portVol[name] = m
+		}
 	}
+
+	ds2 := 2 * c.ds
+	for i, addr := range c.lines.addrs {
+		days := make([][2]float64, c.ds)
+		for d := 0; d < c.ds; d++ {
+			days[d] = [2]float64{c.lineDaily[i*ds2+2*d], c.lineDaily[i*ds2+2*d+1]}
+		}
+		s.lineDaily[addr] = days
+		s.lineConts[addr] = c.lineConts[i]
+		forEachBit(c.lineAliasBits[i*c.aw:(i+1)*c.aw], func(a int) {
+			s.lineAliases[lineAliasKey{line: addr, alias: idx.aliasNames[a]}] = struct{}{}
+		})
+		forEachBit(c.lineCertBits[i*c.aw:(i+1)*c.aw], func(a int) {
+			s.lineCertSeen[lineAliasKey{line: addr, alias: idx.aliasNames[a]}] = struct{}{}
+		})
+	}
+	for slot, k := range c.laKeys {
+		key := lineAliasKey{line: c.lines.addrs[k.line], alias: idx.aliasNames[k.alias]}
+		s.lineAliasDaily[key] = append([]float64(nil), c.laDaily[slot*c.ds:(slot+1)*c.ds]...)
+	}
+	for slot, k := range c.lpKeys {
+		key := linePortKey{line: c.lines.addrs[k.line], port: c.ports.keys[k.port]}
+		s.linePortDaily[key] = append([]float64(nil), c.lpDaily[slot*c.ds:(slot+1)*c.ds]...)
+	}
+	forEachBit(c.backendSeen, func(b int) { s.backendVol[idx.addrs[b]] = c.backendVol[b] })
+
 	if c.focusAlias != "" {
-		s.FocusDownAll = c.focusDownAll
-		s.FocusDownRegion = c.focusDownRegion
-		s.FocusDownEU = c.focusDownEU
-		s.FocusLinesAll = setsToSeries(c.focusAlias+": All lines", c.focusLinesAll)
-		s.FocusLinesRegion = setsToSeries(c.focusAlias+": region lines", c.focusLinesRegion)
-		s.FocusLinesEU = setsToSeries(c.focusAlias+": EU lines", c.focusLinesEU)
+		s.FocusDownAll = cloneSeries(c.focusDownAll)
+		s.FocusDownRegion = cloneSeries(c.focusDownRegion)
+		s.FocusDownEU = cloneSeries(c.focusDownEU)
+		s.FocusLinesAll = hoursToSeries(c.focusAlias+": All lines", c.focusHoursAll, c.hw, c.hours)
+		s.FocusLinesRegion = hoursToSeries(c.focusAlias+": region lines", c.focusHoursRegion, c.hw, c.hours)
+		s.FocusLinesEU = hoursToSeries(c.focusAlias+": EU lines", c.focusHoursEU, c.hw, c.hours)
 	}
 	return s
 }
 
-func setsToSeries(label string, sets []map[netip.Addr]struct{}) *analysis.Series {
-	ser := analysis.NewSeries(label, len(sets))
-	for h, set := range sets {
-		ser.Add(h, float64(len(set)))
+// hoursToSeries counts, per hour, the lines whose hour bit is set.
+func hoursToSeries(label string, lineHours []uint64, hw, hours int) *analysis.Series {
+	ser := analysis.NewSeries(label, hours)
+	counts := make([]int, hours)
+	for i := 0; i < len(lineHours)/hw; i++ {
+		forEachBit(lineHours[i*hw:(i+1)*hw], func(h int) { counts[h]++ })
+	}
+	for h, n := range counts {
+		ser.Add(h, float64(n))
 	}
 	return ser
 }

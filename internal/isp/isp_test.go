@@ -269,7 +269,7 @@ func TestEligibleServersSpread(t *testing.T) {
 			euAll++
 		}
 	}
-	got := n.eligibleServers("google", geo.Europe, 0)
+	got := n.eligibleServers("google", geo.Europe, 0, nil)
 	if len(got) != euAll {
 		t.Fatalf("google EU eligible = %d, want %d", len(got), euAll)
 	}
@@ -280,12 +280,12 @@ func TestEligibleServersSpread(t *testing.T) {
 			sapAll++
 		}
 	}
-	sapGot := n.eligibleServers("sap", geo.Europe, 0)
+	sapGot := n.eligibleServers("sap", geo.Europe, 0, nil)
 	if sapAll > 10 && len(sapGot) >= sapAll {
 		t.Fatalf("sap eligible %d not trimmed from %d", len(sapGot), sapAll)
 	}
 	// Continent without presence falls back to the whole fleet.
-	fallback := n.eligibleServers("bosch", geo.Asia, 0)
+	fallback := n.eligibleServers("bosch", geo.Asia, 0, nil)
 	if len(fallback) == 0 {
 		t.Fatal("no fallback homing for bosch in Asia")
 	}

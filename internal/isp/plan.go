@@ -1,0 +1,83 @@
+package isp
+
+import "net/netip"
+
+// Subscriber address plan — the Addr→LineID contract.
+//
+// Subscriber addresses are formula-generated, never drawn from a pool,
+// so the reverse mapping from an address back to its (vantage, line) is
+// pure bit arithmetic — no per-Network state, no hash lookup. The
+// aggregation layer (internal/core/flows) leans on this to intern line
+// addresses into dense integer IDs on its hot path. The plan:
+//
+//   - Vantage v's IPv4 lines live in (95+v).0.0.0/8: line i holds
+//     (95+v).i₂.i₁.i₀, where i₂i₁i₀ are the big-endian bytes of i
+//     (hence the maxLines = 2^24 ceiling — IDs beyond would alias).
+//   - A v6-holding line additionally gets the /64 host address
+//     20:03:v:00:i₂:i₁:i₀:00:…:00:01 (bytes), i.e. 2003:v00::…::1 with
+//     the line index in bytes 4-6.
+//
+// Any address outside these shapes is not a plan address (LineSlot
+// returns ok=false); flows falls back to map-keyed interning for such
+// addresses, so recorded feeds with foreign subscriber addressing still
+// aggregate correctly, just without the arithmetic fast path. The plan
+// stays disjoint from the world's backend pools (16.0.0.0/6, 2001::/16
+// estates), so a plan hit can never shadow a backend classification.
+//
+// Changing either formula is a breaking change for LineSlot/LineV4Addr/
+// LineV6Addr and for the golden figures — the three must move together
+// (NewNetwork generates through these helpers so they cannot drift
+// apart silently).
+
+// MaxVantages bounds the vantage dimension of the address plan
+// (Config.VantageID ranges over [0, MaxVantages)).
+const MaxVantages = maxVantageID + 1
+
+// planV4First is the first octet of vantage 0's IPv4 subscriber block.
+const planV4First = 95
+
+// LineSlot resolves a subscriber address back to its position under the
+// address plan: the vantage that owns it and a dense per-vantage slot,
+// slot = lineIndex<<1 | v6bit (a line's V4 and V6 addresses are
+// distinct slots — scanner exclusion and all per-line aggregates are
+// per address, not per subscriber). ok is false for any address the
+// plan does not generate.
+func LineSlot(a netip.Addr) (vantage int, slot uint32, ok bool) {
+	if a.Is4() {
+		b := a.As4()
+		if b[0] < planV4First || b[0] > planV4First+maxVantageID {
+			return 0, 0, false
+		}
+		return int(b[0] - planV4First), (uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])) << 1, true
+	}
+	if !a.Is6() || a.Is4In6() {
+		return 0, 0, false
+	}
+	b := a.As16()
+	if b[0] != 0x20 || b[1] != 0x03 || b[2] > maxVantageID || b[3] != 0 || b[15] != 1 {
+		return 0, 0, false
+	}
+	for _, x := range b[7:15] {
+		if x != 0 {
+			return 0, 0, false
+		}
+	}
+	return int(b[2]), (uint32(b[4])<<16|uint32(b[5])<<8|uint32(b[6]))<<1 | 1, true
+}
+
+// LineV4Addr generates line's IPv4 address under vantage's plan — the
+// exact inverse of LineSlot for even slots.
+func LineV4Addr(vantage, line int) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(planV4First + vantage), byte(line >> 16), byte(line >> 8), byte(line)})
+}
+
+// LineV6Addr generates line's IPv6 address under vantage's plan — the
+// exact inverse of LineSlot for odd slots.
+func LineV6Addr(vantage, line int) netip.Addr {
+	var b [16]byte
+	b[0], b[1] = 0x20, 0x03
+	b[2] = byte(vantage)
+	b[4], b[5], b[6] = byte(line>>16), byte(line>>8), byte(line)
+	b[15] = 1
+	return netip.AddrFrom16(b)
+}

@@ -315,12 +315,23 @@ func (sr *StreamReader) Next() (Record, error) {
 // during the outage (Section 6.1).
 type Sampler struct {
 	Rate uint32
-	rng  *simrand.Source
+	rng  simrand.Source
 }
 
 // NewSampler builds a sampler; rate 0 or 1 means no sampling.
 func NewSampler(rate uint32, seed int64) *Sampler {
-	return &Sampler{Rate: rate, rng: simrand.Derive(seed, "netflow-sampler")}
+	s := &Sampler{}
+	s.Reset(rate, seed)
+	return s
+}
+
+// Reset re-seeds the sampler in place, allocation-free — a Sampler
+// after Reset(rate, seed) draws exactly like NewSampler(rate, seed).
+// The per-(line, day) simulation loops keep one Sampler per worker and
+// Reset it instead of allocating.
+func (s *Sampler) Reset(rate uint32, seed int64) {
+	s.Rate = rate
+	s.rng.Reset(simrand.SeedN(seed, "netflow-sampler"))
 }
 
 // Sample converts true flow counters into sampled counters; ok is false

@@ -30,11 +30,21 @@ func splitmix64(x uint64) uint64 {
 
 // Source is a deterministic random source backed by a PCG generator.
 // Callers never touch the global generator.
+//
+// The generator state is embedded by value so a Source is a single
+// allocation — and Reset re-seeds one in place with zero allocations,
+// which the simulation's per-(line, day) derivation loops depend on.
+// Because the embedded generator wraps an internal pointer, a Source
+// must not be copied once used; share it as *Source.
 type Source struct {
-	r *rand.Rand
+	pcg rand.PCG
+	r   rand.Rand
+	// rOK records that r wraps &pcg (done once, on the first Reset).
+	rOK bool
 	// zc caches Zipf samplers keyed by their parameters; the traffic
 	// model draws from the same one or two distributions millions of
-	// times.
+	// times. Reset keeps the cache: a sampler depends only on its
+	// parameters, never on the seed.
 	zc map[zipfKey]*zipf
 }
 
@@ -42,9 +52,24 @@ type Source struct {
 // the seed with splitmix64, so every distinct seed yields an independent
 // PCG stream and seeding is O(1).
 func New(seed int64) *Source {
+	s := &Source{}
+	s.Reset(seed)
+	return s
+}
+
+// Reset re-seeds s in place, yielding exactly the stream New(seed)
+// would — New(seed) and a Reset(seed) of any existing Source are
+// interchangeable. Hot loops that derive a fresh stream per
+// (line, device, day) keep one Source per worker and Reset it instead
+// of allocating: Reset(SeedN(...)) ≡ DeriveN(...), allocation-free.
+func (s *Source) Reset(seed int64) {
 	s1 := splitmix64(uint64(seed))
 	s2 := splitmix64(s1)
-	return &Source{r: rand.New(rand.NewPCG(s1, s2))}
+	s.pcg.Seed(s1, s2)
+	if !s.rOK {
+		s.r = *rand.New(&s.pcg)
+		s.rOK = true
+	}
 }
 
 // FNV-1a, inlined: the hash/fnv package costs an interface allocation per
@@ -253,7 +278,7 @@ func (s *Source) Zipf(s1 float64, n int) int {
 		z = newZipf(s1, n-1)
 		s.zc[k] = z
 	}
-	return z.draw(s.r)
+	return z.draw(&s.r)
 }
 
 // WeightedChoice returns an index drawn proportionally to weights. Zero or

@@ -241,13 +241,30 @@ func (p Profile) DrawHeavyDaily(rng *simrand.Source) uint64 {
 	return clampVol(rng.LogNormal(lnMedian(p.HeavyDailyBytes), 0.5))
 }
 
-// PickPort draws a port from the provider's mix.
+// PickPort draws a port from the provider's mix. The weighted walk is
+// inlined over p.Ports (bit-identical draws to WeightedChoice over the
+// weight column) so the per-record hot path allocates nothing.
 func (p Profile) PickPort(rng *simrand.Source) proto.PortKey {
-	weights := make([]float64, len(p.Ports))
-	for i, pw := range p.Ports {
-		weights[i] = pw.Weight
+	total := 0.0
+	for _, pw := range p.Ports {
+		if pw.Weight > 0 {
+			total += pw.Weight
+		}
 	}
-	return p.Ports[rng.WeightedChoice(weights)].Port
+	if total <= 0 {
+		return p.Ports[rng.Intn(len(p.Ports))].Port
+	}
+	x := rng.Float64() * total
+	for _, pw := range p.Ports {
+		if pw.Weight <= 0 {
+			continue
+		}
+		x -= pw.Weight
+		if x < 0 {
+			return pw.Port
+		}
+	}
+	return p.Ports[len(p.Ports)-1].Port
 }
 
 // continentOrder fixes the draw order for continent weighting; both

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime"
+	"sync"
 	"time"
 
 	"iotmap/internal/asdb"
@@ -106,6 +107,12 @@ type Config struct {
 	// default vantage, which makes FederationStudy produce exactly
 	// TrafficStudy's single-ISP results.
 	Vantages []VantageSpec
+	// FederationWorkers caps how many vantage pipelines FederationStudy
+	// runs concurrently (each vantage produces independent shard
+	// partials, so the worlds build and simulate in parallel and only
+	// the final FederatedMerge joins them). 0 means GOMAXPROCS; 1 runs
+	// the vantage loop sequentially.
+	FederationWorkers int
 }
 
 // VantageSpec describes one vantage-point world of a federated run: a
@@ -459,6 +466,9 @@ func (s *System) backendIndex() (*flows.BackendIndex, error) {
 			idx.Add(a, alias, loc.Location.Continent, loc.Location.Region, certFound)
 		}
 	}
+	// Freeze the dense ID assignment before the pipelines (possibly many
+	// concurrent vantage worlds) start classifying against it.
+	idx.Build()
 	return idx, nil
 }
 
@@ -564,8 +574,12 @@ func (s *System) vantageSpecs() ([]VantageSpec, error) {
 // flows.FederatedMerge into per-vantage studies, an exact union study,
 // and the cross-vantage coverage report (which backends are visible
 // from which vantage — the paper's ISP-versus-IXP comparison angle).
-// With no Vantages configured it runs one default vantage whose study
-// is byte-identical to TrafficStudy's. Requires ValidateAndLocate.
+// The vantage worlds are independent until the merge, so they run
+// concurrently (Config.FederationWorkers, default GOMAXPROCS); partials
+// are collected in spec order and the merge is order-independent, so
+// the result is identical to a sequential drive. With no Vantages
+// configured it runs one default vantage whose study is byte-identical
+// to TrafficStudy's. Requires ValidateAndLocate.
 func (s *System) FederationStudy() error {
 	specs, err := s.vantageSpecs()
 	if err != nil {
@@ -580,45 +594,70 @@ func (s *System) FederationStudy() error {
 	if s.Cfg.Outage != nil {
 		focusRegion = s.Cfg.Outage.Region
 	}
-	var parts []*flows.ShardPartial
+	workers := s.Cfg.FederationWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runs := make([]pipelineRun, len(specs))
+	errs := make([]error, len(specs))
 	results := make([]*VantageResult, len(specs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for i, sp := range specs {
-		net, err := isp.NewNetwork(isp.Config{
-			Seed:            sp.Seed,
-			Lines:           sp.Lines,
-			SamplingRate:    sp.SamplingRate,
-			ScannerFraction: sp.ScannerFraction,
-			IoTPenetration:  sp.IoTPenetration,
-			V6Fraction:      sp.V6Fraction,
-			VantageID:       i,
-			ContinentBias:   sp.ContinentMix,
-		}, s.World)
+		wg.Add(1)
+		go func(i int, sp VantageSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			net, err := isp.NewNetwork(isp.Config{
+				Seed:            sp.Seed,
+				Lines:           sp.Lines,
+				SamplingRate:    sp.SamplingRate,
+				ScannerFraction: sp.ScannerFraction,
+				IoTPenetration:  sp.IoTPenetration,
+				V6Fraction:      sp.V6Fraction,
+				VantageID:       i,
+				ContinentBias:   sp.ContinentMix,
+			}, s.World)
+			if err != nil {
+				errs[i] = fmt.Errorf("iotmap: vantage %q: %w", sp.Name, err)
+				return
+			}
+			if s.Cfg.Outage != nil {
+				// A backend-side outage is visible from every vantage.
+				net.Modifier = s.Cfg.Outage.Modifier()
+			}
+			opts := flows.Options{
+				ScannerThreshold: s.Cfg.ScannerThreshold,
+				SamplingRate:     net.Cfg.SamplingRate,
+				FocusAlias:       focusAlias,
+				FocusRegion:      focusRegion,
+				Vantage:          sp.Name,
+			}
+			run, err := s.runPipeline(net, idx, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("iotmap: vantage %q: %w", sp.Name, err)
+				return
+			}
+			runs[i] = run
+			results[i] = &VantageResult{
+				Spec:        sp,
+				Net:         net,
+				WireExport:  run.wireExport,
+				WireIngest:  run.wireIngest,
+				WireStreams: run.streamStats,
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("iotmap: vantage %q: %w", sp.Name, err)
+			return err
 		}
-		if s.Cfg.Outage != nil {
-			// A backend-side outage is visible from every vantage.
-			net.Modifier = s.Cfg.Outage.Modifier()
-		}
-		opts := flows.Options{
-			ScannerThreshold: s.Cfg.ScannerThreshold,
-			SamplingRate:     net.Cfg.SamplingRate,
-			FocusAlias:       focusAlias,
-			FocusRegion:      focusRegion,
-			Vantage:          sp.Name,
-		}
-		run, err := s.runPipeline(net, idx, opts)
-		if err != nil {
-			return fmt.Errorf("iotmap: vantage %q: %w", sp.Name, err)
-		}
-		parts = append(parts, run.parts...)
-		results[i] = &VantageResult{
-			Spec:        sp,
-			Net:         net,
-			WireExport:  run.wireExport,
-			WireIngest:  run.wireIngest,
-			WireStreams: run.streamStats,
-		}
+	}
+	var parts []*flows.ShardPartial
+	for i := range runs {
+		parts = append(parts, runs[i].parts...)
 	}
 
 	fed := flows.FederatedMerge(parts)

@@ -2,9 +2,11 @@ package iotmap_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"iotmap"
+	"iotmap/internal/core/flows"
 	"iotmap/internal/figures"
 	"iotmap/internal/geo"
 )
@@ -151,6 +153,77 @@ func TestFederationStudyMultiVantage(t *testing.T) {
 	}
 	if figures.FederationCoverage(mem) != figures.FederationCoverage(wire) {
 		t.Fatal("coverage report differs between memory and wire federation")
+	}
+}
+
+// TestFederationStudyParallelMatchesSequential: FederationStudy now
+// drives its vantage worlds concurrently (Config.FederationWorkers);
+// under -race this pins both that the concurrent drive is race-free and
+// that it reproduces the sequential drive vantage-for-vantage — same
+// figures, same scanner curves, same coverage report, same union.
+func TestFederationStudyParallelMatchesSequential(t *testing.T) {
+	build := func(workers int) *iotmap.System {
+		cfg := federationConfig(iotmap.TrafficModeMemory)
+		cfg.FederationWorkers = workers
+		sys, err := iotmap.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sys.Close)
+		if err := sys.Discover(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.ValidateAndLocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.FederationStudy(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	seq := build(1)
+	par := build(0) // default: concurrent vantage pipelines
+
+	if len(seq.Federation.Vantages) != len(par.Federation.Vantages) {
+		t.Fatalf("vantage counts differ: %d vs %d", len(seq.Federation.Vantages), len(par.Federation.Vantages))
+	}
+	curve := func(cc *flows.ContactCounter) string {
+		out := ""
+		for _, pt := range cc.Curve([]int{10, 50, 100, 500}) {
+			out += fmt.Sprintf("%d %d %.6f\n", pt.Threshold, pt.Scanners, pt.CoveragePct)
+		}
+		return out
+	}
+	renders := []func(*iotmap.System) string{
+		figures.Figure5, figures.Figure6, figures.Figure9, figures.Figure11, figures.Figure12,
+	}
+	for i, svr := range seq.Federation.Vantages {
+		pvr := par.Federation.Vantages[i]
+		if svr.Spec.Name != pvr.Spec.Name {
+			t.Fatalf("vantage %d: name %q vs %q", i, svr.Spec.Name, pvr.Spec.Name)
+		}
+		ssys, psys := *seq, *par
+		ssys.Study, ssys.Contacts = svr.Study, svr.Contacts
+		psys.Study, psys.Contacts = pvr.Study, pvr.Contacts
+		for _, render := range renders {
+			if render(&ssys) != render(&psys) {
+				t.Fatalf("vantage %s: concurrent drive changed a figure", svr.Spec.Name)
+			}
+		}
+		if curve(svr.Contacts) != curve(pvr.Contacts) {
+			t.Fatalf("vantage %s: concurrent drive changed the scanner curve", svr.Spec.Name)
+		}
+	}
+	ssys, psys := *seq, *par
+	ssys.Study, ssys.Contacts = seq.Federation.Union, seq.Federation.UnionContacts
+	psys.Study, psys.Contacts = par.Federation.Union, par.Federation.UnionContacts
+	for _, render := range renders {
+		if render(&ssys) != render(&psys) {
+			t.Fatal("concurrent drive changed the union study")
+		}
+	}
+	if figures.FederationCoverage(seq) != figures.FederationCoverage(par) {
+		t.Fatal("concurrent drive changed the coverage report")
 	}
 }
 
