@@ -9,6 +9,7 @@ package iotmap_test
 
 import (
 	"context"
+	"io"
 	"net/netip"
 	"runtime"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 	"iotmap/internal/core/patterns"
 	"iotmap/internal/core/validate"
 	"iotmap/internal/dnsdb"
+	"iotmap/internal/faultwire"
 	"iotmap/internal/figures"
 	"iotmap/internal/isp"
 	"iotmap/internal/netflow"
@@ -370,6 +372,62 @@ func BenchmarkStageWireWeek(b *testing.B) {
 		if fcol.Study().Hours() == 0 {
 			b.Fatal("empty study")
 		}
+	}
+}
+
+// BenchmarkStageWireWeekFaulty is BenchmarkStageWireWeek under fire: a
+// seeded 1% frame corruption injected into every stream, ingested with
+// the DropFrame self-healing policy. The delta over the clean
+// StageWireWeek is the price of surviving a lossy feed — resync scans,
+// dropped frames, and early-ended streams included.
+func BenchmarkStageWireWeekFaulty(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: 5, Lines: 5000}, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	opts := flows.Options{ScannerThreshold: 100, SamplingRate: 100}
+	streams := runtime.GOMAXPROCS(0)
+	sc := faultwire.Uniform(5, 0.01)
+	sc.Start = w.Days[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := collector.New(collector.Config{
+			Index: idx, Days: w.Days, Opts: opts,
+			Policy: collector.DropFrame,
+			Tap: func(stream int, _ string, r io.Reader) io.Reader {
+				return sc.Wrap(stream, "", r)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		writers, wait := col.IngestPipes(streams)
+		if _, err := net.SimulateLinesToWire(writers, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+		cc, fcol := col.Finalize()
+		if len(cc.Scanners(100)) == 0 {
+			b.Fatal("no scanners classified")
+		}
+		if fcol.Study().Hours() == 0 {
+			b.Fatal("empty study")
+		}
+	}
+	b.StopTimer()
+	if sc.Totals().Corrupted == 0 {
+		b.Fatal("the fault injector never fired")
 	}
 }
 

@@ -1,0 +1,219 @@
+package iotmap_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"iotmap"
+	"iotmap/internal/core/flows"
+	"iotmap/internal/figures"
+)
+
+// TestGoldenWirePolicyIdentity: the graceful error policies on a CLEAN
+// wire feed are pure insurance — DropFrame and QuarantineStream must
+// reproduce every Section 5 golden byte-identically, with every
+// degradation counter at zero. (Abort is the policy the goldens already
+// run under in TestGoldenWireFigures.)
+func TestGoldenWirePolicyIdentity(t *testing.T) {
+	for _, pol := range []iotmap.ErrorPolicy{iotmap.WireDropFrame, iotmap.WireQuarantineStream} {
+		t.Run(pol.String(), func(t *testing.T) {
+			sys, err := iotmap.New(iotmap.Config{
+				Seed: 71, Scale: 0.05, Lines: 5000,
+				TrafficMode: iotmap.TrafficModeWire, WireStreams: 4,
+				WirePolicy: pol,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			if err := sys.Discover(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.ValidateAndLocate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.TrafficStudy(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Disrupt(); err != nil {
+				t.Fatal(err)
+			}
+			st := sys.WireIngest
+			if st.DroppedFrames != 0 || st.ResyncEvents != 0 || st.StallTimeouts != 0 ||
+				st.Reconnects != 0 || st.QuarantinedStreams != 0 {
+				t.Fatalf("%s: clean feed reported degradation: %+v", pol, st)
+			}
+			for name, render := range goldenSection5 {
+				checkGolden(t, name, render(sys))
+			}
+		})
+	}
+}
+
+// chaosScenario is the acceptance fault schedule: a seeded 1% frame
+// corruption across every stream, while isp-b's links additionally melt
+// down — heavy bit-flip corruption until study-hour 120 (length-field
+// flips force strict-decode drops, magic/type flips force resync scans)
+// and total frame loss from hour 120 on, blanking whole hours at that
+// vantage while its siblings keep covering them.
+func chaosScenario(seed int64) *iotmap.FaultScenario {
+	return &iotmap.FaultScenario{
+		Seed: seed,
+		Rules: []iotmap.FaultRule{
+			{Stream: -1, Faults: iotmap.Faults{CorruptProb: 0.01}},
+			{Stream: -1, Vantage: "isp-b", ToHour: 120, Faults: iotmap.Faults{CorruptProb: 0.25}},
+			{Stream: -1, Vantage: "isp-b", FromHour: 120, Faults: iotmap.Faults{DropProb: 1}},
+		},
+	}
+}
+
+func runChaosFederation(t *testing.T) *iotmap.System {
+	t.Helper()
+	cfg := federationConfig(iotmap.TrafficModeWire)
+	cfg.WirePolicy = iotmap.WireDropFrame
+	cfg.WireFaults = chaosScenario(12)
+	sys, err := iotmap.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FederationStudy(); err != nil {
+		t.Fatalf("chaos federation aborted under DropFrame: %v", err)
+	}
+	return sys
+}
+
+// TestChaosFederationAcceptance is the issue's acceptance criterion:
+// with ErrorPolicy DropFrame and a seeded faultwire feed, the
+// three-vantage federation study completes without aborting, every
+// isp-b stream reports dropped frames AND resync scans, the coverage
+// report flags isp-b as degraded, and a rerun with the same fault seed
+// reproduces the figures and wire stats byte for byte.
+func TestChaosFederationAcceptance(t *testing.T) {
+	sys := runChaosFederation(t)
+
+	var ispB *iotmap.VantageResult
+	for _, vr := range sys.Federation.Vantages {
+		if vr.Spec.Name == "isp-b" {
+			ispB = vr
+		}
+		if vr.WireIngest == nil {
+			t.Fatalf("vantage %s kept no ingest stats", vr.Spec.Name)
+		}
+	}
+	if len(ispB.WireStreams) != 3 {
+		t.Fatalf("isp-b streams = %d", len(ispB.WireStreams))
+	}
+	for _, ss := range ispB.WireStreams {
+		if ss.DroppedFrames == 0 || ss.ResyncEvents == 0 {
+			t.Fatalf("isp-b stream %d survived unscathed: dropped=%d resyncs=%d (want both nonzero)",
+				ss.Stream, ss.DroppedFrames, ss.ResyncEvents)
+		}
+		if ss.HoursCovered >= ss.HoursTotal {
+			t.Fatalf("isp-b stream %d claims full coverage despite the truncation window", ss.Stream)
+		}
+	}
+
+	var bCov *flows.VantageCoverage
+	for i, vc := range sys.Federation.Coverage.Vantages {
+		if vc.Vantage == "isp-b" {
+			bCov = &sys.Federation.Coverage.Vantages[i]
+		}
+	}
+	if bCov == nil {
+		t.Fatal("isp-b missing from the coverage report")
+	}
+	if !bCov.Degraded {
+		t.Fatalf("isp-b not flagged degraded: %+v", *bCov)
+	}
+	if bCov.HoursCovered >= bCov.HoursTotal {
+		t.Fatalf("isp-b hours %d/%d — degraded flag without hour loss", bCov.HoursCovered, bCov.HoursTotal)
+	}
+	totals := sys.Cfg.WireFaults.Totals()
+	if totals.Corrupted == 0 || totals.Dropped == 0 {
+		t.Fatalf("scenario injected nothing: %+v", totals)
+	}
+
+	// Same seed, fresh world: byte-identical figures and stats.
+	again := runChaosFederation(t)
+	if a, b := figures.FederationCoverage(sys), figures.FederationCoverage(again); a != b {
+		t.Fatalf("coverage figure not reproducible:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+	for i, vr := range sys.Federation.Vantages {
+		vr2 := again.Federation.Vantages[i]
+		if !reflect.DeepEqual(vr.WireIngest, vr2.WireIngest) {
+			t.Fatalf("vantage %s ingest stats diverged:\n%+v\n%+v", vr.Spec.Name, *vr.WireIngest, *vr2.WireIngest)
+		}
+		if !reflect.DeepEqual(vr.WireStreams, vr2.WireStreams) {
+			t.Fatalf("vantage %s stream stats diverged", vr.Spec.Name)
+		}
+	}
+	if a, b := sys.Cfg.WireFaults.Totals(), again.Cfg.WireFaults.Totals(); a != b {
+		t.Fatalf("fault totals diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestDisruptionStudy: the what-if driver leaves the baseline untouched,
+// runs each scenario on an isolated copy, and reports per-vantage and
+// union deltas. An outage-only scenario removes backends without
+// blanking feed hours, so nobody is marked degraded.
+func TestDisruptionStudy(t *testing.T) {
+	cfg := federationConfig(iotmap.TrafficModeMemory)
+	cfg.Days = iotmap.OutageStudyDays()
+	sys, err := iotmap.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.DisruptionStudy([]iotmap.DisruptionScenario{
+		{Name: "aws-outage", Outage: iotmap.AWSOutageScenario()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline == nil || res.Baseline != sys.Federation {
+		t.Fatal("baseline is not the system's own federation")
+	}
+	baselineCov := figures.FederationCoverage(sys)
+	if len(res.Scenarios) != 1 {
+		t.Fatalf("scenarios = %d", len(res.Scenarios))
+	}
+	sc := res.Scenarios[0]
+	if sc.Federation == nil || sc.Federation == res.Baseline {
+		t.Fatal("scenario federation missing or aliased to the baseline")
+	}
+	if len(sc.Vantages) != 3 {
+		t.Fatalf("vantage deltas = %d", len(sc.Vantages))
+	}
+	for _, vd := range sc.Vantages {
+		if vd.HoursLost != 0 || vd.Degraded {
+			t.Fatalf("outage-only scenario blanked feed hours at %s: %+v", vd.Vantage, vd)
+		}
+		if vd.DownDeltaPct > 0 {
+			t.Fatalf("%s gained traffic from an outage: %+v", vd.Vantage, vd)
+		}
+	}
+	if sc.UnionDownDeltaPct >= 0 {
+		t.Fatalf("union down delta = %.2f%%, want negative", sc.UnionDownDeltaPct)
+	}
+	// Running the scenario must not have mutated the baseline system.
+	if got := figures.FederationCoverage(sys); got != baselineCov {
+		t.Fatal("DisruptionStudy mutated the baseline coverage")
+	}
+	if figures.DisruptionDeltas(res) == "" {
+		t.Fatal("empty deltas figure")
+	}
+}

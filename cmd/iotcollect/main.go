@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"iotmap"
 	"iotmap/internal/collector"
@@ -47,7 +48,21 @@ func main() {
 	udp := flag.String("udp", "", "ingest raw v5 datagrams on this UDP address until interrupted")
 	demo := flag.Bool("demo", false, "run the exporter in-process over a TCP loopback")
 	vantage := flag.String("vantage", "", "vantage label attributed to every ingested feed (per-stream stats, federation merges)")
+	policy := flag.String("policy", "abort", "stream-fault policy: abort, drop (drop bad frames, resync), quarantine (discard faulty streams)")
+	stall := flag.Duration("stall", 0, "per-stream read-stall timeout (0 disables the watchdog)")
 	flag.Parse()
+
+	var pol collector.ErrorPolicy
+	switch *policy {
+	case "abort":
+		pol = collector.Abort
+	case "drop":
+		pol = collector.DropFrame
+	case "quarantine":
+		pol = collector.QuarantineStream
+	default:
+		log.Fatalf("iotcollect: unknown -policy %q (want abort, drop, or quarantine)", *policy)
+	}
 
 	sys, err := iotmap.New(iotmap.Config{
 		Seed: *seed, Scale: *scale, Lines: *lines,
@@ -80,7 +95,10 @@ func main() {
 		return
 	}
 
-	col, err := collector.New(collector.Config{Index: idx, Days: sys.World.Days, Opts: opts})
+	col, err := collector.New(collector.Config{
+		Index: idx, Days: sys.World.Days, Opts: opts,
+		Policy: pol, StallTimeout: *stall,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,17 +109,30 @@ func main() {
 			log.Fatal(err)
 		}
 		defer l.Close()
-		log.Printf("iotcollect: waiting for %d framed streams on %s", *streams, l.Addr())
+		// Graceful shutdown: SIGINT/SIGTERM closes the listener, which
+		// stops accepting; in-flight streams drain to completion and the
+		// final report still prints.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-ctx.Done()
+			l.Close()
+		}()
+		if *streams > 0 {
+			log.Printf("iotcollect: waiting for %d framed streams on %s (interrupt to stop early)", *streams, l.Addr())
+		} else {
+			log.Printf("iotcollect: accepting framed streams on %s until interrupted", l.Addr())
+		}
 		if err := col.ListenTCP(l, *streams); err != nil {
 			log.Fatal(err)
 		}
+		stop()
 	case *udp != "":
 		pc, err := net.ListenPacket("udp", *udp)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("iotcollect: ingesting raw v5 datagrams on %s (Ctrl-C to analyze)", pc.LocalAddr())
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-ctx.Done()
 			pc.Close()
@@ -207,13 +238,22 @@ func report(sys *iotmap.System, col *collector.Collector) {
 		st.Streams, st.Frames, st.V5Packets, st.V4Records, st.V6Records, st.Flushes)
 	fmt.Printf("           %d saturated counters, %d rate mismatches, %d bad packets, %.1f GB estimated volume\n",
 		st.SaturatedCounters, st.RateMismatches, st.BadPackets, float64(st.ScaledBytes)/1e9)
+	if st.DroppedFrames+st.ResyncEvents+st.StallTimeouts+st.Reconnects+st.QuarantinedStreams > 0 {
+		fmt.Printf("           degraded: %d dropped frames, %d resyncs, %d stall timeouts, %d reconnects, %d quarantined streams\n",
+			st.DroppedFrames, st.ResyncEvents, st.StallTimeouts, st.Reconnects, st.QuarantinedStreams)
+	}
 	for _, ss := range col.StreamStats() {
 		label := ss.Source
 		if ss.Vantage != "" {
 			label = ss.Vantage + " / " + label
 		}
-		fmt.Printf("  stream %d (%s): %d frames, %d records, %d bad, %d mismatched rates, %d saturated\n",
-			ss.Stream, label, ss.Frames, ss.V4Records+ss.V6Records, ss.BadPackets, ss.RateMismatches, ss.SaturatedCounters)
+		fmt.Printf("  stream %d (%s): %d frames, %d records, %d bad, %d mismatched rates, %d saturated, %d/%d hours covered\n",
+			ss.Stream, label, ss.Frames, ss.V4Records+ss.V6Records, ss.BadPackets, ss.RateMismatches, ss.SaturatedCounters,
+			ss.HoursCovered, ss.HoursTotal)
+		if ss.DroppedFrames+ss.ResyncEvents+ss.StallTimeouts+ss.Reconnects+ss.QuarantinedStreams > 0 {
+			fmt.Printf("            degraded: %d dropped, %d resyncs, %d stalls, %d reconnects, quarantined=%d\n",
+				ss.DroppedFrames, ss.ResyncEvents, ss.StallTimeouts, ss.Reconnects, ss.QuarantinedStreams)
+		}
 	}
 	fmt.Println()
 	fmt.Println(figures.Figure5(sys))

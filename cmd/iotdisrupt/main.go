@@ -3,9 +3,15 @@
 // traffic and subscriber-line views (Figures 15-16) and the potential-
 // disruption checks (Section 6.2).
 //
+// With -federate it additionally runs the disruption what-if suite over
+// a multi-vantage federation: the clean baseline, the backend-side
+// outage, and a wire-side chaos scenario (one vantage's feed corrupting
+// and dying mid-week), reporting per-vantage and union deltas plus the
+// degraded-vantage coverage annotations.
+//
 // Usage:
 //
-//	iotdisrupt [-seed N] [-scale F] [-lines N]
+//	iotdisrupt [-seed N] [-scale F] [-lines N] [-federate]
 package main
 
 import (
@@ -22,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	scale := flag.Float64("scale", 0.1, "deployment scale (1.0 = paper-sized)")
 	lines := flag.Int("lines", 10000, "simulated subscriber lines")
+	federate := flag.Bool("federate", false, "run the federated disruption what-if suite (outage + wire chaos)")
 	flag.Parse()
 
 	sys, err := iotmap.New(iotmap.Config{
@@ -44,4 +51,57 @@ func main() {
 	fmt.Println(figures.Figure16(sys))
 	fmt.Println(figures.Cascade(sys))
 	fmt.Println(figures.Section62(sys))
+
+	if *federate {
+		if err := federatedSuite(sys, *seed, *lines); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// federatedSuite runs DisruptionStudy over a 3-vantage wire-mode
+// federation: a clean baseline, the AWS outage alone, and the outage
+// compounded by wire chaos against the second ISP vantage.
+func federatedSuite(sys *iotmap.System, seed int64, lines int) error {
+	// The baseline federation must be clean: drop the single-run outage
+	// before federating.
+	sys.Cfg.Outage = nil
+	sys.Cfg.TrafficMode = iotmap.TrafficModeWire
+	sys.Cfg.WireStreams = 3
+	sys.Cfg.WirePolicy = iotmap.WireDropFrame
+	sys.Cfg.Vantages = []iotmap.VantageSpec{
+		{Name: "isp-a"},
+		{Name: "isp-b", Lines: lines / 2},
+		{Name: "ixp", SamplingRate: 1024, ScannerFraction: -1},
+	}
+
+	scenarios := []iotmap.DisruptionScenario{
+		{Name: "aws-outage", Outage: iotmap.AWSOutageScenario()},
+		{
+			Name:   "outage+wire-chaos",
+			Outage: iotmap.AWSOutageScenario(),
+			Faults: &iotmap.FaultScenario{
+				Seed: seed,
+				Rules: []iotmap.FaultRule{
+					// isp-b's feeds corrupt all week...
+					{Stream: -1, Vantage: "isp-b", Faults: iotmap.Faults{CorruptProb: 0.01}},
+					// ...and die outright Wednesday 14:00.
+					{Stream: -1, Vantage: "isp-b", FromHour: 2*24 + 14, Faults: iotmap.Faults{Kill: true}},
+				},
+			},
+		},
+	}
+	res, err := sys.DisruptionStudy(scenarios)
+	if err != nil {
+		return err
+	}
+	fmt.Println(figures.FederationCoverage(sys))
+	fmt.Println(figures.DisruptionDeltas(res))
+	// The chaos scenario's own coverage view, degraded annotations
+	// included.
+	chaos := res.Scenarios[len(res.Scenarios)-1]
+	tmp := *sys
+	tmp.Federation = chaos.Federation
+	fmt.Println(figures.FederationCoverage(&tmp))
+	return nil
 }

@@ -1,0 +1,398 @@
+package collector
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"iotmap/internal/core/flows"
+	"iotmap/internal/netflow"
+	"iotmap/internal/world"
+)
+
+// wireRunPolicy is wireRun with a configurable error policy.
+func (f *fixture) wireRunPolicy(t testing.TB, streams int, pol ErrorPolicy) (*flows.ContactCounter, *flows.Collector, Stats) {
+	t.Helper()
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*bytes.Buffer, streams)
+	writers := make([]io.Writer, streams)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	if _, err := f.net.SimulateLinesToWire(writers, 0); err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, streams)
+	for i := range bufs {
+		readers[i] = bufs[i]
+	}
+	if err := col.IngestStreams(readers); err != nil {
+		t.Fatal(err)
+	}
+	cc, fc := col.Finalize()
+	return cc, fc, col.Stats()
+}
+
+// TestPolicyCleanFeedIdentity: on a clean feed the graceful policies
+// are pure insurance — DropFrame and QuarantineStream must reproduce
+// the Abort-mode analysis exactly, with every degradation counter zero.
+func TestPolicyCleanFeedIdentity(t *testing.T) {
+	ref := buildFixture(t, 400)
+	refCC, refCol := ref.memoryRun(3)
+	for _, pol := range []ErrorPolicy{Abort, DropFrame, QuarantineStream} {
+		f := buildFixture(t, 400)
+		cc, fc, stats := f.wireRunPolicy(t, 3, pol)
+		assertSameAnalysis(t, pol.String(), refCC, cc, refCol, fc)
+		if stats.DroppedFrames != 0 || stats.ResyncEvents != 0 ||
+			stats.StallTimeouts != 0 || stats.Reconnects != 0 ||
+			stats.QuarantinedStreams != 0 {
+			t.Fatalf("%s: clean feed reported degradation: %+v", pol, stats)
+		}
+	}
+}
+
+// v4Backend returns a v4 backend server so crafted records classify.
+func v4Backend(t *testing.T, w *world.World) *world.Server {
+	t.Helper()
+	for _, s := range w.AllServers() {
+		if !s.IsV6() {
+			return s
+		}
+	}
+	t.Fatal("no v4 backend in fixture")
+	return nil
+}
+
+// v5Packet builds one classifiable single-record v5 packet.
+func v5Packet(t *testing.T, f *fixture, backend *world.Server, line string, vol uint64, hour int) []byte {
+	t.Helper()
+	si, err := netflow.PackSamplingInterval(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := netflow.EncodeV5(netflow.V5Header{
+		SamplingInterval: si,
+		UnixSecs:         uint32(f.w.Days[0].Add(time.Duration(hour) * time.Hour).Unix()),
+	}, []netflow.Record{{
+		Src: backend.Addr, Dst: netip.MustParseAddr(line),
+		SrcPort: 8883, DstPort: 40000, Proto: netflow.ProtoTCP,
+		Bytes: vol, Packets: 3, Start: f.w.Days[0].Add(time.Duration(hour) * time.Hour),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// TestDropFrameResyncAndDecodeDrop: under DropFrame, envelope garbage
+// triggers a resync scan to the next real frame and a broken payload in
+// an intact envelope is dropped in place — in both cases every healthy
+// frame around the damage still lands in the analysis.
+func TestDropFrameResyncAndDecodeDrop(t *testing.T) {
+	f := buildFixture(t, 50)
+	backend := v4Backend(t, f.w)
+
+	var feed bytes.Buffer
+	fw := netflow.NewFrameWriter(&feed)
+	if err := fw.WriteV5(v5Packet(t, f, backend, "95.0.0.1", 500, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Envelope garbage between frames: forces a resync scan.
+	feed.WriteString("!! exporter restart banner, definitely not a frame !!")
+	if err := fw.WriteV5(v5Packet(t, f, backend, "95.0.0.2", 700, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Intact envelope, broken payload: version byte says v9.
+	broken := v5Packet(t, f, backend, "95.0.0.3", 900, 4)
+	broken[1] = 9
+	if err := fw.WriteV5(broken); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteV5(v5Packet(t, f, backend, "95.0.0.4", 1100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFlush(); err != nil {
+		t.Fatal(err)
+	}
+
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts, Policy: DropFrame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.IngestStream(&feed); err != nil {
+		t.Fatalf("DropFrame ingest aborted: %v", err)
+	}
+	st := col.Stats()
+	if st.ResyncEvents == 0 {
+		t.Fatalf("no resync recorded: %+v", st)
+	}
+	if st.DroppedFrames != 1 {
+		t.Fatalf("dropped = %d, want 1 (the v9 payload): %+v", st.DroppedFrames, st)
+	}
+	_, fc := col.Finalize()
+	alias := f.w.AliasOf(backend.Provider)
+	want := uint64(500+700+1100) * 100 // the v9 record must be gone
+	if got := fc.Study().Downstream(alias).Total(); got != float64(want) {
+		t.Fatalf("downstream = %v, want %d", got, want)
+	}
+	ss := col.StreamStats()[0]
+	if ss.HoursCovered != 3 {
+		t.Fatalf("hours covered = %d, want 3 (hours 2, 3, 5)", ss.HoursCovered)
+	}
+}
+
+// TestDropFrameTruncatedTail: a feed that dies mid-frame keeps
+// everything ingested up to the cut.
+func TestDropFrameTruncatedTail(t *testing.T) {
+	f := buildFixture(t, 50)
+	backend := v4Backend(t, f.w)
+	var feed bytes.Buffer
+	fw := netflow.NewFrameWriter(&feed)
+	if err := fw.WriteV5(v5Packet(t, f, backend, "95.0.0.1", 500, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteV5(v5Packet(t, f, backend, "95.0.0.2", 700, 3)); err != nil {
+		t.Fatal(err)
+	}
+	cut := feed.Bytes()[:feed.Len()-5] // lose the second frame's tail
+
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts, Policy: DropFrame})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.IngestStream(bytes.NewReader(cut)); err != nil {
+		t.Fatalf("truncated tail aborted the stream: %v", err)
+	}
+	st := col.Stats()
+	if st.DroppedFrames != 1 {
+		t.Fatalf("dropped = %d, want 1: %+v", st.DroppedFrames, st)
+	}
+	_, fc := col.Finalize()
+	if got := fc.Study().Downstream(f.w.AliasOf(backend.Provider)).Total(); got != 500*100 {
+		t.Fatalf("downstream = %v, want %d", got, 500*100)
+	}
+}
+
+// TestQuarantineStreamDiscardsContribution: a poisoned stream under
+// QuarantineStream contributes nothing — the analysis equals a run that
+// never saw that stream at all, while the wire counters still record
+// what arrived before the fault.
+func TestQuarantineStreamDiscardsContribution(t *testing.T) {
+	export := func(t *testing.T) []*bytes.Buffer {
+		f := buildFixture(t, 300)
+		bufs := []*bytes.Buffer{{}, {}}
+		if _, err := f.net.SimulateLinesToWire([]io.Writer{bufs[0], bufs[1]}, 0); err != nil {
+			t.Fatal(err)
+		}
+		return bufs
+	}
+
+	// Reference: stream 0 only.
+	fRef := buildFixture(t, 300)
+	colRef, err := New(Config{Index: fRef.idx, Days: fRef.w.Days, Opts: fRef.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := colRef.IngestStream(export(t)[0]); err != nil {
+		t.Fatal(err)
+	}
+	refCC, refCol := colRef.Finalize()
+
+	// Quarantine run: stream 1 carries the full healthy feed and THEN
+	// turns to garbage — its entire week must still be discarded.
+	f := buildFixture(t, 300)
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts, Policy: QuarantineStream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := export(t)
+	bufs[1].WriteString("NF\xffgarbage after a healthy week")
+	if err := col.IngestStreams([]io.Reader{bufs[0], bufs[1]}); err != nil {
+		t.Fatalf("quarantine run errored: %v", err)
+	}
+	st := col.Stats()
+	if st.QuarantinedStreams != 1 {
+		t.Fatalf("quarantined = %d, want 1: %+v", st.QuarantinedStreams, st)
+	}
+	if st.Frames == 0 {
+		t.Fatal("wire counters lost: frames seen before the fault must stay countable")
+	}
+	cc, fc := col.Finalize()
+	assertSameAnalysis(t, "quarantine", refCC, cc, refCol, fc)
+	for _, ss := range col.StreamStats() {
+		if ss.QuarantinedStreams == 1 && ss.HoursCovered != 0 {
+			t.Fatalf("quarantined stream still claims %d covered hours", ss.HoursCovered)
+		}
+	}
+}
+
+// TestStallWatchdog: a feed that goes silent mid-week is cut by the
+// watchdog; under DropFrame the stream ends early with its contribution
+// intact and the stall is counted.
+func TestStallWatchdog(t *testing.T) {
+	f := buildFixture(t, 50)
+	backend := v4Backend(t, f.w)
+	col, err := New(Config{
+		Index: f.idx, Days: f.w.Days, Opts: f.opts,
+		Policy: DropFrame, StallTimeout: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- col.IngestStream(pr) }()
+
+	var frame bytes.Buffer
+	fw := netflow.NewFrameWriter(&frame)
+	if err := fw.WriteV5(v5Packet(t, f, backend, "95.0.0.1", 500, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Write(frame.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// ... and then the exporter hangs forever. Never close pw.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("stalled stream aborted the study: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+	st := col.Stats()
+	if st.StallTimeouts != 1 {
+		t.Fatalf("stall timeouts = %d, want 1: %+v", st.StallTimeouts, st)
+	}
+	_, fc := col.Finalize()
+	if got := fc.Study().Downstream(f.w.AliasOf(backend.Provider)).Total(); got != 500*100 {
+		t.Fatalf("pre-stall data lost: downstream = %v", got)
+	}
+}
+
+// errAfter delivers its inner reader, then fails with a transport error
+// instead of a clean EOF.
+type errAfter struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfter) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		err = e.err
+	}
+	return n, err
+}
+
+// splitFrames cuts a framed feed at the k-th frame boundary.
+func splitFrames(t *testing.T, feed []byte, k int) (head, tail []byte) {
+	t.Helper()
+	fr := netflow.NewFrameReader(bytes.NewReader(feed))
+	off := 0
+	for i := 0; i < k; i++ {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatalf("feed has fewer than %d frames: %v", k, err)
+		}
+		off += 7 + len(f.Payload)
+	}
+	return feed[:off], feed[off:]
+}
+
+// TestIngestReconnecting: a transport that dies mid-week and comes back
+// on redial loses nothing — the analysis matches an unbroken feed and
+// the redial is counted.
+func TestIngestReconnecting(t *testing.T) {
+	f := buildFixture(t, 200)
+	var buf bytes.Buffer
+	if _, err := f.net.SimulateLinesToWire([]io.Writer{&buf}, 0); err != nil {
+		t.Fatal(err)
+	}
+	feed := append([]byte(nil), buf.Bytes()...)
+
+	fRef := buildFixture(t, 200)
+	colRef, err := New(Config{Index: fRef.idx, Days: fRef.w.Days, Opts: fRef.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := colRef.IngestStream(bytes.NewReader(feed)); err != nil {
+		t.Fatal(err)
+	}
+	refCC, refCol := colRef.Finalize()
+
+	head, tail := splitFrames(t, feed, 40)
+	f2 := buildFixture(t, 200)
+	col, err := New(Config{Index: f2.idx, Days: f2.w.Days, Opts: f2.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	dial := func(attempt int) (io.Reader, error) {
+		switch attempt {
+		case 0:
+			return &errAfter{r: bytes.NewReader(head), err: fmt.Errorf("connection reset by peer")}, nil
+		case 1:
+			return nil, fmt.Errorf("connection refused") // flaps once more
+		default:
+			return bytes.NewReader(tail), nil
+		}
+	}
+	err = col.IngestReconnecting("flaky-feed", dial, ReconnectConfig{
+		Seed: 7, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatalf("reconnecting ingest failed: %v", err)
+	}
+	st := col.Stats()
+	if st.Reconnects != 1 {
+		t.Fatalf("reconnects = %d, want 1 (redial flaps don't count until a connect succeeds): %+v", st.Reconnects, st)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("backoff sleeps = %d, want 2 (dead transport, then refused dial)", len(slept))
+	}
+	for i, d := range slept {
+		base := 10 * time.Millisecond << i
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("sleep %d = %v outside jitter window [%v, %v]", i, d, base/2, base*3/2)
+		}
+	}
+	cc, fc := col.Finalize()
+	assertSameAnalysis(t, "reconnect", refCC, cc, refCol, fc)
+	if col.StreamStats()[0].Source != "flaky-feed" {
+		t.Fatalf("source = %q", col.StreamStats()[0].Source)
+	}
+}
+
+// TestReconnectGivesUp: once MaxAttempts is exhausted the last error
+// surfaces through the normal policy handling — Abort propagates it.
+func TestReconnectGivesUp(t *testing.T) {
+	f := buildFixture(t, 50)
+	col, err := New(Config{Index: f.idx, Days: f.w.Days, Opts: f.opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeps := 0
+	dial := func(attempt int) (io.Reader, error) {
+		return nil, fmt.Errorf("no route to host")
+	}
+	err = col.IngestReconnecting("dead-feed", dial, ReconnectConfig{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Sleep: func(time.Duration) { sleeps++ },
+	})
+	if err == nil || !strings.Contains(err.Error(), "no route to host") {
+		t.Fatalf("err = %v, want the dial error", err)
+	}
+	if sleeps != 3 {
+		t.Fatalf("backoff sleeps = %d, want MaxAttempts = 3", sleeps)
+	}
+}

@@ -21,14 +21,53 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iotmap/internal/core/flows"
 	"iotmap/internal/netflow"
+	"iotmap/internal/simrand"
 )
+
+// ErrorPolicy decides what a framed-stream fault (corrupt envelope,
+// undecodable payload, truncation, transport error) does to the study.
+type ErrorPolicy int
+
+const (
+	// Abort fails the stream on the first fault — the original
+	// fail-loudly behavior and still the default: a corrupt feed should
+	// not silently aggregate a partial week.
+	Abort ErrorPolicy = iota
+	// DropFrame discards the bad frame and keeps the stream: envelope
+	// corruption triggers a resync scan to the next "NF" magic
+	// (Stats.ResyncEvents), undecodable payloads are dropped in place
+	// (Stats.DroppedFrames), and a dead transport ends the stream early
+	// with everything ingested so far still counted.
+	DropFrame
+	// QuarantineStream discards the entire stream's contribution on its
+	// first fault — the analysis proceeds as if the feed had never
+	// connected (Stats.QuarantinedStreams), while its wire counters
+	// remain visible for diagnosis.
+	QuarantineStream
+)
+
+func (p ErrorPolicy) String() string {
+	switch p {
+	case DropFrame:
+		return "drop-frame"
+	case QuarantineStream:
+		return "quarantine-stream"
+	default:
+		return "abort"
+	}
+}
+
+// errStallTimeout marks a stream aborted by the read-stall watchdog.
+var errStallTimeout = errors.New("collector: read stall timeout")
 
 // Config sizes a collector.
 type Config struct {
@@ -44,6 +83,17 @@ type Config struct {
 	// disagreement with an already-applied fallback is counted in
 	// Stats.RateMismatches.
 	Opts flows.Options
+	// Policy picks the stream-fault response; zero value is Abort.
+	Policy ErrorPolicy
+	// StallTimeout, when > 0, arms a per-stream watchdog: a stream whose
+	// reader makes no progress for a full interval is aborted
+	// (Stats.StallTimeouts) and then handled per Policy. Zero disables.
+	StallTimeout time.Duration
+	// Tap, when set, wraps every stream's reader before decoding —
+	// the seam where a fault-injection harness (internal/faultwire)
+	// splices into the wire path. The collector keeps the raw reader for
+	// abort/drain control, so a tap cannot deadlock the exporter.
+	Tap func(stream int, source string, r io.Reader) io.Reader
 }
 
 // Stats counts what crossed the wire. All counters are totals across
@@ -71,6 +121,19 @@ type Stats struct {
 	// ScaledBytes is the total estimated byte volume after
 	// Sampler.Scale restored the sampling rate.
 	ScaledBytes uint64
+	// DroppedFrames counts frames discarded under DropFrame: payloads
+	// that failed decoding, and truncated stream tails.
+	DroppedFrames uint64
+	// ResyncEvents counts forward scans to the next "NF" magic after a
+	// corrupt frame envelope.
+	ResyncEvents uint64
+	// StallTimeouts counts streams aborted by the read-stall watchdog.
+	StallTimeouts uint64
+	// Reconnects counts successful redials by IngestReconnecting.
+	Reconnects uint64
+	// QuarantinedStreams counts streams whose entire contribution was
+	// discarded under QuarantineStream.
+	QuarantinedStreams uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -84,13 +147,21 @@ func (s *Stats) add(o Stats) {
 	s.RateMismatches += o.RateMismatches
 	s.BadPackets += o.BadPackets
 	s.ScaledBytes += o.ScaledBytes
+	s.DroppedFrames += o.DroppedFrames
+	s.ResyncEvents += o.ResyncEvents
+	s.StallTimeouts += o.StallTimeouts
+	s.Reconnects += o.Reconnects
+	s.QuarantinedStreams += o.QuarantinedStreams
 }
 
 // StreamStat is one completed stream's counters with its attribution —
 // enough to point at the source feeding a corrupt or mis-rated stream
 // instead of only knowing "somewhere in the sum".
 type StreamStat struct {
-	// Stream is the stream's accept-order index.
+	// Stream is the stream's index: the reader's position in the slice
+	// handed to a batch entry point (IngestStreams, IngestPipes), or
+	// accept order for streams that arrive one at a time (TCP conns,
+	// UDP sources).
 	Stream int
 	// Vantage is the feed's vantage label (Config.Opts.Vantage).
 	Vantage string
@@ -98,6 +169,11 @@ type StreamStat struct {
 	// UDP source address, a file path, or "pipe-N"/"stream-N" for
 	// anonymous readers.
 	Source string
+	// HoursCovered/HoursTotal are the stream's feed-liveness window:
+	// study hours with at least one buffered record. A healthy stream
+	// covers (its share of) the week; one that died Wednesday doesn't.
+	HoursCovered int
+	HoursTotal   int
 	Stats
 }
 
@@ -140,7 +216,8 @@ func New(cfg Config) (*Collector, error) {
 // stream is one shard's decode state.
 type stream struct {
 	part *flows.ShardPartial
-	// index is the stream's accept order; source its endpoint label.
+	// index is the stream's reserved index (see reserveStreams); source
+	// its endpoint label.
 	index  int
 	source string
 	// rate is the stream's advertised sampling rate (0 = none seen yet).
@@ -156,25 +233,76 @@ type stream struct {
 	// before any v5 header had advertised one; a later header that
 	// disagrees is a rate mismatch worth counting.
 	fallbackUsed uint32
+	// Per-stream feed-liveness: start anchors the study clock, hourBits
+	// marks study hours with at least one buffered record.
+	start    time.Time
+	hours    int
+	hourBits []uint64
+	// stalled is set by the read-stall watchdog just before it aborts
+	// the raw reader.
+	stalled atomic.Bool
+}
+
+// reserveStreams claims n consecutive stream indices and returns the
+// first. Multi-stream entry points reserve their whole batch before
+// spawning ingest goroutines and bind reader i to stream base+i, so a
+// stream's index — which keys its fault tap, its shard partial slot,
+// and its StreamStats row — is the caller's slice position, not the
+// scheduler-dependent order the goroutines happened to start in.
+func (c *Collector) reserveStreams(n int) int {
+	c.mu.Lock()
+	base := c.nextStream
+	c.nextStream += n
+	for len(c.parts) < c.nextStream {
+		c.parts = append(c.parts, nil)
+	}
+	c.mu.Unlock()
+	return base
 }
 
 func (c *Collector) newStream(source string) *stream {
+	return c.newStreamAt(c.reserveStreams(1), source)
+}
+
+func (c *Collector) newStreamAt(idx int, source string) *stream {
 	part := flows.NewShardPartial(c.cfg.Index, c.cfg.Days, c.partialOpts)
 	c.mu.Lock()
-	idx := c.nextStream
-	c.nextStream++
-	c.parts = append(c.parts, part)
+	c.parts[idx] = part
 	c.mu.Unlock()
 	if source == "" {
 		source = fmt.Sprintf("stream-%d", idx)
 	}
-	return &stream{part: part, index: idx, source: source}
+	hours := len(c.cfg.Days) * 24
+	return &stream{
+		part: part, index: idx, source: source,
+		start: c.cfg.Days[0], hours: hours,
+		hourBits: make([]uint64, (hours+63)/64),
+	}
+}
+
+// cover marks the study hours the records fall into.
+func (st *stream) cover(recs []netflow.Record) {
+	for _, r := range recs {
+		since := r.Start.Sub(st.start)
+		if since < 0 {
+			continue
+		}
+		hour := int(since / time.Hour)
+		if hour >= st.hours {
+			continue
+		}
+		st.hourBits[hour>>6] |= 1 << (hour & 63)
+	}
 }
 
 // finish folds the stream's stats into the collector totals and records
 // the per-stream breakdown.
 func (c *Collector) finish(st *stream) {
 	st.stats.Streams = 1
+	covered := 0
+	for _, w := range st.hourBits {
+		covered += bits.OnesCount64(w)
+	}
 	c.mu.Lock()
 	if st.live {
 		// ServeUDP already folded the datagram counters in on arrival;
@@ -182,14 +310,17 @@ func (c *Collector) finish(st *stream) {
 		c.stats.Streams++
 		c.stats.RateMismatches += st.stats.RateMismatches
 		c.stats.ScaledBytes += st.stats.ScaledBytes
+		c.stats.QuarantinedStreams += st.stats.QuarantinedStreams
 	} else {
 		c.stats.add(st.stats)
 	}
 	c.perStream = append(c.perStream, StreamStat{
-		Stream:  st.index,
-		Vantage: c.cfg.Opts.Vantage,
-		Source:  st.source,
-		Stats:   st.stats,
+		Stream:       st.index,
+		Vantage:      c.cfg.Opts.Vantage,
+		Source:       st.source,
+		HoursCovered: covered,
+		HoursTotal:   st.hours,
+		Stats:        st.stats,
 	})
 	c.mu.Unlock()
 }
@@ -257,9 +388,10 @@ func (st *stream) flush(fallbackRate uint32) {
 // IngestStream consumes one framed NetFlow stream (the
 // isp.SimulateLinesToWire format) until EOF. It may be called from N
 // goroutines, one per stream; each call owns its own shard partial.
-// Framing and decode errors are fatal for the stream — a corrupt feed
-// fails loudly rather than aggregating a partial week silently — but
-// everything ingested up to the error stays counted.
+// Under the default Abort policy, framing and decode errors are fatal
+// for the stream — a corrupt feed fails loudly rather than aggregating
+// a partial week silently (everything ingested up to the error stays
+// counted); DropFrame and QuarantineStream degrade gracefully instead.
 func (c *Collector) IngestStream(r io.Reader) error {
 	return c.IngestNamedStream("", r)
 }
@@ -269,36 +401,181 @@ func (c *Collector) IngestStream(r io.Reader) error {
 // identifies the feed to an operator). An empty name falls back to the
 // accept-order "stream-N" label.
 func (c *Collector) IngestNamedStream(name string, r io.Reader) error {
-	st := c.newStream(name)
+	return c.ingestIndexed(c.reserveStreams(1), name, r)
+}
+
+// ingestIndexed runs one stream's full ingest under a pre-reserved
+// stream index.
+func (c *Collector) ingestIndexed(idx int, name string, r io.Reader) error {
+	st := c.newStreamAt(idx, name)
 	defer c.finish(st)
+	raw := r
+	if c.cfg.Tap != nil {
+		r = c.cfg.Tap(st.index, st.source, r)
+	}
+	if c.cfg.StallTimeout > 0 {
+		pr := &progressReader{r: r}
+		r = pr
+		stop := make(chan struct{})
+		defer close(stop)
+		go watchStall(pr, raw, st, c.cfg.StallTimeout, stop)
+	}
+	return c.ingest(st, raw, r)
+}
+
+// ingest is the framed-stream decode loop. raw is the transport-level
+// reader (what abort/drain must act on); r is the possibly tapped and
+// watchdogged view the frames are decoded from.
+func (c *Collector) ingest(st *stream, raw io.Reader, r io.Reader) error {
 	fr := netflow.NewFrameReader(r)
+	fallback := c.cfg.Opts.SamplingRate
 	for {
 		f, err := fr.Next()
 		if err == io.EOF {
-			st.flush(c.cfg.Opts.SamplingRate) // implicit final flush
+			st.flush(fallback) // implicit final flush
 			return nil
 		}
 		if err != nil {
-			return err
+			if st.stalled.Load() {
+				st.stats.StallTimeouts++
+			}
+			switch c.cfg.Policy {
+			case QuarantineStream:
+				return c.quarantine(st, raw)
+			case DropFrame:
+				switch {
+				case netflow.IsCorruptFrame(err):
+					// Bad envelope: scan forward to the next plausible
+					// frame boundary and resume.
+					st.stats.ResyncEvents++
+					if _, rerr := fr.Resync(); rerr != nil {
+						st.flush(fallback)
+						if rerr != io.EOF {
+							drainReader(raw)
+						}
+						return nil
+					}
+					continue
+				case netflow.IsTruncation(err):
+					// Feed ended mid-frame: drop the tail, keep the week
+					// ingested so far.
+					st.stats.DroppedFrames++
+					st.flush(fallback)
+					return nil
+				default:
+					// Dead transport (disconnect, stall abort): end the
+					// stream early with its contribution intact, and
+					// drain the raw reader so a still-live exporter
+					// behind a pipe is not deadlocked.
+					st.flush(fallback)
+					drainReader(raw)
+					return nil
+				}
+			default:
+				return err
+			}
 		}
 		st.stats.Frames++
 		switch f.Type {
 		case netflow.FrameV5:
-			h, recs, err := netflow.DecodeV5Strict(f.Payload)
-			if err != nil {
-				return err
+			h, recs, derr := netflow.DecodeV5Strict(f.Payload)
+			if derr != nil {
+				switch c.cfg.Policy {
+				case DropFrame:
+					// The envelope was intact, so the reader is still
+					// aligned: drop just this frame.
+					st.stats.DroppedFrames++
+					continue
+				case QuarantineStream:
+					return c.quarantine(st, raw)
+				default:
+					return derr
+				}
 			}
+			st.cover(recs)
 			st.ingestV5(h, recs)
 		case netflow.FrameV6:
-			recs, err := netflow.DecodeV6Payload(f.Payload)
-			if err != nil {
-				return err
+			recs, derr := netflow.DecodeV6Payload(f.Payload)
+			if derr != nil {
+				switch c.cfg.Policy {
+				case DropFrame:
+					st.stats.DroppedFrames++
+					continue
+				case QuarantineStream:
+					return c.quarantine(st, raw)
+				default:
+					return derr
+				}
 			}
 			st.stats.V6Records += uint64(len(recs))
+			st.cover(recs)
 			st.buf = append(st.buf, recs...)
 		case netflow.FrameFlush:
 			st.stats.Flushes++
-			st.flush(c.cfg.Opts.SamplingRate)
+			st.flush(fallback)
+		}
+	}
+}
+
+// quarantine discards the stream's entire analysis contribution —
+// its shard partial is replaced with a fresh empty one — while keeping
+// the wire counters for diagnosis, then drains the feed so the exporter
+// behind it completes normally.
+func (c *Collector) quarantine(st *stream, raw io.Reader) error {
+	st.stats.QuarantinedStreams = 1
+	st.buf = nil
+	for i := range st.hourBits {
+		st.hourBits[i] = 0
+	}
+	part := flows.NewShardPartial(c.cfg.Index, c.cfg.Days, c.partialOpts)
+	c.mu.Lock()
+	c.parts[st.index] = part
+	c.mu.Unlock()
+	st.part = part
+	drainReader(raw)
+	return nil
+}
+
+// drainReader consumes a reader to EOF so the exporter feeding it can
+// complete. Unlike abortReader it must NOT close pipes with an error:
+// under a graceful policy the exporter's writes should keep succeeding
+// even though nobody analyzes them anymore.
+func drainReader(r io.Reader) {
+	io.Copy(io.Discard, r) //nolint:errcheck // best-effort drain
+}
+
+// progressReader counts Read returns so the stall watchdog can tell a
+// slow stream from a dead one.
+type progressReader struct {
+	r io.Reader
+	n atomic.Uint64
+}
+
+func (p *progressReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.n.Add(1)
+	return n, err
+}
+
+// watchStall aborts raw once pr makes no progress for a full interval.
+// The abort surfaces in the decode loop as a transport error with
+// st.stalled set, which is then handled per policy.
+func watchStall(pr *progressReader, raw io.Reader, st *stream, interval time.Duration, stop chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	last := pr.n.Load()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			cur := pr.n.Load()
+			if cur == last {
+				st.stalled.Store(true)
+				abortReader(raw, errStallTimeout)
+				return
+			}
+			last = cur
 		}
 	}
 }
@@ -338,6 +615,7 @@ func (c *Collector) IngestNamedStreams(names []string, readers []io.Reader) erro
 
 func (c *Collector) ingestStreams(names []string, readers []io.Reader) error {
 	errs := make([]error, len(readers))
+	base := c.reserveStreams(len(readers))
 	var wg sync.WaitGroup
 	for i, r := range readers {
 		name := ""
@@ -347,7 +625,7 @@ func (c *Collector) ingestStreams(names []string, readers []io.Reader) error {
 		wg.Add(1)
 		go func(i int, name string, r io.Reader) {
 			defer wg.Done()
-			if err := c.IngestNamedStream(name, r); err != nil {
+			if err := c.ingestIndexed(base+i, name, r); err != nil {
 				errs[i] = err
 				abortReader(r, err)
 			}
@@ -373,6 +651,7 @@ func (c *Collector) IngestPipes(streams int) (writers []io.Writer, wait func() e
 	writers = make([]io.Writer, streams)
 	pipeWs := make([]*io.PipeWriter, streams)
 	errs := make([]error, streams)
+	base := c.reserveStreams(streams)
 	var wg sync.WaitGroup
 	for i := 0; i < streams; i++ {
 		pr, pw := io.Pipe()
@@ -380,7 +659,7 @@ func (c *Collector) IngestPipes(streams int) (writers []io.Writer, wait func() e
 		wg.Add(1)
 		go func(i int, pr *io.PipeReader) {
 			defer wg.Done()
-			if err := c.IngestNamedStream(fmt.Sprintf("pipe-%d", i), pr); err != nil {
+			if err := c.ingestIndexed(base+i, fmt.Sprintf("pipe-%d", i), pr); err != nil {
 				errs[i] = err
 				pr.CloseWithError(err)
 			}
@@ -401,28 +680,183 @@ func (c *Collector) IngestPipes(streams int) (writers []io.Writer, wait func() e
 	return writers, wait
 }
 
-// ListenTCP accepts exactly streams connections from l, ingesting each
-// as one framed stream, and returns once all have completed (first
-// error wins). The caller keeps ownership of l.
-func (c *Collector) ListenTCP(l net.Listener, streams int) error {
-	conns := make([]io.Reader, 0, streams)
-	closers := make([]net.Conn, 0, streams)
-	defer func() {
-		for _, cn := range closers {
-			cn.Close()
+// ReconnectConfig tunes IngestReconnecting's redial behavior.
+type ReconnectConfig struct {
+	// MaxAttempts caps redials after the initial connect; <= 0 means 5.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100ms); each further
+	// attempt doubles it, capped at MaxDelay (default 30s). Every delay
+	// is jittered by a seeded factor in [0.5, 1.5) so a fleet of
+	// reconnecting collectors does not thunder back in lockstep —
+	// seeded, so a replayed study reconnects identically.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter draws.
+	Seed int64
+	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// IngestReconnecting ingests one stream whose transport can die and
+// come back: dial opens (or reopens) the feed, and any mid-stream
+// transport error triggers a redial with capped exponential backoff +
+// jitter instead of ending the stream. Successful redials count in
+// Stats.Reconnects. A clean EOF ends the stream normally; exhausting
+// MaxAttempts surfaces the last error to the usual policy handling.
+// Frame desync across a reconnect boundary is healed by the DropFrame
+// resync path, so pair this with a non-Abort policy for long-lived
+// feeds.
+func (c *Collector) IngestReconnecting(name string, dial func(attempt int) (io.Reader, error), rc ReconnectConfig) error {
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 5
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 100 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 30 * time.Second
+	}
+	if rc.Sleep == nil {
+		rc.Sleep = time.Sleep
+	}
+	st := c.newStream(name)
+	defer c.finish(st)
+	rr := &reconnectReader{
+		dial: dial,
+		rc:   rc,
+		rng:  simrand.New(simrand.SeedN(rc.Seed, "collector/reconnect", int64(st.index))),
+		onReconnect: func() {
+			st.stats.Reconnects++
+		},
+	}
+	r := io.Reader(rr)
+	if c.cfg.Tap != nil {
+		r = c.cfg.Tap(st.index, st.source, r)
+	}
+	return c.ingest(st, rr, r)
+}
+
+// reconnectReader is an io.Reader over a redialable transport.
+type reconnectReader struct {
+	dial        func(attempt int) (io.Reader, error)
+	rc          ReconnectConfig
+	rng         *simrand.Source
+	onReconnect func()
+	cur         io.Reader
+	attempt     int // dials performed
+	retries     int // backoffs taken
+	err         error
+	closed      atomic.Bool
+}
+
+func (r *reconnectReader) Read(p []byte) (int, error) {
+	for {
+		if r.err != nil {
+			return 0, r.err
 		}
-	}()
-	names := make([]string, 0, streams)
-	for i := 0; i < streams; i++ {
+		if r.closed.Load() {
+			r.err = net.ErrClosed
+			return 0, r.err
+		}
+		if r.cur == nil {
+			cur, err := r.dial(r.attempt)
+			r.attempt++
+			if err != nil {
+				if !r.backoff(err) {
+					return 0, r.err
+				}
+				continue
+			}
+			if r.attempt > 1 && r.onReconnect != nil {
+				r.onReconnect()
+			}
+			r.cur = cur
+		}
+		n, err := r.cur.Read(p)
+		if err == nil {
+			return n, nil
+		}
+		if err == io.EOF {
+			r.err = io.EOF
+			return n, nil // deliver the tail; EOF on the next call
+		}
+		// Transport death: drop the connection and redial after backoff.
+		if cl, ok := r.cur.(io.Closer); ok {
+			cl.Close()
+		}
+		r.cur = nil
+		if !r.backoff(err) {
+			return n, nil // surface r.err on the next call
+		}
+		if n > 0 {
+			return n, nil
+		}
+	}
+}
+
+// backoff sleeps the next capped-exponential jittered delay, or records
+// cause as the sticky error once MaxAttempts is exhausted.
+func (r *reconnectReader) backoff(cause error) bool {
+	if r.retries >= r.rc.MaxAttempts {
+		r.err = cause
+		return false
+	}
+	d := r.rc.BaseDelay << r.retries
+	if d > r.rc.MaxDelay || d <= 0 {
+		d = r.rc.MaxDelay
+	}
+	jitter := 0.5 + r.rng.Float64()
+	r.rc.Sleep(time.Duration(float64(d) * jitter))
+	r.retries++
+	return true
+}
+
+// Close stops the reader: the current transport is closed and no
+// further redials happen (the stall watchdog's abort path).
+func (r *reconnectReader) Close() error {
+	r.closed.Store(true)
+	if cl, ok := r.cur.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// ListenTCP accepts connections from l and ingests each as one framed
+// stream as it arrives. With streams > 0 it stops accepting after that
+// many connections; with streams <= 0 it accepts until the listener is
+// closed. Either way it returns once every in-flight stream has
+// drained (first stream error wins) — closing l from another goroutine
+// is the graceful-shutdown path: accepting stops, in-flight streams
+// run to completion. The caller keeps ownership of l.
+func (c *Collector) ListenTCP(l net.Listener, streams int) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for accepted := 0; streams <= 0 || accepted < streams; accepted++ {
 		conn, err := l.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				break // graceful shutdown: drain what's in flight
+			}
+			wg.Wait()
 			return err
 		}
-		closers = append(closers, conn)
-		conns = append(conns, conn)
-		names = append(names, conn.RemoteAddr().String())
+		wg.Add(1)
+		go func(stream int, conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			if err := c.IngestNamedStream(conn.RemoteAddr().String(), conn); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("collector: stream %d: %w", stream, err)
+				}
+				mu.Unlock()
+				abortReader(conn, err)
+			}
+		}(accepted, conn)
 	}
-	return c.ingestStreams(names, conns)
+	wg.Wait()
+	return firstErr
 }
 
 // ServeUDP ingests raw v5 datagrams (real-router interop: no frame
@@ -530,10 +964,10 @@ func (c *Collector) Stats() Stats {
 	return c.stats
 }
 
-// StreamStats returns the per-stream breakdown of completed streams in
-// accept order, so anomalies in the totals (bad packets, rate
-// mismatches, saturated counters) can be attributed to the feed that
-// produced them.
+// StreamStats returns the per-stream breakdown of completed streams
+// ordered by stream index, so anomalies in the totals (bad packets,
+// rate mismatches, saturated counters) can be attributed to the feed
+// that produced them.
 func (c *Collector) StreamStats() []StreamStat {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -74,6 +74,12 @@ func FederatedMerge(parts []*ShardPartial) *Federation {
 	return f
 }
 
+// HourCoverage reports how many study hours this collector saw at
+// least one analyzed record for, out of the study total.
+func (c *Collector) HourCoverage() (covered, total int) {
+	return popcount(c.coverBits), c.hours
+}
+
 // VantageCoverage is one vantage's slice of the cross-vantage backend
 // comparison.
 type VantageCoverage struct {
@@ -84,6 +90,15 @@ type VantageCoverage struct {
 	Exclusive int
 	// Providers counts aliases with at least one visible backend.
 	Providers int
+	// HoursCovered/HoursTotal are the vantage's feed-liveness window:
+	// study hours with at least one analyzed record.
+	HoursCovered int
+	HoursTotal   int
+	// Degraded marks a vantage whose feed missed hours that some other
+	// vantage covered — the signature of a died or corrupted stream, as
+	// opposed to a study window nobody observed (a single-vantage
+	// federation is never degraded by its own gaps).
+	Degraded bool
 }
 
 // AliasCoverage is one provider's cross-vantage row.
@@ -145,6 +160,13 @@ func (f *Federation) Coverage() *CoverageReport {
 	}
 	rep := &CoverageReport{Union: popcount(union), Everywhere: popcount(everywhere)}
 
+	// Cross-vantage hour-coverage union: a vantage is degraded when it
+	// missed hours a sibling covered.
+	hoursUnion := make([]uint64, first.hw)
+	for _, name := range f.Names {
+		orBits(hoursUnion, f.Col[name].coverBits)
+	}
+
 	for vi, name := range f.Names {
 		others := make([]uint64, words)
 		for vj := range f.Names {
@@ -162,11 +184,22 @@ func (f *Federation) Coverage() *CoverageReport {
 				providers++
 			}
 		}
+		degraded := false
+		cb := f.Col[name].coverBits
+		for w := range hoursUnion {
+			if hoursUnion[w]&^cb[w] != 0 {
+				degraded = true
+				break
+			}
+		}
 		rep.Vantages = append(rep.Vantages, VantageCoverage{
-			Vantage:   name,
-			Backends:  popcount(perVantage[vi]),
-			Exclusive: exclusive,
-			Providers: providers,
+			Vantage:      name,
+			Backends:     popcount(perVantage[vi]),
+			Exclusive:    exclusive,
+			Providers:    providers,
+			HoursCovered: popcount(cb),
+			HoursTotal:   f.Col[name].hours,
+			Degraded:     degraded,
 		})
 	}
 

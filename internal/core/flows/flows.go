@@ -355,6 +355,12 @@ type Collector struct {
 	// Stride bookkeeping: ds = len(days), hw/aw = hour/alias bitset words.
 	ds, hw, aw, nAliases int
 
+	// coverBits (stride hw) marks study hours with at least one analyzed
+	// record — the feed-liveness signal behind degraded-vantage
+	// detection. A healthy week-long feed covers every hour; a feed that
+	// died Wednesday leaves the back half zero.
+	coverBits []uint64
+
 	lines lineTab
 	ports portTab
 
@@ -455,6 +461,7 @@ func NewCollector(idx *BackendIndex, days []time.Time, opts Options) *Collector 
 		hw:           (hours + 63) / 64,
 		aw:           idx.aliasWords,
 		nAliases:     nAliases,
+		coverBits:    make([]uint64, (hours+63)/64),
 		visible:      make([][]uint64, nAliases),
 		lineHours:    make([][]uint64, nAliases),
 		downHour:     make([]*analysis.Series, nAliases),
@@ -572,6 +579,7 @@ func (c *Collector) ingestClassified(r netflow.Record, lineAddr netip.Addr, back
 	if hour >= c.hours {
 		return
 	}
+	setBit(c.coverBits, hour)
 	day := hour / 24
 	bytes := float64(r.Bytes) * c.rate
 	bi := &c.idx.infos[backendID]

@@ -126,6 +126,7 @@ func (c *Collector) Merge(o *Collector) {
 
 	forEachBit(o.backendSeen, func(b int) { c.backendVol[b] += o.backendVol[b] })
 	orBits(c.backendSeen, o.backendSeen)
+	orBits(c.coverBits, o.coverBits)
 	for cont, v := range o.contVol {
 		c.contVol[cont] += v
 	}
@@ -209,6 +210,7 @@ func (c *Collector) clone() *Collector {
 		hw:           c.hw,
 		aw:           c.aw,
 		nAliases:     c.nAliases,
+		coverBits:    cloneSlice(c.coverBits),
 
 		lines: c.lines.clone(),
 		ports: c.ports.clone(),

@@ -1,0 +1,469 @@
+// Package faultwire is the deterministic chaos harness for the framed
+// NetFlow wire path: seeded io.Reader/io.Writer wrappers that damage a
+// clean frame stream the way production feeds are damaged — corrupted
+// bytes, dropped and duplicated frames, frames cut short mid-payload,
+// reads that dribble or stall, and transports that die mid-week — plus
+// a Scenario type that schedules which faults hit which stream during
+// which study hours ("vantage B's feed dies Wednesday 14:00").
+//
+// Every byte-altering decision draws from a simrand stream derived from
+// (Scenario.Seed, vantage, stream index) at frame granularity, so the
+// damaged byte stream is a pure function of the seed and the clean
+// feed: two runs with the same fault seed produce byte-identical
+// damage, hence byte-identical collector Stats and figures. Stalls and
+// short reads only shape the timing of delivery, never its content, so
+// enabling them cannot move a figure.
+package faultwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"iotmap/internal/netflow"
+	"iotmap/internal/simrand"
+)
+
+// ErrInjectedDisconnect is the sticky error a killed stream returns —
+// the harness's stand-in for a mid-week TCP reset.
+var ErrInjectedDisconnect = errors.New("faultwire: injected disconnect")
+
+// Faults is one rule's fault mix. Probabilities are per frame;
+// zero-valued fields inject nothing.
+type Faults struct {
+	// CorruptProb flips one bit of the frame. Half the corruptions land
+	// in the 7-byte frame envelope (exercising the collector's resync
+	// scan), half anywhere in the payload (exercising decode-and-drop) —
+	// a deliberate bias so short runs see both failure modes.
+	CorruptProb float64
+	// DropProb silently omits the frame.
+	DropProb float64
+	// DupProb emits the frame twice.
+	DupProb float64
+	// TruncateProb emits only a prefix of the frame, desyncing the
+	// stream until the collector scans back to a frame boundary.
+	TruncateProb float64
+	// ShortReads caps each Read at a few bytes (reader side only);
+	// content-neutral.
+	ShortReads bool
+	// StallEvery, when > 0, sleeps StallFor before every StallEvery-th
+	// frame; content-neutral.
+	StallEvery int
+	StallFor   time.Duration
+	// Kill hard-stops the stream at the first frame inside the rule's
+	// window: the transport dies with ErrInjectedDisconnect (or a clean
+	// EOF when KillClean is set) and nothing more is delivered.
+	Kill      bool
+	KillClean bool
+}
+
+// Rule schedules a fault mix onto part of the federation: a stream, a
+// vantage, a study-hour window — or all of them.
+type Rule struct {
+	// Stream selects one stream index; negative means every stream.
+	Stream int
+	// Vantage selects one vantage label; empty means every vantage.
+	Vantage string
+	// FromHour/ToHour bound the active study-hour window (inclusive
+	// start, exclusive end). ToHour <= 0 leaves the window open-ended,
+	// so the zero value is "always active".
+	FromHour, ToHour int
+	Faults           Faults
+}
+
+// active reports whether the rule applies at the given study hour.
+// Stream/vantage matching has already happened by the time a rule is
+// attached to an injector.
+func (r Rule) active(hour int) bool {
+	if hour < r.FromHour {
+		return false
+	}
+	return r.ToHour <= 0 || hour < r.ToHour
+}
+
+// matches reports whether the rule could ever apply to the stream,
+// regardless of hour — Wrap returns the reader untouched otherwise.
+func (r Rule) matches(stream int, vantage string) bool {
+	return (r.Stream < 0 || r.Stream == stream) && (r.Vantage == "" || r.Vantage == vantage)
+}
+
+// Counts tallies the faults one stream actually suffered.
+type Counts struct {
+	Corrupted  int64
+	Dropped    int64
+	Duplicated int64
+	Truncated  int64
+	Stalls     int64
+	Killed     bool
+}
+
+func (c *Counts) add(o Counts) {
+	c.Corrupted += o.Corrupted
+	c.Dropped += o.Dropped
+	c.Duplicated += o.Duplicated
+	c.Truncated += o.Truncated
+	c.Stalls += o.Stalls
+	c.Killed = c.Killed || o.Killed
+}
+
+// Scenario is a reproducible chaos schedule over a federation's wire
+// streams. Start anchors the study-hour clock (the hour of a frame is
+// read from its v5 header's UnixSecs); Seed drives every fault draw.
+type Scenario struct {
+	Seed  int64
+	Start time.Time
+	Rules []Rule
+
+	mu     sync.Mutex
+	totals Counts
+}
+
+// Uniform is the workhorse scenario: corrupt every stream's frames with
+// probability p for the whole study.
+func Uniform(seed int64, p float64) *Scenario {
+	return &Scenario{Seed: seed, Rules: []Rule{{Stream: -1, Faults: Faults{CorruptProb: p}}}}
+}
+
+// FeedDeath returns the scheduled-disconnect scenario of the package
+// comment: the named vantage's feed dies at the given study hour.
+func FeedDeath(seed int64, vantage string, hour int, start time.Time) *Scenario {
+	return &Scenario{Seed: seed, Start: start, Rules: []Rule{
+		{Stream: -1, Vantage: vantage, FromHour: hour, Faults: Faults{Kill: true}},
+	}}
+}
+
+// Totals returns the fault counts accumulated across every wrapped
+// stream so far.
+func (s *Scenario) Totals() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+func (s *Scenario) record(c Counts) {
+	s.mu.Lock()
+	s.totals.add(c)
+	s.mu.Unlock()
+}
+
+// rulesFor filters the schedule down to one stream. A nil result means
+// the stream is untouched.
+func (s *Scenario) rulesFor(stream int, vantage string) []Rule {
+	var out []Rule
+	for _, r := range s.Rules {
+		if r.matches(stream, vantage) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Wrap returns r with the scenario's faults injected for (stream,
+// vantage). Streams no rule matches are returned untouched — a
+// scenario scoped to one vantage leaves the rest of the federation
+// byte-identical to a clean run.
+func (s *Scenario) Wrap(stream int, vantage string, r io.Reader) io.Reader {
+	rules := s.rulesFor(stream, vantage)
+	if rules == nil {
+		return r
+	}
+	return &Reader{
+		inner: netflow.NewFrameReader(r),
+		inj:   s.newInjector(vantage, stream, rules),
+		io:    simrand.New(simrand.SeedN(s.Seed, "faultwire-io/"+vantage, int64(stream))),
+		sc:    s,
+	}
+}
+
+// WrapWriter is Wrap for the exporter side: frames written through it
+// arrive damaged. Frames may be split across Write calls; the wrapper
+// reassembles them before applying faults.
+func (s *Scenario) WrapWriter(stream int, vantage string, w io.Writer) io.Writer {
+	rules := s.rulesFor(stream, vantage)
+	if rules == nil {
+		return w
+	}
+	return &Writer{w: w, inj: s.newInjector(vantage, stream, rules), sc: s}
+}
+
+func (s *Scenario) newInjector(vantage string, stream int, rules []Rule) *injector {
+	return &injector{
+		rng:       simrand.New(simrand.SeedN(s.Seed, "faultwire/"+vantage, int64(stream))),
+		rules:     rules,
+		startUnix: s.Start.Unix(),
+		haveStart: !s.Start.IsZero(),
+	}
+}
+
+// injector is the shared per-stream fault engine: it sees the clean
+// stream one frame at a time, in order, and decides each frame's fate
+// with draws from its seeded rng — so the damage is independent of how
+// the bytes are chunked by the transport around it.
+type injector struct {
+	rng   *simrand.Source
+	rules []Rule
+	// startUnix anchors study hour 0; haveStart gates the hour clock
+	// (without a Start, hour stays 0 and only rules whose window covers
+	// hour 0 ever fire).
+	startUnix int64
+	haveStart bool
+	hour      int
+	frames    int64
+	counts    Counts
+	killErr   error
+}
+
+// clockFrom updates the study-hour clock from a v5 frame's header.
+// v6 and flush frames inherit the last observed hour.
+func (in *injector) clockFrom(typ byte, payload []byte) {
+	if !in.haveStart || typ != netflow.FrameV5 || len(payload) < 12 {
+		return
+	}
+	unix := int64(binary.BigEndian.Uint32(payload[8:12]))
+	if h := (unix - in.startUnix) / 3600; h >= 0 {
+		in.hour = int(h)
+	}
+}
+
+// process applies the schedule to one clean frame (envelope+payload as
+// raw bytes; process may mutate it) and appends the damaged output to
+// dst. It returns the extended buffer, the stall to apply before
+// delivery, and the kill error once the stream is scheduled dead.
+func (in *injector) process(dst []byte, typ byte, frame []byte) ([]byte, time.Duration, error) {
+	in.frames++
+	in.clockFrom(typ, frame[7:])
+	var stall time.Duration
+	drop, dup, truncAt := false, false, -1
+	for _, r := range in.rules {
+		if !r.active(in.hour) {
+			continue
+		}
+		f := r.Faults
+		if f.Kill {
+			in.counts.Killed = true
+			in.killErr = ErrInjectedDisconnect
+			if f.KillClean {
+				in.killErr = io.EOF
+			}
+			return dst, 0, in.killErr
+		}
+		if f.DropProb > 0 && in.rng.Bool(f.DropProb) {
+			drop = true
+		}
+		if f.TruncateProb > 0 && in.rng.Bool(f.TruncateProb) && len(frame) > 1 {
+			truncAt = 1 + in.rng.Intn(len(frame)-1)
+		}
+		if f.CorruptProb > 0 && in.rng.Bool(f.CorruptProb) {
+			pos := in.rng.Intn(len(frame))
+			if in.rng.Bool(0.5) || len(frame) <= 7 {
+				pos = in.rng.Intn(7) // envelope hit: exercises resync
+			}
+			// An envelope flip can still yield a valid-looking header
+			// whose length now points past the real frame — that is the
+			// desync case resync exists for, so keep whatever falls out.
+			frame[pos] ^= byte(1) << in.rng.Intn(8)
+			in.counts.Corrupted++
+		}
+		if f.DupProb > 0 && in.rng.Bool(f.DupProb) {
+			dup = true
+		}
+		if f.StallEvery > 0 && in.frames%int64(f.StallEvery) == 0 {
+			stall = f.StallFor
+			in.counts.Stalls++
+		}
+	}
+	switch {
+	case drop:
+		in.counts.Dropped++
+	case truncAt >= 0:
+		in.counts.Truncated++
+		dst = append(dst, frame[:truncAt]...)
+	default:
+		dst = append(dst, frame...)
+		if dup {
+			in.counts.Duplicated++
+			dst = append(dst, frame...)
+		}
+	}
+	return dst, stall, nil
+}
+
+// shortReads reports whether any rule currently dribbles reads.
+func (in *injector) shortReads() bool {
+	for _, r := range in.rules {
+		if r.Faults.ShortReads && r.active(in.hour) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reader serves the damaged byte stream of one wrapped feed. It parses
+// clean frames from the inner reader, damages them per the schedule,
+// and hands the bytes out through Read — possibly a dribble at a time
+// when short reads are scheduled.
+type Reader struct {
+	inner    *netflow.FrameReader
+	inj      *injector
+	io       *simrand.Source
+	sc       *Scenario
+	frameBuf []byte
+	out      []byte
+	err      error
+	done     bool
+}
+
+// Read implements io.Reader over the damaged stream.
+func (r *Reader) Read(p []byte) (int, error) {
+	for len(r.out) == 0 {
+		if r.err != nil {
+			r.finish()
+			return 0, r.err
+		}
+		f, err := r.inner.Next()
+		if err != nil {
+			// The clean inner feed ended (or failed); pass it through.
+			r.err = err
+			continue
+		}
+		r.frameBuf = appendEnvelope(r.frameBuf[:0], f.Type, f.Payload)
+		out, stall, kerr := r.inj.process(r.out[:0], f.Type, r.frameBuf)
+		r.out = out
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		if kerr != nil {
+			r.err = kerr
+			r.out = nil
+		}
+	}
+	n := len(p)
+	if r.inj.shortReads() {
+		if lim := 1 + r.io.Intn(7); lim < n {
+			n = lim
+		}
+	}
+	if n > len(r.out) {
+		n = len(r.out)
+	}
+	n = copy(p[:n], r.out)
+	r.out = r.out[n:]
+	return n, nil
+}
+
+// Counts returns the faults this stream has suffered so far.
+func (r *Reader) Counts() Counts { return r.inj.counts }
+
+// finish folds the stream's fault counts into the scenario totals,
+// once, when the stream ends.
+func (r *Reader) finish() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.sc.record(r.inj.counts)
+}
+
+// Writer is the exporter-side wrapper: bytes written through it arrive
+// at the underlying writer with the schedule's damage applied. Partial
+// frames are buffered until complete.
+type Writer struct {
+	w    io.Writer
+	inj  *injector
+	sc   *Scenario
+	pend []byte
+	out  []byte
+	dead bool
+	done bool
+}
+
+// Write implements io.Writer. Once the schedule kills the stream, every
+// further Write fails with the kill error (unless the kill was clean,
+// in which case writes are silently discarded — the transport is gone
+// but the exporter is not to be crashed for it).
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.dead {
+		if w.inj.killErr == io.EOF {
+			return len(p), nil
+		}
+		return 0, w.inj.killErr
+	}
+	w.pend = append(w.pend, p...)
+	w.out = w.out[:0]
+	for {
+		frame, rest, ok := splitFrame(w.pend)
+		if !ok {
+			break
+		}
+		out, stall, kerr := w.inj.process(w.out, frame[2], frame)
+		w.out = out
+		w.pend = rest
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		if kerr != nil {
+			w.dead = true
+			w.finish()
+			if len(w.out) > 0 {
+				w.w.Write(w.out) //nolint:errcheck // best-effort final flush
+			}
+			if kerr == io.EOF {
+				return len(p), nil
+			}
+			return 0, kerr
+		}
+	}
+	if len(w.out) > 0 {
+		if _, err := w.w.Write(w.out); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Counts returns the faults this stream has suffered so far.
+func (w *Writer) Counts() Counts { return w.inj.counts }
+
+// Close folds the stream's fault counts into the scenario totals and
+// closes the underlying writer when it is an io.Closer. Unlike the
+// Reader — which ends itself at EOF — a Writer only learns the feed is
+// over from Close.
+func (w *Writer) Close() error {
+	w.finish()
+	if c, ok := w.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// finish folds the stream's fault counts into the scenario totals once.
+func (w *Writer) finish() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.sc.record(w.inj.counts)
+}
+
+// splitFrame splits one complete frame off the front of b. It trusts
+// the exporter side to write well-formed frames (the wrapper damages
+// them *after* this split).
+func splitFrame(b []byte) (frame, rest []byte, ok bool) {
+	if len(b) < 7 {
+		return nil, b, false
+	}
+	n := int(binary.BigEndian.Uint32(b[3:7]))
+	if len(b) < 7+n {
+		return nil, b, false
+	}
+	return b[:7+n], b[7+n:], true
+}
+
+// appendEnvelope re-frames a parsed frame back into raw bytes.
+func appendEnvelope(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, 'N', 'F', typ, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-4:], uint32(len(payload)))
+	return append(dst, payload...)
+}

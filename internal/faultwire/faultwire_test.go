@@ -1,0 +1,290 @@
+package faultwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotmap/internal/netflow"
+)
+
+var studyStart = time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// cleanFeed builds a well-formed framed stream: one v5 frame per hour
+// for the given number of hours, plus a flush per frame.
+func cleanFeed(t testing.TB, hours int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := netflow.NewFrameWriter(&buf)
+	for h := 0; h < hours; h++ {
+		recs := []netflow.Record{{
+			Src: netip.MustParseAddr("203.0.113.7"), Dst: netip.MustParseAddr("198.51.100.9"),
+			SrcPort: 443, DstPort: 50000 + uint16(h), Proto: 6,
+			Bytes: 1200, Packets: 3, Start: studyStart.Add(time.Duration(h) * time.Hour),
+		}}
+		pkt, err := netflow.EncodeV5(netflow.V5Header{
+			UnixSecs:         uint32(studyStart.Add(time.Duration(h) * time.Hour).Unix()),
+			SamplingInterval: 1,
+		}, recs)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if err := fw.WriteV5(pkt); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := fw.WriteFlush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func readAll(t testing.TB, r io.Reader) ([]byte, error) {
+	t.Helper()
+	var out bytes.Buffer
+	_, err := io.Copy(&out, r)
+	return out.Bytes(), err
+}
+
+func TestWrapUntouchedWhenNoRuleMatches(t *testing.T) {
+	sc := &Scenario{Seed: 1, Rules: []Rule{{Stream: 2, Faults: Faults{DropProb: 1}}}}
+	base := bytes.NewReader([]byte("hello"))
+	if got := sc.Wrap(0, "isp-a", base); got != io.Reader(base) {
+		t.Fatalf("stream 0 should be returned untouched")
+	}
+	sc2 := &Scenario{Seed: 1, Rules: []Rule{{Stream: -1, Vantage: "ixp", Faults: Faults{DropProb: 1}}}}
+	if got := sc2.Wrap(0, "isp-a", base); got != io.Reader(base) {
+		t.Fatalf("vantage isp-a should be returned untouched")
+	}
+	if got := sc2.Wrap(1, "ixp", base); got == io.Reader(base) {
+		t.Fatalf("vantage ixp should be wrapped")
+	}
+}
+
+func TestDeterministicDamage(t *testing.T) {
+	feed := cleanFeed(t, 168)
+	run := func() ([]byte, Counts) {
+		sc := Uniform(99, 0.2)
+		r := sc.Wrap(0, "isp-a", feed2Reader(feed))
+		out, err := readAll(t, r)
+		if err != io.EOF && err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return out, sc.Totals()
+	}
+	a, ca := run()
+	b, cb := run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different damaged streams (%d vs %d bytes)", len(a), len(b))
+	}
+	if ca != cb {
+		t.Fatalf("same seed produced different counts: %+v vs %+v", ca, cb)
+	}
+	if ca.Corrupted == 0 {
+		t.Fatalf("expected corruption at p=0.2 over 336 frames, got %+v", ca)
+	}
+	if bytes.Equal(a, feed) {
+		t.Fatalf("damaged stream should differ from clean feed")
+	}
+
+	c, _ := func() ([]byte, Counts) {
+		sc := Uniform(100, 0.2)
+		r := sc.Wrap(0, "isp-a", feed2Reader(feed))
+		out, _ := readAll(t, r)
+		return out, sc.Totals()
+	}()
+	if bytes.Equal(a, c) {
+		t.Fatalf("different seeds should damage differently")
+	}
+}
+
+func TestDropDupTruncate(t *testing.T) {
+	feed := cleanFeed(t, 168)
+	sc := &Scenario{Seed: 7, Rules: []Rule{{Stream: -1, Faults: Faults{
+		DropProb: 0.3, DupProb: 0.3, TruncateProb: 0.2,
+	}}}}
+	r := sc.Wrap(0, "v", feed2Reader(feed))
+	if _, err := readAll(t, r); err != nil && err != io.EOF {
+		t.Fatalf("read: %v", err)
+	}
+	c := sc.Totals()
+	if c.Dropped == 0 || c.Duplicated == 0 || c.Truncated == 0 {
+		t.Fatalf("expected drops, dups, and truncations: %+v", c)
+	}
+}
+
+func TestFeedDeathAtHour(t *testing.T) {
+	feed := cleanFeed(t, 48)
+	sc := FeedDeath(5, "isp-b", 24, studyStart)
+
+	// Another vantage is untouched.
+	if _, ok := sc.Wrap(0, "isp-a", bytes.NewReader(feed)).(*Reader); ok {
+		t.Fatalf("isp-a should not be wrapped")
+	}
+
+	r := sc.Wrap(0, "isp-b", feed2Reader(feed))
+	out, err := readAll(t, r)
+	if !errors.Is(err, ErrInjectedDisconnect) {
+		t.Fatalf("want ErrInjectedDisconnect, got %v", err)
+	}
+	// All frames before hour 24 must be delivered intact: parse them back.
+	fr := netflow.NewFrameReader(bytes.NewReader(out))
+	v5 := 0
+	for {
+		f, ferr := fr.Next()
+		if ferr != nil {
+			if ferr != io.EOF && !netflow.IsTruncation(ferr) {
+				t.Fatalf("pre-death frames should be clean, got %v", ferr)
+			}
+			break
+		}
+		if f.Type == netflow.FrameV5 {
+			v5++
+		}
+	}
+	if v5 != 24 {
+		t.Fatalf("want 24 v5 frames before death at hour 24, got %d", v5)
+	}
+	if !sc.Totals().Killed {
+		t.Fatalf("scenario should record the kill")
+	}
+
+	// KillClean ends with EOF instead.
+	scc := &Scenario{Seed: 5, Start: studyStart, Rules: []Rule{
+		{Stream: -1, FromHour: 24, Faults: Faults{Kill: true, KillClean: true}},
+	}}
+	rc := scc.Wrap(0, "isp-b", feed2Reader(feed))
+	if _, err := readAll(t, rc); err != nil && err != io.EOF {
+		t.Fatalf("clean kill should end in EOF, got %v", err)
+	}
+}
+
+func TestHourWindowRule(t *testing.T) {
+	feed := cleanFeed(t, 48)
+	// Drop everything, but only during hours [10,20).
+	sc := &Scenario{Seed: 3, Start: studyStart, Rules: []Rule{
+		{Stream: -1, FromHour: 10, ToHour: 20, Faults: Faults{DropProb: 1}},
+	}}
+	r := sc.Wrap(0, "v", feed2Reader(feed))
+	out, err := readAll(t, r)
+	if err != nil && err != io.EOF {
+		t.Fatalf("read: %v", err)
+	}
+	fr := netflow.NewFrameReader(bytes.NewReader(out))
+	hours := map[int]bool{}
+	for {
+		f, ferr := fr.Next()
+		if ferr != nil {
+			break
+		}
+		if f.Type != netflow.FrameV5 {
+			continue
+		}
+		h, _, err := netflow.DecodeV5Strict(f.Payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		hours[int((int64(h.UnixSecs)-studyStart.Unix())/3600)] = true
+	}
+	for h := 0; h < 48; h++ {
+		inWindow := h >= 10 && h < 20
+		if hours[h] == inWindow {
+			t.Fatalf("hour %d: delivered=%v, want %v", h, hours[h], !inWindow)
+		}
+	}
+	if got := sc.Totals().Dropped; got != 20 {
+		// 10 v5 frames + 10 flush frames inside the window.
+		t.Fatalf("want 20 dropped frames, got %d", got)
+	}
+}
+
+func TestShortReadsContentNeutral(t *testing.T) {
+	feed := cleanFeed(t, 24)
+	damaged := func(short bool) []byte {
+		sc := &Scenario{Seed: 11, Rules: []Rule{{Stream: -1, Faults: Faults{
+			CorruptProb: 0.2, ShortReads: short,
+		}}}}
+		out, err := readAll(t, sc.Wrap(0, "v", feed2Reader(feed)))
+		if err != nil && err != io.EOF {
+			t.Fatalf("read: %v", err)
+		}
+		return out
+	}
+	if !bytes.Equal(damaged(false), damaged(true)) {
+		t.Fatalf("short reads must not change stream content")
+	}
+	// And short reads really are short.
+	sc := &Scenario{Seed: 11, Rules: []Rule{{Stream: -1, Faults: Faults{ShortReads: true}}}}
+	r := sc.Wrap(0, "v", feed2Reader(feed))
+	buf := make([]byte, 4096)
+	n, err := r.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n > 7 {
+		t.Fatalf("short read returned %d bytes", n)
+	}
+}
+
+func TestWriterMatchesReader(t *testing.T) {
+	feed := cleanFeed(t, 168)
+	scR := Uniform(42, 0.15)
+	rOut, err := readAll(t, scR.Wrap(0, "v", feed2Reader(feed)))
+	if err != nil && err != io.EOF {
+		t.Fatalf("reader: %v", err)
+	}
+
+	scW := Uniform(42, 0.15)
+	var wOut bytes.Buffer
+	w := scW.WrapWriter(0, "v", &wOut)
+	// Feed the writer in awkward chunk sizes to exercise reassembly.
+	for i := 0; i < len(feed); i += 13 {
+		end := i + 13
+		if end > len(feed) {
+			end = len(feed)
+		}
+		if _, err := w.Write(feed[i:end]); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if !bytes.Equal(rOut, wOut.Bytes()) {
+		t.Fatalf("writer and reader damage diverge (%d vs %d bytes)", len(wOut.Bytes()), len(rOut))
+	}
+	if err := w.(*Writer).Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if scR.Totals() != scW.Totals() {
+		t.Fatalf("counts diverge: %+v vs %+v", scR.Totals(), scW.Totals())
+	}
+}
+
+func TestWriterKill(t *testing.T) {
+	feed := cleanFeed(t, 48)
+	sc := FeedDeath(9, "", 24, studyStart)
+	var out bytes.Buffer
+	w := sc.WrapWriter(0, "v", &out)
+	var werr error
+	for i := 0; i < len(feed); i += 64 {
+		end := i + 64
+		if end > len(feed) {
+			end = len(feed)
+		}
+		if _, werr = w.Write(feed[i:end]); werr != nil {
+			break
+		}
+	}
+	if !errors.Is(werr, ErrInjectedDisconnect) {
+		t.Fatalf("want ErrInjectedDisconnect from writer, got %v", werr)
+	}
+}
+
+// feed2Reader returns a fresh reader over a copy of the feed, because
+// the injector mutates frames in place and the tests reuse the feed.
+func feed2Reader(feed []byte) io.Reader {
+	cp := make([]byte, len(feed))
+	copy(cp, feed)
+	return bytes.NewReader(cp)
+}

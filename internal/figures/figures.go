@@ -513,7 +513,14 @@ func FederationCoverage(sys *iotmap.System) string {
 	cov := fed.Coverage
 	fmt.Fprintf(&b, "%-12s %9s %10s %10s\n", "Vantage", "Backends", "Exclusive", "Providers")
 	for _, vc := range cov.Vantages {
-		fmt.Fprintf(&b, "%-12s %9d %10d %10d\n", vc.Vantage, vc.Backends, vc.Exclusive, vc.Providers)
+		fmt.Fprintf(&b, "%-12s %9d %10d %10d", vc.Vantage, vc.Backends, vc.Exclusive, vc.Providers)
+		// Degraded-feed annotation only when a vantage lost hours its
+		// siblings covered, so clean runs render byte-identically to the
+		// pre-annotation format.
+		if vc.Degraded {
+			fmt.Fprintf(&b, "  DEGRADED (%d/%d hours)", vc.HoursCovered, vc.HoursTotal)
+		}
+		fmt.Fprintln(&b)
 	}
 	fmt.Fprintf(&b, "%-12s %9d %10s %10s  (%d visible at every vantage)\n",
 		"union", cov.Union, "-", "-", cov.Everywhere)
@@ -528,6 +535,32 @@ func FederationCoverage(sys *iotmap.System) string {
 			fmt.Fprintf(&b, " %s=%d", name, ac.PerVantage[name])
 		}
 		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// DisruptionDeltas renders a DisruptionStudy's per-scenario impact
+// table: per-vantage and union changes in visible backends, downstream
+// volume, and feed-hour coverage versus the clean baseline.
+func DisruptionDeltas(res *iotmap.DisruptionStudyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Disruption study: federation deltas vs clean baseline\n")
+	if res == nil {
+		return b.String() + "  (run DisruptionStudy first)\n"
+	}
+	for _, sc := range res.Scenarios {
+		fmt.Fprintf(&b, "scenario %s:\n", sc.Name)
+		fmt.Fprintf(&b, "  %-12s %9s %10s %10s %10s\n", "Vantage", "Backends", "ΔBackends", "ΔDown%", "HoursLost")
+		for _, vd := range sc.Vantages {
+			fmt.Fprintf(&b, "  %-12s %9d %10d %9.1f%% %10d", vd.Vantage,
+				vd.Backends, vd.Backends-vd.BaselineBackends, vd.DownDeltaPct, vd.HoursLost)
+			if vd.Degraded {
+				fmt.Fprintf(&b, "  DEGRADED")
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "  %-12s %9s %10d %9.1f%%\n", "union", "-",
+			sc.UnionBackendsDelta, sc.UnionDownDeltaPct)
 	}
 	return b.String()
 }

@@ -46,12 +46,36 @@ const (
 	MaxFramePayload = 1 << 20
 )
 
-// Framing errors.
+// Framing errors. All three mark *corruption* — the stream carried
+// bytes that are not a frame — as opposed to truncation (errors
+// wrapping io.ErrUnexpectedEOF), where the stream simply stopped
+// mid-frame. Callers that self-heal (the collector's resync path) key
+// the distinction on these sentinels: corruption can be scanned past,
+// truncation cannot.
 var (
 	ErrBadFrameMagic = errors.New("netflow: bad frame magic")
 	ErrBadFrameType  = errors.New("netflow: unknown frame type")
 	ErrFrameTooBig   = errors.New("netflow: frame payload exceeds limit")
 )
+
+// Operator-facing aliases for the framing sentinels, matching the names
+// collector logs and docs use.
+var (
+	ErrBadMagic      = ErrBadFrameMagic
+	ErrOversizeFrame = ErrFrameTooBig
+)
+
+// IsCorruptFrame reports whether err marks a corrupt frame envelope —
+// bytes that are not a frame at all — which a resync scan can skip
+// past. Truncation (io.ErrUnexpectedEOF) and transport errors are not
+// corruption: the stream is gone, not garbled.
+func IsCorruptFrame(err error) bool {
+	return errors.Is(err, ErrBadFrameMagic) || errors.Is(err, ErrBadFrameType) || errors.Is(err, ErrFrameTooBig)
+}
+
+// IsTruncation reports whether err marks a stream that stopped
+// mid-frame or mid-record.
+func IsTruncation(err error) bool { return errors.Is(err, io.ErrUnexpectedEOF) }
 
 // Frame is one decoded frame envelope. Payload aliases the reader's
 // scratch buffer and is only valid until the next call.
@@ -176,46 +200,74 @@ func AppendFlushFrame(dst []byte) []byte {
 }
 
 // FrameReader parses frames from an io.Reader.
+//
+// After a corrupt-envelope error (IsCorruptFrame), the reader holds the
+// already-consumed bytes that might still contain a frame start; Resync
+// scans them — and the stream beyond — for the next plausible "NF"
+// header, letting a self-healing collector skip damage instead of
+// aborting. On a clean stream the pending buffer stays empty and Next
+// reads exactly as it always has.
 type FrameReader struct {
 	r   io.Reader
 	buf []byte
+	// pend holds bytes read from r but not yet consumed: the tail of a
+	// rejected header, or the candidate frame a Resync scan located.
+	pend []byte
 }
 
 // NewFrameReader returns a reader.
 func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// readFull fills p from the pending buffer first, then the stream,
+// with io.ReadFull semantics over the combination.
+func (fr *FrameReader) readFull(p []byte) (int, error) {
+	n := 0
+	if len(fr.pend) > 0 {
+		n = copy(p, fr.pend)
+		fr.pend = fr.pend[n:]
+		if n == len(p) {
+			return n, nil
+		}
+	}
+	m, err := io.ReadFull(fr.r, p[n:])
+	return n + m, err
+}
 
 // Next reads one frame; io.EOF signals a clean end on a frame boundary.
 // A stream that ends mid-frame yields a descriptive error wrapping
 // io.ErrUnexpectedEOF — never a silent short read.
 func (fr *FrameReader) Next() (Frame, error) {
 	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
-		if err == io.EOF {
+	if n, err := fr.readFull(hdr[:]); err != nil {
+		if err == io.EOF && n == 0 {
 			return Frame{}, io.EOF
 		}
-		if err == io.ErrUnexpectedEOF {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return Frame{}, fmt.Errorf("netflow: frame header truncated: %w", io.ErrUnexpectedEOF)
 		}
 		return Frame{}, err
 	}
 	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		fr.stash(hdr[1:])
 		return Frame{}, fmt.Errorf("%w: %02x%02x", ErrBadFrameMagic, hdr[0], hdr[1])
 	}
 	typ := hdr[2]
 	switch typ {
 	case FrameV5, FrameV6, FrameFlush:
 	default:
+		fr.stash(hdr[1:])
 		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrBadFrameType, typ)
 	}
 	n := binary.BigEndian.Uint32(hdr[3:])
 	if n > MaxFramePayload {
+		fr.stash(hdr[1:])
 		return Frame{}, fmt.Errorf("%w: header advertises %d bytes (limit %d)", ErrFrameTooBig, n, MaxFramePayload)
 	}
 	if cap(fr.buf) < int(n) {
 		fr.buf = make([]byte, n)
 	}
 	payload := fr.buf[:n]
-	if got, err := io.ReadFull(fr.r, payload); err != nil {
+	if got, err := fr.readFull(payload); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return Frame{}, fmt.Errorf("netflow: frame payload truncated: type 0x%02x advertises %d bytes but the stream carries %d: %w",
 				typ, n, got, io.ErrUnexpectedEOF)
@@ -223,6 +275,65 @@ func (fr *FrameReader) Next() (Frame, error) {
 		return Frame{}, err
 	}
 	return Frame{Type: typ, Payload: payload}, nil
+}
+
+// stash pushes rejected header bytes back for a Resync scan. The first
+// header byte is deliberately NOT kept: a "NF" that just failed type or
+// length validation must not be re-found, or resync would loop on it.
+func (fr *FrameReader) stash(b []byte) {
+	if len(fr.pend) == 0 {
+		fr.pend = append(fr.pend[:0], b...)
+		return
+	}
+	fr.pend = append(append(make([]byte, 0, len(b)+len(fr.pend)), b...), fr.pend...)
+}
+
+// Resync scans forward — through the bytes a rejected header left
+// pending, then the stream — for the next plausible frame start: "NF",
+// a known frame type, and an in-range payload length. It positions the
+// reader so the following Next parses from that candidate, and returns
+// the byte count discarded by the scan. io.EOF means the stream ended
+// with no further plausible frame; the candidate itself is NOT
+// validated beyond its header, so a fake "NF" inside payload garbage
+// simply fails the next Next/decode and can be resynced past again —
+// each round discards at least one byte, so the scan always terminates.
+func (fr *FrameReader) Resync() (skipped int64, err error) {
+	w := fr.pend
+	fr.pend = nil
+	var chunk [256]byte
+	for {
+		limit := len(w) - frameHeader
+		for i := 0; i <= limit; i++ {
+			if w[i] != frameMagic0 || w[i+1] != frameMagic1 {
+				continue
+			}
+			switch w[i+2] {
+			case FrameV5, FrameV6, FrameFlush:
+			default:
+				continue
+			}
+			if binary.BigEndian.Uint32(w[i+3:]) > MaxFramePayload {
+				continue
+			}
+			skipped += int64(i)
+			fr.pend = append(fr.pend, w[i:]...)
+			return skipped, nil
+		}
+		// No full candidate; keep only the tail that could still start
+		// one (frameHeader-1 bytes) and refill the window.
+		if drop := len(w) - (frameHeader - 1); drop > 0 {
+			skipped += int64(drop)
+			w = append(w[:0], w[drop:]...)
+		}
+		n, rerr := fr.r.Read(chunk[:])
+		w = append(w, chunk[:n]...)
+		if n == 0 && rerr != nil {
+			if rerr == io.EOF {
+				return skipped + int64(len(w)), io.EOF
+			}
+			return skipped, rerr
+		}
+	}
 }
 
 // DecodeV5Strict is DecodeV5 for framed transport, where the envelope
@@ -235,8 +346,8 @@ func DecodeV5Strict(pkt []byte) (V5Header, []Record, error) {
 		return h, records, err
 	}
 	if want := v5HeaderLen + len(records)*v5RecordLen; len(pkt) != want {
-		return V5Header{}, nil, fmt.Errorf("netflow: v5 frame length mismatch: header advertises %d records (%d bytes) but frame carries %d bytes",
-			len(records), want, len(pkt))
+		return V5Header{}, nil, fmt.Errorf("%w: header advertises %d records (%d bytes) but frame carries %d bytes",
+			ErrV5Trailing, len(records), want, len(pkt))
 	}
 	return h, records, nil
 }

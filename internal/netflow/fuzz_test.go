@@ -83,6 +83,17 @@ func FuzzFrameReader(f *testing.F) {
 	f.Add(buf.Bytes()[:5])
 	f.Add([]byte("NF"))
 	f.Add([]byte{})
+	// Resync-adversarial seeds: fake "NF" magics planted inside payload
+	// garbage, so the post-corruption scan locks onto decoys and must
+	// still make forward progress.
+	clean := append([]byte{}, buf.Bytes()...)
+	f.Add(append([]byte("noise NF noise"), clean...))
+	fakeV5 := []byte{'N', 'F', FrameV5, 0, 0, 0, 9} // envelope eating 9 bytes of what follows
+	f.Add(append(append([]byte{0xFF}, fakeV5...), clean...))
+	nested := frame(FrameV5, append(fakeV5, []byte("payload carrying a frame-shaped decoy")...))
+	f.Add(append(nested[:len(nested)-4], clean...)) // outer frame truncated mid-decoy
+	f.Add(append([]byte{'N', 'F', 0xEE, 0, 0, 0, 1}, clean...))
+	f.Add(bytes.Repeat([]byte("NF"), 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr := NewFrameReader(bytes.NewReader(data))
@@ -92,7 +103,17 @@ func FuzzFrameReader(f *testing.F) {
 				return
 			}
 			if err != nil {
-				return // clean error; done
+				if !IsCorruptFrame(err) {
+					return // truncation or transport: stream over
+				}
+				// The self-healing collector path: scan for the next
+				// plausible frame and keep parsing. Termination is part
+				// of the contract under fuzz (go test's per-exec timeout
+				// catches a scan that stops progressing).
+				if _, rerr := fr.Resync(); rerr != nil {
+					return
+				}
+				continue
 			}
 			switch fme.Type {
 			case FrameV5:

@@ -57,6 +57,12 @@ var (
 	ErrV5TooMany   = errors.New("netflow: more than 30 records per v5 packet")
 	ErrV5Truncated = errors.New("netflow: truncated v5 packet")
 	ErrV5NeedsV4   = errors.New("netflow: v5 can only carry IPv4 flows")
+	// ErrV5Trailing marks a framed v5 payload longer than its record
+	// count advertises — corruption under strict (framed) decoding.
+	ErrV5Trailing = errors.New("netflow: v5 frame length mismatch")
+	// ErrBadFamily marks a mixed-family stream record whose family byte
+	// is neither 4 nor 6 — corruption, not truncation.
+	ErrBadFamily = errors.New("netflow: bad family")
 )
 
 // V5Header is the exported packet header.
@@ -276,7 +282,7 @@ func (sr *StreamReader) Next() (Record, error) {
 	case famV6:
 		alen = 16
 	default:
-		return Record{}, fmt.Errorf("netflow: bad family %d", fam[0])
+		return Record{}, fmt.Errorf("%w: %d", ErrBadFamily, fam[0])
 	}
 	body := make([]byte, 2*alen+2+2+1+8+8+8)
 	if n, err := io.ReadFull(sr.r, body); err != nil {

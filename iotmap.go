@@ -20,6 +20,7 @@ package iotmap
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"iotmap/internal/core/validate"
 	"iotmap/internal/dnsdb"
 	"iotmap/internal/dnszone"
+	"iotmap/internal/faultwire"
 	"iotmap/internal/geo"
 	"iotmap/internal/isp"
 	"iotmap/internal/netflow"
@@ -113,7 +115,42 @@ type Config struct {
 	// the final FederatedMerge joins them). 0 means GOMAXPROCS; 1 runs
 	// the vantage loop sequentially.
 	FederationWorkers int
+	// WireFaults, when non-nil, splices the deterministic chaos harness
+	// (internal/faultwire) into every wire-mode stream: each collector
+	// read tap is wrapped per the scenario's schedule, keyed by stream
+	// index and vantage name. A zero Start is filled with the study's
+	// first day so scenario hours align with study hours. Ignored in
+	// memory mode.
+	WireFaults *faultwire.Scenario
+	// WirePolicy picks the collector's stream-fault response in wire
+	// mode; the zero value Abort preserves fail-loudly behavior.
+	WirePolicy ErrorPolicy
+	// WireStallTimeout arms the collector's per-stream read-stall
+	// watchdog in wire mode; zero disables it.
+	WireStallTimeout time.Duration
 }
+
+// ErrorPolicy re-exports the collector's stream-fault policy.
+type ErrorPolicy = collector.ErrorPolicy
+
+// Wire-mode stream-fault policies (Config.WirePolicy).
+const (
+	WireAbort            = collector.Abort
+	WireDropFrame        = collector.DropFrame
+	WireQuarantineStream = collector.QuarantineStream
+)
+
+// Fault-injection re-exports, so chaos studies rarely need the
+// internal import.
+type (
+	// FaultScenario schedules deterministic wire faults by stream,
+	// vantage, and study hour.
+	FaultScenario = faultwire.Scenario
+	// FaultRule is one scheduled fault mix within a scenario.
+	FaultRule = faultwire.Rule
+	// Faults is a rule's fault mix.
+	Faults = faultwire.Faults
+)
 
 // VantageSpec describes one vantage-point world of a federated run: a
 // subscriber population observed through its own sampled NetFlow feed.
@@ -383,6 +420,7 @@ func (s *System) TrafficStudy() error {
 	s.Net = net
 	s.Index = idx
 	s.WireExport, s.WireIngest, s.WireStreams = nil, nil, nil
+	s.anchorFaultClock()
 
 	focusAlias, focusRegion := "T1", "us-east-1"
 	if s.Cfg.Outage != nil {
@@ -507,7 +545,18 @@ func (s *System) runPipeline(net *isp.Network, idx *flows.BackendIndex, opts flo
 		if streams <= 0 {
 			streams = runtime.GOMAXPROCS(0)
 		}
-		col, err := collector.New(collector.Config{Index: idx, Days: s.World.Days, Opts: opts})
+		ccfg := collector.Config{
+			Index: idx, Days: s.World.Days, Opts: opts,
+			Policy:       s.Cfg.WirePolicy,
+			StallTimeout: s.Cfg.WireStallTimeout,
+		}
+		if sc := s.Cfg.WireFaults; sc != nil {
+			vantage := opts.Vantage
+			ccfg.Tap = func(stream int, _ string, r io.Reader) io.Reader {
+				return sc.Wrap(stream, vantage, r)
+			}
+		}
+		col, err := collector.New(ccfg)
 		if err != nil {
 			return pipelineRun{}, err
 		}
@@ -589,6 +638,7 @@ func (s *System) FederationStudy() error {
 	if err != nil {
 		return err
 	}
+	s.anchorFaultClock()
 
 	focusAlias, focusRegion := "T1", "us-east-1"
 	if s.Cfg.Outage != nil {
@@ -677,6 +727,150 @@ func (s *System) FederationStudy() error {
 	// vantage this is exactly TrafficStudy's per-backend evidence.
 	s.trafficCrossCheck(union.BackendVolumes())
 	return nil
+}
+
+// anchorFaultClock aligns a configured fault scenario's hour clock with
+// the study period. Idempotent and single-threaded (called before any
+// pipeline goroutine starts), so repeated studies stay deterministic.
+func (s *System) anchorFaultClock() {
+	if s.Cfg.WireFaults != nil && s.Cfg.WireFaults.Start.IsZero() {
+		s.Cfg.WireFaults.Start = s.World.Days[0]
+	}
+}
+
+// DisruptionScenario is one what-if of a DisruptionStudy: a named
+// combination of a backend-side outage (simulated into the traffic
+// itself, visible from every vantage) and/or a wire-side fault schedule
+// (feeds corrupting or dying on the way to the collector).
+type DisruptionScenario struct {
+	Name string
+	// Outage replaces Config.Outage for this run (nil: no outage).
+	Outage *outage.Scenario
+	// Faults replaces Config.WireFaults for this run (nil: clean wire).
+	// Wire faults need TrafficModeWire and a non-Abort WirePolicy to
+	// produce a degraded-but-complete study.
+	Faults *faultwire.Scenario
+}
+
+// VantageDelta compares one vantage between the baseline federation and
+// a disruption scenario.
+type VantageDelta struct {
+	Vantage string
+	// Backends / BaselineBackends are the vantage's visible-backend
+	// counts in the scenario and baseline runs.
+	Backends, BaselineBackends int
+	// HoursLost counts study hours the vantage covered in the baseline
+	// but not under the scenario.
+	HoursLost int
+	// Degraded mirrors the scenario coverage report's flag.
+	Degraded bool
+	// DownDeltaPct is the downstream-volume change vs baseline, in
+	// percent (negative: the scenario lost traffic).
+	DownDeltaPct float64
+}
+
+// ScenarioResult is one scenario's full federated outcome plus the
+// deltas against the baseline.
+type ScenarioResult struct {
+	Name string
+	// Federation is the scenario's complete federated study.
+	Federation *FederationResult
+	// Vantages holds per-vantage deltas, in coverage-report order.
+	Vantages []VantageDelta
+	// UnionBackendsDelta is the union visible-backend change.
+	UnionBackendsDelta int
+	// UnionDownDeltaPct is the union downstream-volume change (%).
+	UnionDownDeltaPct float64
+}
+
+// DisruptionStudyResult is DisruptionStudy's output.
+type DisruptionStudyResult struct {
+	// Baseline is the clean federated study every scenario is compared
+	// against.
+	Baseline *FederationResult
+	// Scenarios holds one result per input scenario, in order.
+	Scenarios []ScenarioResult
+}
+
+// studyDownTotal sums a study's downstream volume across aliases.
+func studyDownTotal(st *flows.Study) float64 {
+	total := 0.0
+	for _, alias := range st.Aliases() {
+		if s := st.Downstream(alias); s != nil {
+			for _, v := range s.Values {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+func pctDelta(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (got - base) / base * 100
+}
+
+// DisruptionStudy drives outage and wire-fault what-ifs through the
+// federated pipeline: it runs (or reuses) the clean FederationStudy as
+// the baseline, then re-runs the same federation once per scenario with
+// the scenario's outage modifier and fault schedule installed, and
+// reports per-vantage and union deltas — visible backends, downstream
+// volume, hours of feed coverage lost, and which vantages ended
+// degraded. The System itself keeps its baseline results; scenario runs
+// happen on throwaway copies. Requires ValidateAndLocate.
+func (s *System) DisruptionStudy(scenarios []DisruptionScenario) (*DisruptionStudyResult, error) {
+	if s.Federation == nil {
+		if err := s.FederationStudy(); err != nil {
+			return nil, err
+		}
+	}
+	base := s.Federation
+	baseCov := map[string]flows.VantageCoverage{}
+	for _, vc := range base.Coverage.Vantages {
+		baseCov[vc.Vantage] = vc
+	}
+	baseDown := map[string]float64{}
+	for _, vr := range base.Vantages {
+		baseDown[vr.Spec.Name] = studyDownTotal(vr.Study)
+	}
+	baseUnionDown := studyDownTotal(base.Union)
+
+	out := &DisruptionStudyResult{Baseline: base}
+	for _, sc := range scenarios {
+		tmp := *s
+		tmp.Cfg.Outage = sc.Outage
+		tmp.Cfg.WireFaults = sc.Faults
+		tmp.Federation = nil
+		// trafficCrossCheck writes into Validation.Traffic; give the
+		// throwaway run its own map so the baseline stays untouched.
+		tmp.Validation.Traffic = map[string]validate.TrafficReport{}
+		if err := tmp.FederationStudy(); err != nil {
+			return nil, fmt.Errorf("iotmap: scenario %q: %w", sc.Name, err)
+		}
+		fed := tmp.Federation
+		res := ScenarioResult{Name: sc.Name, Federation: fed}
+		scenDown := map[string]float64{}
+		for _, vr := range fed.Vantages {
+			scenDown[vr.Spec.Name] = studyDownTotal(vr.Study)
+		}
+		for _, vc := range fed.Coverage.Vantages {
+			bc := baseCov[vc.Vantage]
+			res.Vantages = append(res.Vantages, VantageDelta{
+				Vantage:          vc.Vantage,
+				Backends:         vc.Backends,
+				BaselineBackends: bc.Backends,
+				HoursLost:        bc.HoursCovered - vc.HoursCovered,
+				Degraded:         vc.Degraded,
+				DownDeltaPct:     pctDelta(baseDown[vc.Vantage], scenDown[vc.Vantage]),
+			})
+		}
+		res.UnionBackendsDelta = fed.Coverage.Union - base.Coverage.Union
+		res.UnionDownDeltaPct = pctDelta(baseUnionDown, studyDownTotal(fed.Union))
+		out.Scenarios = append(out.Scenarios, res)
+	}
+	return out, nil
 }
 
 // Disrupt runs the Section 6 analyses: the outage report when the run
