@@ -62,7 +62,7 @@ func main() {
 	stdin := flag.Bool("stdin", false, "parse go test -bench output from stdin instead of running go test")
 	compare := flag.String("compare", "", "baseline JSON: compare -candidate against it instead of recording")
 	candidate := flag.String("candidate", "", "candidate JSON for -compare")
-	gate := flag.String("gate", "", "comma-separated benchmark names the -compare gate enforces (default: all shared names)")
+	gate := flag.String("gate", "", "comma-separated benchmark names the -compare gate enforces (default: every baseline benchmark; one missing from the candidate fails)")
 	gateMetrics := flag.String("gate-metrics", "ns/op", "comma-separated metrics the -compare gate enforces per benchmark")
 	maxRegress := flag.Float64("max-regress", 25, "regression percentage that fails the -compare gate")
 	flag.Parse()
@@ -195,16 +195,17 @@ type Regression struct {
 }
 
 // CompareReports checks each gated benchmark's candidate metrics
-// against the baseline. An empty gate list gates every benchmark
-// present in both reports; an empty metric list gates ns/op. A named
-// benchmark — or a gated metric — missing from either side is an error
-// (a silently vanished measurement must not pass the gate).
+// against the baseline. An empty gate list gates every baseline
+// benchmark — NOT the base∩candidate intersection, which would let a
+// benchmark that silently vanished from the candidate run (renamed,
+// deleted, filtered out by a -bench regexp typo) pass the gate as if
+// it had been measured. An empty metric list gates ns/op. A gated
+// benchmark — or a gated metric — missing from either side is an
+// error.
 func CompareReports(base, cand *Report, gates, metrics []string, maxRegressPct float64) ([]Regression, error) {
 	if len(gates) == 0 {
 		for name := range base.Benchmarks {
-			if _, ok := cand.Benchmarks[name]; ok {
-				gates = append(gates, name)
-			}
+			gates = append(gates, name)
 		}
 		sort.Strings(gates)
 	}

@@ -73,6 +73,18 @@ func TestCompareReportsGate(t *testing.T) {
 	if _, err := CompareReports(base, mkReport(map[string]float64{"StageDiscovery": 1}), []string{"StageTrafficWeek"}, nil, 25); err == nil {
 		t.Fatal("missing candidate benchmark passed the gate")
 	}
+	// Same with the empty-gates default: it gates every BASELINE
+	// benchmark, so a candidate run that lost one (renamed, deleted,
+	// -bench regexp typo) errors instead of passing on the intersection.
+	if _, err := CompareReports(base, mkReport(map[string]float64{"StageDiscovery": 1, "Extra": 1}), nil, nil, 25); err == nil {
+		t.Fatal("benchmark missing from candidate passed the ungated compare")
+	}
+	// Extra candidate-only benchmarks are fine — the baseline defines
+	// the contract.
+	withNew := mkReport(map[string]float64{"StageTrafficWeek": 100, "StageDiscovery": 200, "Extra": 1, "Brand": 5})
+	if _, err := CompareReports(base, withNew, nil, nil, 25); err != nil {
+		t.Fatalf("candidate-only benchmark broke the compare: %v", err)
+	}
 }
 
 func mkMetricReport(benches map[string]map[string]float64) *Report {

@@ -1,9 +1,10 @@
 // Command iotcollect is the standalone NetFlow collector frontend: it
 // rebuilds the study's backend index (discovery + validation at a given
 // seed), then ingests the ISP's sampled NetFlow feed from the wire —
-// framed v5 streams over TCP, raw v5 datagrams over UDP, recorded
-// stream files, or an in-process demo export — and prints the Section 5
-// analysis computed entirely from packets.
+// framed streams (columnar dictionary batches or legacy v5) over TCP,
+// raw v5/v9/IPFIX datagrams over UDP, recorded stream files (replayed
+// zero-copy via mmap), or an in-process demo export — and prints the
+// Section 5 analysis computed entirely from packets.
 //
 // The exporter and collector must agree on the world (same -seed,
 // -scale, -lines), exactly like the paper's collector had to know which
@@ -50,7 +51,18 @@ func main() {
 	vantage := flag.String("vantage", "", "vantage label attributed to every ingested feed (per-stream stats, federation merges)")
 	policy := flag.String("policy", "abort", "stream-fault policy: abort, drop (drop bad frames, resync), quarantine (discard faulty streams)")
 	stall := flag.Duration("stall", 0, "per-stream read-stall timeout (0 disables the watchdog)")
+	format := flag.String("format", "dict", "wire encoding for -export and -demo: dict (columnar dictionary batches) or v5 (legacy framed NetFlow v5)")
 	flag.Parse()
+
+	var wf isp.WireFormat
+	switch *format {
+	case "dict":
+		wf = isp.WireDict
+	case "v5":
+		wf = isp.WireV5
+	default:
+		log.Fatalf("iotcollect: unknown -format %q (want dict or v5)", *format)
+	}
 
 	var pol collector.ErrorPolicy
 	switch *policy {
@@ -91,7 +103,7 @@ func main() {
 	}
 
 	if *exportDir != "" {
-		exportStreams(ispNet, *exportDir, *streams)
+		exportStreams(ispNet, *exportDir, *streams, wf)
 		return
 	}
 
@@ -142,20 +154,13 @@ func main() {
 		}
 		stop()
 	case *demo:
-		if err := demoLoopback(ispNet, col, *streams); err != nil {
+		if err := demoLoopback(ispNet, col, *streams, wf); err != nil {
 			log.Fatal(err)
 		}
 	case flag.NArg() > 0:
-		readers := make([]io.Reader, flag.NArg())
-		for i, path := range flag.Args() {
-			f, err := os.Open(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			readers[i] = f
-		}
-		if err := col.IngestNamedStreams(flag.Args(), readers); err != nil {
+		// Recorded files replay through the mapped zero-copy path
+		// (mmap on linux): frames decode as slices of the mapping.
+		if err := col.IngestFiles(flag.Args()); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -167,7 +172,7 @@ func main() {
 }
 
 // exportStreams records the framed feed to stream-N.nf files.
-func exportStreams(ispNet *isp.Network, dir string, streams int) {
+func exportStreams(ispNet *isp.Network, dir string, streams int, wf isp.WireFormat) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -181,7 +186,7 @@ func exportStreams(ispNet *isp.Network, dir string, streams int) {
 		files[i] = f
 		writers[i] = f
 	}
-	stats, err := ispNet.SimulateLinesToWire(writers, 0)
+	stats, err := ispNet.SimulateLinesToWireFormat(writers, 0, wf)
 	for _, f := range files {
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -190,13 +195,13 @@ func exportStreams(ispNet *isp.Network, dir string, streams int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("exported %d streams: %d frames, %d v5 packets, %d v4 + %d v6 records, %d flushes, %d clamped counters\n",
-		stats.Streams, stats.Frames, stats.V5Packets, stats.V4Records, stats.V6Records, stats.Flushes, stats.Clamped)
+	fmt.Printf("exported %d streams: %d frames, %d v5 packets, %d batch frames, %d dict entries, %d v4 + %d v6 records, %d flushes, %d clamped counters\n",
+		stats.Streams, stats.Frames, stats.V5Packets, stats.BatchFrames, stats.DictEntries, stats.V4Records, stats.V6Records, stats.Flushes, stats.Clamped)
 }
 
 // demoLoopback runs exporter and collector in one process over real
 // TCP connections.
-func demoLoopback(ispNet *isp.Network, col *collector.Collector, streams int) error {
+func demoLoopback(ispNet *isp.Network, col *collector.Collector, streams int, wf isp.WireFormat) error {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -213,7 +218,7 @@ func demoLoopback(ispNet *isp.Network, col *collector.Collector, streams int) er
 		defer c.Close()
 		conns[i] = c
 	}
-	stats, err := ispNet.SimulateLinesToWire(conns, 0)
+	stats, err := ispNet.SimulateLinesToWireFormat(conns, 0, wf)
 	if err != nil {
 		return err
 	}
@@ -234,8 +239,8 @@ func report(sys *iotmap.System, col *collector.Collector) {
 	sys.Contacts = cc
 	sys.Study = fcol.Study()
 	st := col.Stats()
-	fmt.Printf("collected: %d streams, %d frames, %d v5 packets, %d v4 + %d v6 records, %d flushes\n",
-		st.Streams, st.Frames, st.V5Packets, st.V4Records, st.V6Records, st.Flushes)
+	fmt.Printf("collected: %d streams, %d frames, %d v5 packets, %d batch frames (%d records), %d v4 + %d v6 records, %d flushes\n",
+		st.Streams, st.Frames, st.V5Packets, st.BatchFrames, st.BatchRecords, st.V4Records, st.V6Records, st.Flushes)
 	fmt.Printf("           %d saturated counters, %d rate mismatches, %d bad packets, %.1f GB estimated volume\n",
 		st.SaturatedCounters, st.RateMismatches, st.BadPackets, float64(st.ScaledBytes)/1e9)
 	if st.DroppedFrames+st.ResyncEvents+st.StallTimeouts+st.Reconnects+st.QuarantinedStreams > 0 {

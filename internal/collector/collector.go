@@ -18,11 +18,14 @@
 package collector
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/bits"
 	"net"
+	"net/netip"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -108,6 +111,17 @@ type Stats struct {
 	V4Records uint64
 	V6Records uint64
 	Flushes   uint64
+	// BatchFrames/BatchRecords/DictEntries are the dictionary-mode
+	// mirrors of the exporter's columnar counters: batch frames decoded,
+	// rows they carried, and dictionary addresses learned.
+	BatchFrames  uint64
+	BatchRecords uint64
+	DictEntries  uint64
+	// TemplatePackets/TemplateRecords count embedded NetFlow v9/IPFIX
+	// datagrams (FrameTempl, IngestIPFIX, UDP) and the flow records they
+	// decoded to.
+	TemplatePackets uint64
+	TemplateRecords uint64
 	// SaturatedCounters counts decoded Bytes/Packets fields at v5's
 	// 32-bit ceiling — the collector-visible trace of clamp32 saturation
 	// on the export side (the true value is unrecoverable; non-zero
@@ -143,6 +157,11 @@ func (s *Stats) add(o Stats) {
 	s.V4Records += o.V4Records
 	s.V6Records += o.V6Records
 	s.Flushes += o.Flushes
+	s.BatchFrames += o.BatchFrames
+	s.BatchRecords += o.BatchRecords
+	s.DictEntries += o.DictEntries
+	s.TemplatePackets += o.TemplatePackets
+	s.TemplateRecords += o.TemplateRecords
 	s.SaturatedCounters += o.SaturatedCounters
 	s.RateMismatches += o.RateMismatches
 	s.BadPackets += o.BadPackets
@@ -241,6 +260,35 @@ type stream struct {
 	// stalled is set by the read-stall watchdog just before it aborts
 	// the raw reader.
 	stalled atomic.Bool
+
+	// Dictionary-mode state, armed by the stream's hello frame: the
+	// exporter's hour epoch, the dictionary tables bound to this
+	// stream's partial, the reused column batch the flush interval's
+	// rows accumulate in, and the per-entry address families (for the
+	// V4/V6 record counters).
+	epoch  int64
+	tables *flows.WireTables
+	batch  netflow.RecordBatch
+	lineV4 []bool
+	backV4 []bool
+	// scratch/dictAddrs are decode buffers reused across frames and
+	// datagrams.
+	scratch   []netflow.Record
+	dictAddrs []netip.Addr
+	// templ caches NetFlow v9/IPFIX templates for this stream's
+	// embedded foreign datagrams; created on first use.
+	templ *netflow.TemplateCache
+}
+
+// resetDict (re)initializes the dictionary state on a hello frame. A
+// reconnected or restarted exporter re-sends hello and rebuilds its
+// dictionaries from ID zero, so arriving mid-stream is self-healing.
+func (st *stream) resetDict(epoch int64) {
+	st.epoch = epoch
+	st.tables = st.part.NewWireTables()
+	st.batch.Reset()
+	st.lineV4 = st.lineV4[:0]
+	st.backV4 = st.backV4[:0]
 }
 
 // reserveStreams claims n consecutive stream indices and returns the
@@ -357,9 +405,15 @@ func (st *stream) ingestV5(h netflow.V5Header, recs []netflow.Record) {
 	st.buf = append(st.buf, recs...)
 }
 
-// flush scales the buffered line batch back to estimates and completes
-// it in the shard partial (the scanner-classification point).
+// flush completes the buffered line batch in the shard partial (the
+// scanner-classification point). Columnar rows fold through IngestBatch
+// (already rebased and scaled at decode); legacy record-path rows are
+// scaled here and fold through Ingest/EndLine.
 func (st *stream) flush(fallbackRate uint32) {
+	if st.batch.Len() > 0 {
+		st.part.IngestBatch(st.tables, &st.batch)
+		st.batch.Reset()
+	}
 	if len(st.buf) == 0 {
 		st.part.EndLine()
 		return
@@ -423,11 +477,42 @@ func (c *Collector) ingestIndexed(idx int, name string, r io.Reader) error {
 	return c.ingest(st, raw, r)
 }
 
-// ingest is the framed-stream decode loop. raw is the transport-level
-// reader (what abort/drain must act on); r is the possibly tapped and
-// watchdogged view the frames are decoded from.
+// ingest is the framed-stream decode loop over an io.Reader transport.
+// raw is the transport-level reader (what abort/drain must act on); r
+// is the possibly tapped and watchdogged view the frames are decoded
+// from.
 func (c *Collector) ingest(st *stream, raw io.Reader, r io.Reader) error {
-	fr := netflow.NewFrameReader(r)
+	return c.ingestFrames(st, raw, netflow.NewFrameReader(r))
+}
+
+// frameSource is a stream of frames with resynchronization — the
+// abstraction ingestFrames decodes from, satisfied by both the
+// io.Reader-backed netflow.FrameReader and the zero-copy
+// netflow.BytesFrameReader over a mapped file.
+type frameSource interface {
+	Next() (netflow.Frame, error)
+	Resync() (int64, error)
+}
+
+// payloadFault applies the fault policy to an intact-envelope payload
+// error. The bool reports whether the decode loop should continue
+// (DropFrame: the reader is still frame-aligned, drop just this frame);
+// false means the stream ends with the returned error (nil under
+// quarantine).
+func (c *Collector) payloadFault(st *stream, raw io.Reader, derr error) (bool, error) {
+	switch c.cfg.Policy {
+	case DropFrame:
+		st.stats.DroppedFrames++
+		return true, nil
+	case QuarantineStream:
+		return false, c.quarantine(st, raw)
+	default:
+		return false, derr
+	}
+}
+
+// ingestFrames is the decode loop shared by every framed transport.
+func (c *Collector) ingestFrames(st *stream, raw io.Reader, fr frameSource) error {
 	fallback := c.cfg.Opts.SamplingRate
 	for {
 		f, err := fr.Next()
@@ -478,43 +563,198 @@ func (c *Collector) ingest(st *stream, raw io.Reader, r io.Reader) error {
 		st.stats.Frames++
 		switch f.Type {
 		case netflow.FrameV5:
-			h, recs, derr := netflow.DecodeV5Strict(f.Payload)
+			h, recs, derr := netflow.DecodeV5StrictInto(f.Payload, st.scratch[:0])
 			if derr != nil {
-				switch c.cfg.Policy {
-				case DropFrame:
-					// The envelope was intact, so the reader is still
-					// aligned: drop just this frame.
-					st.stats.DroppedFrames++
-					continue
-				case QuarantineStream:
-					return c.quarantine(st, raw)
-				default:
-					return derr
+				cont, err := c.payloadFault(st, raw, derr)
+				if !cont {
+					return err
 				}
+				continue
 			}
+			st.scratch = recs
 			st.cover(recs)
 			st.ingestV5(h, recs)
 		case netflow.FrameV6:
-			recs, derr := netflow.DecodeV6Payload(f.Payload)
+			recs, derr := netflow.DecodeV6PayloadInto(f.Payload, st.scratch[:0])
 			if derr != nil {
-				switch c.cfg.Policy {
-				case DropFrame:
-					st.stats.DroppedFrames++
-					continue
-				case QuarantineStream:
-					return c.quarantine(st, raw)
-				default:
-					return derr
+				cont, err := c.payloadFault(st, raw, derr)
+				if !cont {
+					return err
 				}
+				continue
 			}
+			st.scratch = recs
 			st.stats.V6Records += uint64(len(recs))
 			st.cover(recs)
 			st.buf = append(st.buf, recs...)
+		case netflow.FrameHello:
+			rate, epoch, derr := netflow.DecodeHelloPayload(f.Payload)
+			if derr != nil {
+				cont, err := c.payloadFault(st, raw, derr)
+				if !cont {
+					return err
+				}
+				continue
+			}
+			st.observeRate(rate)
+			st.resetDict(epoch)
+		case netflow.FrameLineDict, netflow.FrameBackendDict:
+			if derr := st.dictFrame(f); derr != nil {
+				cont, err := c.payloadFault(st, raw, derr)
+				if !cont {
+					return err
+				}
+				continue
+			}
+		case netflow.FrameBatch:
+			if derr := st.batchFrame(f); derr != nil {
+				cont, err := c.payloadFault(st, raw, derr)
+				if !cont {
+					return err
+				}
+				continue
+			}
+		case netflow.FrameTempl:
+			if st.templ == nil {
+				st.templ = netflow.NewTemplateCache()
+			}
+			recs, derr := st.templ.Decode(f.Payload, st.scratch[:0])
+			if derr != nil {
+				cont, err := c.payloadFault(st, raw, derr)
+				if !cont {
+					return err
+				}
+				continue
+			}
+			st.scratch = recs
+			st.ingestTemplated(recs)
 		case netflow.FrameFlush:
 			st.stats.Flushes++
 			st.flush(fallback)
 		}
 	}
+}
+
+// dictFrame applies one dictionary-delta frame to the stream's tables.
+func (st *stream) dictFrame(f netflow.Frame) error {
+	if st.tables == nil {
+		return fmt.Errorf("%w: dictionary frame before hello", netflow.ErrBadPayload)
+	}
+	base, addrs, err := netflow.DecodeDictPayload(f.Payload, st.dictAddrs[:0])
+	if err != nil {
+		return err
+	}
+	st.dictAddrs = addrs
+	if f.Type == netflow.FrameLineDict {
+		if err := st.tables.AddLines(base, addrs); err != nil {
+			return fmt.Errorf("%w: %v", netflow.ErrBadPayload, err)
+		}
+		st.lineV4 = syncFams(st.lineV4, int(base), addrs)
+	} else {
+		if err := st.tables.AddBackends(base, addrs); err != nil {
+			return fmt.Errorf("%w: %v", netflow.ErrBadPayload, err)
+		}
+		st.backV4 = syncFams(st.backV4, int(base), addrs)
+	}
+	st.stats.DictEntries += uint64(len(addrs))
+	return nil
+}
+
+// syncFams mirrors new dictionary entries' address families (true =
+// IPv4) at their IDs, gap-filling dropped ranges.
+func syncFams(fams []bool, base int, addrs []netip.Addr) []bool {
+	for len(fams) < base {
+		fams = append(fams, false)
+	}
+	for _, a := range addrs {
+		fams = append(fams, a.Is4() || a.Is4In6())
+	}
+	return fams
+}
+
+// batchFrame decodes one columnar batch frame into the stream's reused
+// RecordBatch and normalizes the rows in place: the hour column rebases
+// from the exporter's epoch to study hours (negative = outside the
+// study window), counters scale back to estimates, and the wire/
+// liveness counters fold as the rows stream past. The actual analysis
+// fold (IngestBatch) happens at the flush boundary, like EndLine.
+func (st *stream) batchFrame(f netflow.Frame) error {
+	if st.tables == nil {
+		return fmt.Errorf("%w: batch frame before hello", netflow.ErrBadPayload)
+	}
+	from := st.batch.Len()
+	if err := netflow.DecodeBatchPayload(f.Payload, &st.batch); err != nil {
+		return err
+	}
+	if err := st.tables.Validate(&st.batch, from); err != nil {
+		st.batch.Truncate(from)
+		return fmt.Errorf("%w: %v", netflow.ErrBadPayload, err)
+	}
+	n := st.batch.Len() - from
+	rate := uint64(st.rate)
+	if rate == 0 {
+		rate = 1
+	}
+	offSec := st.epoch - st.start.Unix()
+	aligned := offSec%3600 == 0
+	hourOff := offSec / 3600
+	for i := from; i < st.batch.Len(); i++ {
+		var sh int64
+		if aligned {
+			sh = hourOff + int64(st.batch.Hour[i])
+		} else {
+			sh = floorDiv(offSec+int64(st.batch.Hour[i])*3600, 3600)
+		}
+		switch {
+		case sh < 0:
+			st.batch.Hour[i] = -1
+		case sh >= int64(st.hours):
+			// Past the study window: keep the (positive) hour so
+			// IngestBatch's range check drops the row, like the record
+			// path's hour rejection.
+			st.batch.Hour[i] = int32(min(sh, int64(1<<31-1)))
+		default:
+			st.batch.Hour[i] = int32(sh)
+			st.hourBits[sh>>6] |= 1 << (sh & 63)
+		}
+		if rate > 1 {
+			st.batch.Bytes[i] *= rate
+			st.batch.Packets[i] *= rate
+		}
+		st.stats.ScaledBytes += st.batch.Bytes[i]
+		if st.lineV4[st.batch.Line[i]] && st.backV4[st.batch.Backend[i]] {
+			st.stats.V4Records++
+		} else {
+			st.stats.V6Records++
+		}
+	}
+	st.stats.BatchFrames++
+	st.stats.BatchRecords += uint64(n)
+	return nil
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ingestTemplated buffers one decoded v9/IPFIX datagram's records.
+func (st *stream) ingestTemplated(recs []netflow.Record) {
+	st.stats.TemplatePackets++
+	st.stats.TemplateRecords += uint64(len(recs))
+	for _, r := range recs {
+		if r.IsV4() {
+			st.stats.V4Records++
+		} else {
+			st.stats.V6Records++
+		}
+	}
+	st.cover(recs)
+	st.buf = append(st.buf, recs...)
 }
 
 // quarantine discards the stream's entire analysis contribution —
@@ -524,6 +764,8 @@ func (c *Collector) ingest(st *stream, raw io.Reader, r io.Reader) error {
 func (c *Collector) quarantine(st *stream, raw io.Reader) error {
 	st.stats.QuarantinedStreams = 1
 	st.buf = nil
+	st.batch.Reset()
+	st.tables = nil
 	for i := range st.hourBits {
 		st.hourBits[i] = 0
 	}
@@ -539,8 +781,12 @@ func (c *Collector) quarantine(st *stream, raw io.Reader) error {
 // drainReader consumes a reader to EOF so the exporter feeding it can
 // complete. Unlike abortReader it must NOT close pipes with an error:
 // under a graceful policy the exporter's writes should keep succeeding
-// even though nobody analyzes them anymore.
+// even though nobody analyzes them anymore. A nil reader (mapped-file
+// replay: no transport to drain) is a no-op.
 func drainReader(r io.Reader) {
+	if r == nil {
+		return
+	}
 	io.Copy(io.Discard, r) //nolint:errcheck // best-effort drain
 }
 
@@ -586,6 +832,9 @@ func watchStall(pr *progressReader, raw io.Reader, st *stream, interval time.Dur
 // back-pressure forever into a stream nobody reads (and stall its
 // sibling streams with it).
 func abortReader(r io.Reader, cause error) {
+	if r == nil {
+		return
+	}
 	switch v := r.(type) {
 	case *io.PipeReader:
 		v.CloseWithError(cause)
@@ -638,6 +887,149 @@ func (c *Collector) ingestStreams(names []string, readers []io.Reader) error {
 		}
 	}
 	return nil
+}
+
+// IngestFile replays one recorded framed stream from disk. The file is
+// memory-mapped (on linux; read whole elsewhere) and frames decode
+// zero-copy from the mapped bytes. When a Tap or stall watchdog is
+// configured the file takes the streaming path instead — those seams
+// wrap io.Readers.
+func (c *Collector) IngestFile(path string) error {
+	return c.ingestFileAt(c.reserveStreams(1), path)
+}
+
+// IngestFiles replays the recorded streams concurrently, one stream per
+// file in slice order, and returns the first error.
+func (c *Collector) IngestFiles(paths []string) error {
+	base := c.reserveStreams(len(paths))
+	errs := make([]error, len(paths))
+	var wg sync.WaitGroup
+	for i, p := range paths {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			errs[i] = c.ingestFileAt(base+i, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("collector: file %s: %w", paths[i], err)
+		}
+	}
+	return nil
+}
+
+// ingestFileAt replays one file under a pre-reserved stream index.
+func (c *Collector) ingestFileAt(idx int, path string) error {
+	if c.cfg.Tap != nil || c.cfg.StallTimeout > 0 {
+		f, err := os.Open(path)
+		if err != nil {
+			c.finish(c.newStreamAt(idx, path)) // keep the slot accounted
+			return err
+		}
+		defer f.Close()
+		return c.ingestIndexed(idx, path, f)
+	}
+	st := c.newStreamAt(idx, path)
+	defer c.finish(st)
+	data, done, err := mapFile(path)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return c.ingestFrames(st, nil, netflow.NewBytesFrameReader(data))
+}
+
+// IngestIPFIX consumes one stream of raw, self-delimiting NetFlow
+// v9-in-IPFIX-framing messages — concatenated IPFIX messages as
+// exporters write them to disk or TCP, no frame envelope — until EOF.
+// Each message's 16-bit length field delimits it, so an undecodable
+// message body is dropped in place under DropFrame; a header that does
+// not parse loses delimitation and ends the stream per policy. Flow
+// records buffer until EOF (IPFIX has no flush markers), then classify
+// as one batch; counters scale by the configured fallback sampling
+// rate, since IPFIX messages advertise none.
+func (c *Collector) IngestIPFIX(name string, r io.Reader) error {
+	st := c.newStream(name)
+	defer c.finish(st)
+	raw := r
+	if c.cfg.Tap != nil {
+		r = c.cfg.Tap(st.index, st.source, r)
+	}
+	st.templ = netflow.NewTemplateCache()
+	fallback := c.cfg.Opts.SamplingRate
+	var hdr [4]byte
+	var msg []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				st.flush(fallback)
+				return nil
+			}
+			// Mid-header death: the tail is lost either way.
+			switch c.cfg.Policy {
+			case DropFrame:
+				st.stats.DroppedFrames++
+				st.flush(fallback)
+				drainReader(raw)
+				return nil
+			case QuarantineStream:
+				return c.quarantine(st, raw)
+			default:
+				return err
+			}
+		}
+		ver := binary.BigEndian.Uint16(hdr[:])
+		msgLen := int(binary.BigEndian.Uint16(hdr[2:]))
+		if ver != 10 || msgLen < 16 {
+			// Without the length field there is no next-message boundary
+			// to recover to.
+			derr := fmt.Errorf("%w: IPFIX header version %d length %d", netflow.ErrBadPayload, ver, msgLen)
+			switch c.cfg.Policy {
+			case DropFrame:
+				st.stats.DroppedFrames++
+				st.flush(fallback)
+				drainReader(raw)
+				return nil
+			case QuarantineStream:
+				return c.quarantine(st, raw)
+			default:
+				return derr
+			}
+		}
+		if cap(msg) < msgLen {
+			msg = make([]byte, msgLen)
+		}
+		msg = msg[:msgLen]
+		copy(msg, hdr[:])
+		if _, err := io.ReadFull(r, msg[4:]); err != nil {
+			switch c.cfg.Policy {
+			case DropFrame:
+				st.stats.DroppedFrames++
+				st.flush(fallback)
+				drainReader(raw)
+				return nil
+			case QuarantineStream:
+				return c.quarantine(st, raw)
+			default:
+				return fmt.Errorf("collector: IPFIX message truncated: %w", err)
+			}
+		}
+		st.stats.Frames++
+		recs, derr := st.templ.Decode(msg, st.scratch[:0])
+		if derr != nil {
+			// The length field already delimited the message, so the
+			// stream stays aligned: drop just this message.
+			cont, err := c.payloadFault(st, raw, derr)
+			if !cont {
+				return err
+			}
+			continue
+		}
+		st.scratch = recs
+		st.ingestTemplated(recs)
+	}
 }
 
 // IngestPipes opens `streams` in-process pipe streams on c, for
@@ -859,13 +1251,15 @@ func (c *Collector) ListenTCP(l net.Listener, streams int) error {
 	return firstErr
 }
 
-// ServeUDP ingests raw v5 datagrams (real-router interop: no frame
-// envelope, no v6 extension, no flush markers) from pc until it is
-// closed. Each source address is one shard; undecodable datagrams are
-// counted in Stats.BadPackets and dropped, since UDP feeds lose and
-// corrupt packets as a matter of course. Classification happens at
-// close (one implicit flush per source), so this mode buffers each
-// source's feed — size it accordingly.
+// ServeUDP ingests raw NetFlow datagrams (real-router interop: no frame
+// envelope, no flush markers) from pc until it is closed. The version
+// field picks the codec per datagram: 5 decodes as classic v5, 9 and 10
+// as templated v9/IPFIX against a per-source template cache. Each
+// source address is one shard with its own reused decode scratch;
+// undecodable datagrams are counted in Stats.BadPackets and dropped,
+// since UDP feeds lose and corrupt packets as a matter of course.
+// Classification happens at close (one implicit flush per source), so
+// this mode buffers each source's feed — size it accordingly.
 func (c *Collector) ServeUDP(pc net.PacketConn) error {
 	buf := make([]byte, 65535)
 	streams := map[string]*stream{}
@@ -890,39 +1284,83 @@ func (c *Collector) ServeUDP(pc net.PacketConn) error {
 			st.live = true
 			streams[key] = st
 		}
-		h, recs, derr := netflow.DecodeV5Strict(buf[:n])
+		pkt := buf[:n]
+		var ver uint16
+		if n >= 2 {
+			ver = binary.BigEndian.Uint16(pkt)
+		}
 		// Datagram counters fold into the totals immediately (not at
 		// close) so a live feed is observable through Stats() while it
 		// runs, and are mirrored into the stream's own counters for the
 		// per-source breakdown; only the flush-time counters wait for
 		// close (finish knows a live stream's arrival counters are
 		// already in the totals).
-		c.mu.Lock()
-		if derr != nil {
+		switch ver {
+		case 5:
+			h, recs, derr := netflow.DecodeV5StrictInto(pkt, st.scratch[:0])
+			c.mu.Lock()
+			if derr != nil {
+				c.stats.BadPackets++
+				st.stats.BadPackets++
+				c.mu.Unlock()
+				continue
+			}
+			st.scratch = recs
+			c.stats.Frames++
+			c.stats.V5Packets++
+			c.stats.V4Records += uint64(len(recs))
+			st.stats.Frames++
+			st.stats.V5Packets++
+			st.stats.V4Records += uint64(len(recs))
+			for _, r := range recs {
+				if r.Bytes == 0xFFFFFFFF {
+					c.stats.SaturatedCounters++
+					st.stats.SaturatedCounters++
+				}
+				if r.Packets == 0xFFFFFFFF {
+					c.stats.SaturatedCounters++
+					st.stats.SaturatedCounters++
+				}
+			}
+			c.mu.Unlock()
+			st.observeRate(h.SamplingRate())
+			st.buf = append(st.buf, recs...)
+		case 9, 10:
+			if st.templ == nil {
+				st.templ = netflow.NewTemplateCache()
+			}
+			recs, derr := st.templ.Decode(pkt, st.scratch[:0])
+			c.mu.Lock()
+			if derr != nil {
+				c.stats.BadPackets++
+				st.stats.BadPackets++
+				c.mu.Unlock()
+				continue
+			}
+			st.scratch = recs
+			c.stats.Frames++
+			c.stats.TemplatePackets++
+			c.stats.TemplateRecords += uint64(len(recs))
+			st.stats.Frames++
+			st.stats.TemplatePackets++
+			st.stats.TemplateRecords += uint64(len(recs))
+			for _, r := range recs {
+				if r.IsV4() {
+					c.stats.V4Records++
+					st.stats.V4Records++
+				} else {
+					c.stats.V6Records++
+					st.stats.V6Records++
+				}
+			}
+			c.mu.Unlock()
+			st.buf = append(st.buf, recs...)
+		default:
+			c.mu.Lock()
 			c.stats.BadPackets++
 			st.stats.BadPackets++
 			c.mu.Unlock()
-			continue
 		}
-		c.stats.Frames++
-		c.stats.V5Packets++
-		c.stats.V4Records += uint64(len(recs))
-		st.stats.Frames++
-		st.stats.V5Packets++
-		st.stats.V4Records += uint64(len(recs))
-		for _, r := range recs {
-			if r.Bytes == 0xFFFFFFFF {
-				c.stats.SaturatedCounters++
-				st.stats.SaturatedCounters++
-			}
-			if r.Packets == 0xFFFFFFFF {
-				c.stats.SaturatedCounters++
-				st.stats.SaturatedCounters++
-			}
-		}
-		c.mu.Unlock()
-		st.observeRate(h.SamplingRate())
-		st.buf = append(st.buf, recs...)
 	}
 }
 

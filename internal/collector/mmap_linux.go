@@ -1,0 +1,36 @@
+//go:build linux
+
+package collector
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only into memory; the returned closer unmaps.
+// Frames then decode as slices of the mapping with zero copies. An
+// empty file yields a nil slice (zero-length mappings are invalid).
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("collector: %s: %d bytes exceeds the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("collector: mmap %s: %w", path, err)
+	}
+	return data, func() { syscall.Munmap(data) }, nil //nolint:errcheck // unmap is best-effort
+}

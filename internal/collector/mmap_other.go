@@ -1,0 +1,16 @@
+//go:build !linux
+
+package collector
+
+import "os"
+
+// mapFile reads path whole — the portable stand-in for the linux mmap
+// fast path; the replay still decodes frames zero-copy from the one
+// buffer.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

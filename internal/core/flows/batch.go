@@ -1,0 +1,237 @@
+package flows
+
+import (
+	"fmt"
+	"net/netip"
+
+	"iotmap/internal/netflow"
+	"iotmap/internal/proto"
+)
+
+// Columnar wire ingest: the dictionary-negotiating wire format ships
+// addresses once (dictionary frames) and dense uint32 IDs thereafter
+// (batch frames), so the collector's hot loop never materializes a
+// netip.Addr. WireTables is the per-stream receiver state — the
+// line/backend dictionaries resolved against this partial's index and
+// collector — and ShardPartial.IngestBatch is the batch counterpart of
+// the Ingest/EndLine pair: one call folds a whole flush interval's
+// RecordBatch with strided slice/bitset updates.
+
+// maxWireDictEntries bounds a stream's dictionary size. The address
+// plan tops out at 2^22 lines per vantage; the slack above that guards
+// against a hostile dictionary frame inflating the tables to OOM.
+const maxWireDictEntries = 1 << 24
+
+// lostBackend marks a gap-filled backend dictionary entry (a dropped
+// dictionary frame under a lossy fault policy). Distinct from
+// unknownBackend: referencing a lost entry is frame damage, referencing
+// a known-but-unindexed backend is silently skipped data.
+const lostBackend int32 = -2
+
+// unknownBackend marks a dictionary entry whose address is not in the
+// BackendIndex. Rows referencing it are skipped, mirroring the memory
+// path where lineSide misses ignore the record.
+const unknownBackend int32 = -1
+
+// wireLineEnt is one line-dictionary entry: the address plus its lazily
+// interned IDs in the partial's ContactCounter and Collector.
+type wireLineEnt struct {
+	addr     netip.Addr
+	ccID     int32 // interned on first contact evidence; -1 until then
+	colID    int32 // interned on first kept record; -1 until then
+	excluded bool  // pre-seeded scanner (Options.Excluded)
+	valid    bool  // false for gap-filled (lost) entries
+}
+
+// WireTables is one wire stream's dictionary state, bound to the
+// ShardPartial the stream feeds. Dictionary frames append entries
+// (AddLines/AddBackends); batch frames validate against the tables
+// (Validate) and fold via ShardPartial.IngestBatch. Owned by one
+// stream; no locking.
+type WireTables struct {
+	p        *ShardPartial
+	lines    []wireLineEnt
+	backends []int32 // dense backend ID, unknownBackend, or lostBackend
+	// entSlot/touched scratch one IngestBatch call's per-line ent
+	// assignment (index+1 into the partial's recycled ents; 0 = none).
+	entSlot []int32
+	touched []int32
+}
+
+// NewWireTables returns empty dictionary tables feeding p. A stream
+// (re)starts with fresh tables on every hello frame.
+func (p *ShardPartial) NewWireTables() *WireTables {
+	return &WireTables{p: p}
+}
+
+// Lines returns the line-dictionary size (lost entries included).
+func (t *WireTables) Lines() int { return len(t.lines) }
+
+// Backends returns the backend-dictionary size (lost entries included).
+func (t *WireTables) Backends() int { return len(t.backends) }
+
+// dictGap validates a dictionary frame's base against the current table
+// size and returns the number of entries to gap-fill as lost. A base
+// below the current size would rewrite history (the exporter only ever
+// appends); a base above it means earlier dictionary frames were
+// dropped — the gap is filled with lost entries so later deltas still
+// land at their advertised IDs.
+func dictGap(kind string, base uint32, have, adding int) (int, error) {
+	if int(base) < have {
+		return 0, fmt.Errorf("flows: %s dictionary base %d rewinds %d existing entries", kind, base, have)
+	}
+	if int(base)+adding > maxWireDictEntries {
+		return 0, fmt.Errorf("flows: %s dictionary would reach %d entries (limit %d)", kind, int(base)+adding, maxWireDictEntries)
+	}
+	return int(base) - have, nil
+}
+
+// AddLines appends one line-dictionary frame's addresses at base.
+func (t *WireTables) AddLines(base uint32, addrs []netip.Addr) error {
+	gap, err := dictGap("line", base, len(t.lines), len(addrs))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < gap; i++ {
+		t.lines = append(t.lines, wireLineEnt{ccID: -1, colID: -1})
+	}
+	for _, a := range addrs {
+		_, excluded := t.p.col.excluded[a]
+		t.lines = append(t.lines, wireLineEnt{addr: a, ccID: -1, colID: -1, excluded: excluded, valid: true})
+	}
+	t.entSlot = grown(t.entSlot, len(t.lines))
+	return nil
+}
+
+// AddBackends appends one backend-dictionary frame's addresses at base,
+// resolving each against the partial's BackendIndex.
+func (t *WireTables) AddBackends(base uint32, addrs []netip.Addr) error {
+	gap, err := dictGap("backend", base, len(t.backends), len(addrs))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < gap; i++ {
+		t.backends = append(t.backends, lostBackend)
+	}
+	for _, a := range addrs {
+		if bi, ok := t.p.idx.info[a]; ok {
+			t.backends = append(t.backends, bi.id)
+		} else {
+			t.backends = append(t.backends, unknownBackend)
+		}
+	}
+	return nil
+}
+
+// Validate checks rows [from, b.Len()) against the dictionaries: every
+// line ID must name a valid (non-lost) entry and every backend ID an
+// existing entry that is not lost. Unknown (unindexed) backends pass —
+// those rows are skipped at fold time. An error means the frame the
+// rows came from is damaged; the caller discards the rows and applies
+// its fault policy.
+func (t *WireTables) Validate(b *netflow.RecordBatch, from int) error {
+	for i := from; i < b.Len(); i++ {
+		li := b.Line[i]
+		if int(li) >= len(t.lines) || !t.lines[li].valid {
+			return fmt.Errorf("flows: batch row references line ID %d (dictionary has %d entries)", li, len(t.lines))
+		}
+		bi := b.Backend[i]
+		if int(bi) >= len(t.backends) || t.backends[bi] == lostBackend {
+			return fmt.Errorf("flows: batch row references backend ID %d (dictionary has %d entries)", bi, len(t.backends))
+		}
+	}
+	return nil
+}
+
+// IngestBatch folds one flush interval's validated RecordBatch into the
+// partial — the batch counterpart of Ingest-per-record plus EndLine.
+// Rows must have passed t.Validate; Hour is in study hours (negative =
+// before the study window) and Bytes/Packets are already scaled.
+//
+// Semantics match the record path exactly: every row with an indexed
+// backend contributes contact evidence (Figure 5 counts scanners'
+// contacts too), per-line exclusion applies at flush granularity with
+// this batch's distinct-backend evidence, and only rows from kept,
+// non-excluded lines with in-window hours reach the Collector.
+func (p *ShardPartial) IngestBatch(t *WireTables, b *netflow.RecordBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	words := p.idx.words
+	ents := p.ents[:0]
+
+	// Pass 1: per-line contact evidence for this flush interval.
+	for i := 0; i < n; i++ {
+		be := t.backends[b.Backend[i]]
+		if be < 0 {
+			continue
+		}
+		li := b.Line[i]
+		e := t.entSlot[li]
+		if e == 0 {
+			if cap(ents) > len(ents) {
+				ents = ents[:len(ents)+1]
+				ent := &ents[len(ents)-1]
+				ent.addr = t.lines[li].addr
+				if len(ent.bits) != words {
+					ent.bits = make([]uint64, words)
+				} else {
+					clearBits(ent.bits)
+				}
+			} else {
+				ents = append(ents, endEnt{addr: t.lines[li].addr, bits: make([]uint64, words)})
+			}
+			e = int32(len(ents))
+			t.entSlot[li] = e
+			t.touched = append(t.touched, int32(li))
+		}
+		setBit(ents[e-1].bits, int(be))
+	}
+
+	// Classify each touched line against the scanner threshold and fold
+	// its evidence into the shard's ContactCounter.
+	for _, li := range t.touched {
+		ent := &ents[t.entSlot[li]-1]
+		ln := &t.lines[li]
+		if ln.ccID < 0 {
+			ln.ccID = p.cc.lineID(ln.addr)
+		}
+		orBits(p.cc.bits[int(ln.ccID)*p.cc.words:(int(ln.ccID)+1)*p.cc.words], ent.bits)
+		ent.over = popcount(ent.bits) > p.threshold
+	}
+
+	// Pass 2: fold kept rows into the Collector.
+	for i := 0; i < n; i++ {
+		be := t.backends[b.Backend[i]]
+		if be < 0 {
+			continue
+		}
+		li := b.Line[i]
+		if ents[t.entSlot[li]-1].over {
+			continue
+		}
+		ln := &t.lines[li]
+		if ln.excluded {
+			continue
+		}
+		h := int(b.Hour[i])
+		if h < 0 || h >= p.col.hours {
+			continue
+		}
+		if ln.colID < 0 {
+			ln.colID = p.col.lineID(ln.addr)
+		}
+		port := proto.PortKey{Port: b.Port[i]}
+		if b.Proto[i] == netflow.ProtoUDP {
+			port.Transport = proto.UDP
+		}
+		p.col.ingestDense(int(ln.colID), be, b.Down[i], h, port, float64(b.Bytes[i])*p.col.rate)
+	}
+
+	for _, li := range t.touched {
+		t.entSlot[li] = 0
+	}
+	t.touched = t.touched[:0]
+	p.ents = ents
+}

@@ -579,12 +579,27 @@ func (c *Collector) ingestClassified(r netflow.Record, lineAddr netip.Addr, back
 	if hour >= c.hours {
 		return
 	}
+	// Port mix: the backend-side port identifies the service.
+	port := proto.PortKey{Port: r.SrcPort}
+	if !down {
+		port = proto.PortKey{Port: r.DstPort}
+	}
+	if r.Proto == netflow.ProtoUDP {
+		port.Transport = proto.UDP
+	}
+	line := int(c.lineID(lineAddr))
+	c.ingestDense(line, backendID, down, hour, port, float64(r.Bytes)*c.rate)
+}
+
+// ingestDense is the fully resolved ingest core: line already interned,
+// hour already in-window, bytes already scaled. Both the record path
+// (ingestClassified) and the columnar wire path (ShardPartial.
+// IngestBatch) land here, so the two produce byte-identical aggregates.
+func (c *Collector) ingestDense(line int, backendID int32, down bool, hour int, port proto.PortKey, bytes float64) {
 	setBit(c.coverBits, hour)
 	day := hour / 24
-	bytes := float64(r.Bytes) * c.rate
 	bi := &c.idx.infos[backendID]
 	a := int(bi.aliasID)
-	line := int(c.lineID(lineAddr))
 
 	// Visibility.
 	vs := c.visible[a]
@@ -616,14 +631,6 @@ func (c *Collector) ingestClassified(r netflow.Record, lineAddr netip.Addr, back
 		s.Add(hour, bytes)
 	}
 
-	// Port mix: the backend-side port identifies the service.
-	port := proto.PortKey{Port: r.SrcPort}
-	if !down {
-		port = proto.PortKey{Port: r.DstPort}
-	}
-	if r.Proto == netflow.ProtoUDP {
-		port.Transport = proto.UDP
-	}
 	pid := int(c.ports.id(port))
 	pv := grown(c.portVol[a], pid+1)
 	c.portVol[a] = pv

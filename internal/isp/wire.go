@@ -3,6 +3,7 @@ package isp
 import (
 	"fmt"
 	"io"
+	"net/netip"
 	"sync"
 
 	"iotmap/internal/netflow"
@@ -33,10 +34,32 @@ import (
 // SimulateLinesToWire reports the first error per stream.
 
 // WireBufferBatches is the default per-stream buffer pool size: how
-// many encoded line batches may be in flight between one shard's
-// encoder and its writer goroutine before backpressure stalls the
-// simulation.
+// many coalesced flush buffers (each ≥ wireSendBytes of encoded line
+// batches) may be in flight between one shard's encoder and its writer
+// goroutine before backpressure stalls the simulation.
 const WireBufferBatches = 16
+
+// wireSendBytes is the coalescing threshold: the encoder accumulates
+// whole line batches in its flush buffer and sends once the buffer
+// crosses this size (frames are never split across sends).
+const wireSendBytes = 32 << 10
+
+// WireFormat selects the on-wire encoding of an export run.
+type WireFormat int
+
+const (
+	// WireV5 is the legacy encoding: framed NetFlow v5 packets plus v6
+	// extension frames, addresses in every record. Recorded PR 3-6 files
+	// are this format.
+	WireV5 WireFormat = iota
+	// WireDict is the columnar dictionary encoding: a hello frame, then
+	// incremental line/backend dictionary deltas and struct-of-arrays
+	// batch frames carrying dense uint32 IDs — the collector's zero-copy
+	// hot path. Counters ride at full 64-bit width (never clamped) and
+	// the sampling rate travels in the hello, so SamplingInterval's
+	// 14-bit packing limit does not apply.
+	WireDict
+)
 
 // WireStats summarizes one export run.
 type WireStats struct {
@@ -52,7 +75,12 @@ type WireStats struct {
 	Flushes uint64
 	// Clamped counts 64-bit counters saturated into v5's 32-bit fields
 	// (see netflow.EncodeV5Clamped); non-zero means the wire lost volume.
+	// Always zero in dictionary mode (64-bit counters on the wire).
 	Clamped uint64
+	// DictEntries/BatchFrames are dictionary-mode counters: dictionary
+	// addresses shipped and batch frames emitted. Zero in v5 mode.
+	DictEntries uint64
+	BatchFrames uint64
 }
 
 // wireShard is one stream's encoder state, owned by one worker.
@@ -68,6 +96,19 @@ type wireShard struct {
 	ch   chan []byte
 	pool chan []byte
 	err  error // first encode error; the shard goes quiet after
+
+	// Dictionary-mode state (WireDict only): the hello parameters, the
+	// per-stream address dictionaries with their not-yet-shipped tails,
+	// and the reused column batch.
+	epoch      int64
+	rate       uint32
+	helloSent  bool
+	lineIDs    map[netip.Addr]uint32
+	backendIDs map[netip.Addr]uint32
+	pendLines  []netip.Addr
+	pendBacks  []netip.Addr
+	batch      netflow.RecordBatch
+
 	WireStats
 }
 
@@ -127,10 +168,145 @@ func (ws *wireShard) endLine() {
 	out = netflow.AppendFlushFrame(out)
 	ws.Frames++
 	ws.Flushes++
-	// Hand the batch to the writer and take a recycled buffer; blocking
-	// here is the backpressure that throttles the simulation.
-	ws.ch <- out
+	ws.out = out
+	ws.maybeSend()
+}
+
+// maybeSend hands the accumulated flush buffer to the writer once it
+// crosses the coalescing threshold, taking a recycled buffer back.
+// Blocking on the pool is the backpressure that throttles the
+// simulation. Coalescing several line batches per send changes only
+// the Write chunking, never the byte stream — but it matters: every
+// send costs a channel handoff plus an io.Pipe (or socket) rendezvous,
+// and at one send per line those context switches were the single
+// largest wire-only cost on a single-core run.
+func (ws *wireShard) maybeSend() {
+	if len(ws.out) < wireSendBytes {
+		return
+	}
+	ws.ch <- ws.out
 	ws.out = <-ws.pool
+}
+
+// lineDictID interns a line address into the stream dictionary, queuing
+// new entries for the next dictionary frame.
+func (ws *wireShard) lineDictID(a netip.Addr) uint32 {
+	id, ok := ws.lineIDs[a]
+	if !ok {
+		id = uint32(len(ws.lineIDs))
+		ws.lineIDs[a] = id
+		ws.pendLines = append(ws.pendLines, a)
+	}
+	return id
+}
+
+// backendDictID is lineDictID for the backend-side dictionary.
+func (ws *wireShard) backendDictID(a netip.Addr) uint32 {
+	id, ok := ws.backendIDs[a]
+	if !ok {
+		id = uint32(len(ws.backendIDs))
+		ws.backendIDs[a] = id
+		ws.pendBacks = append(ws.pendBacks, a)
+	}
+	return id
+}
+
+// endLineDict is endLine for WireDict: the buffered line batch becomes
+// (on first flush) a hello frame, then dictionary deltas for any
+// addresses making their stream debut, the rows as columnar batch
+// frames, and the flush marker — one flush buffer, one writer send.
+//
+// Endpoint classification is exporter-side: the address plan (LineSlot)
+// decides which end is the subscriber line, and because plan addresses
+// are disjoint from every backend pool this matches the collector-side
+// lineSide classification record for record.
+func (ws *wireShard) endLineDict() {
+	defer func() { ws.buf = ws.buf[:0] }()
+	if ws.err != nil {
+		return
+	}
+	out := ws.out
+	if !ws.helloSent {
+		out = netflow.AppendHelloFrame(out, ws.rate, ws.epoch)
+		ws.helloSent = true
+		ws.Frames++
+	}
+	b := &ws.batch
+	b.Reset()
+	// One line flushes from at most one V4 and one V6 address, and
+	// backend pools cluster, so memoize the last lookup per column.
+	var memoLineAddr, memoBackAddr netip.Addr
+	var memoLineID, memoBackID uint32
+	var memoLineV4, memoBackV4 bool
+	for _, r := range ws.buf {
+		var lineAddr, backAddr netip.Addr
+		var down bool
+		if _, _, ok := LineSlot(r.Dst); ok {
+			lineAddr, backAddr, down = r.Dst, r.Src, true
+		} else if _, _, ok := LineSlot(r.Src); ok {
+			lineAddr, backAddr, down = r.Src, r.Dst, false
+		} else {
+			ws.err = fmt.Errorf("isp: wire record %v -> %v has no plan-side subscriber", r.Src, r.Dst)
+			return
+		}
+		sec := r.Start.Unix() - ws.epoch
+		if sec < 0 || sec%3600 != 0 || sec/3600 > 0xFFFF {
+			ws.err = fmt.Errorf("isp: wire record start %v is not hour-aligned within the epoch window", r.Start)
+			return
+		}
+		if lineAddr != memoLineAddr {
+			memoLineAddr, memoLineID = lineAddr, ws.lineDictID(lineAddr)
+			memoLineV4 = lineAddr.Is4() || lineAddr.Is4In6()
+		}
+		if backAddr != memoBackAddr {
+			memoBackAddr, memoBackID = backAddr, ws.backendDictID(backAddr)
+			memoBackV4 = backAddr.Is4() || backAddr.Is4In6()
+		}
+		port := r.SrcPort
+		if !down {
+			port = r.DstPort
+		}
+		b.Append(memoLineID, memoBackID, down, int32(sec/3600), port, r.Proto, r.Bytes, r.Packets)
+		// Record.IsV4 under the memo: both memoized endpoint families.
+		if memoLineV4 && memoBackV4 {
+			ws.V4Records++
+		} else {
+			ws.V6Records++
+		}
+	}
+	var err error
+	if len(ws.pendLines) > 0 {
+		base := uint32(len(ws.lineIDs) - len(ws.pendLines))
+		if out, err = netflow.AppendDictFrame(out, netflow.FrameLineDict, base, ws.pendLines); err != nil {
+			ws.err = err
+			return
+		}
+		ws.Frames++
+		ws.DictEntries += uint64(len(ws.pendLines))
+		ws.pendLines = ws.pendLines[:0]
+	}
+	if len(ws.pendBacks) > 0 {
+		base := uint32(len(ws.backendIDs) - len(ws.pendBacks))
+		if out, err = netflow.AppendDictFrame(out, netflow.FrameBackendDict, base, ws.pendBacks); err != nil {
+			ws.err = err
+			return
+		}
+		ws.Frames++
+		ws.DictEntries += uint64(len(ws.pendBacks))
+		ws.pendBacks = ws.pendBacks[:0]
+	}
+	var frames int
+	if out, frames, err = netflow.AppendBatchFrames(out, b); err != nil {
+		ws.err = err
+		return
+	}
+	ws.Frames += uint64(frames)
+	ws.BatchFrames += uint64(frames)
+	out = netflow.AppendFlushFrame(out)
+	ws.Frames++
+	ws.Flushes++
+	ws.out = out
+	ws.maybeSend()
 }
 
 // SimulateLinesToWire exports the whole study period as len(writers)
@@ -142,12 +318,27 @@ func (ws *wireShard) endLine() {
 // caller owns their lifecycle, and must close them for collectors
 // reading until EOF.
 func (n *Network) SimulateLinesToWire(writers []io.Writer, buffer int) (WireStats, error) {
+	return n.SimulateLinesToWireFormat(writers, buffer, WireV5)
+}
+
+// SimulateLinesToWireFormat is SimulateLinesToWire with the on-wire
+// encoding selectable: WireV5 for the legacy framed v5 streams, WireDict
+// for the columnar dictionary streams. Stream determinism holds for both
+// (for a fixed format, stream s is a pure function of seed, config, and
+// stream count).
+func (n *Network) SimulateLinesToWireFormat(writers []io.Writer, buffer int, format WireFormat) (WireStats, error) {
 	if len(writers) == 0 {
 		return WireStats{}, fmt.Errorf("isp: no writers")
 	}
-	si, err := netflow.PackSamplingInterval(n.Cfg.SamplingRate)
-	if err != nil {
-		return WireStats{}, err
+	if format != WireV5 && format != WireDict {
+		return WireStats{}, fmt.Errorf("isp: unknown wire format %d", format)
+	}
+	var si uint16
+	if format == WireV5 {
+		var err error
+		if si, err = netflow.PackSamplingInterval(n.Cfg.SamplingRate); err != nil {
+			return WireStats{}, err
+		}
 	}
 	if buffer <= 0 {
 		buffer = WireBufferBatches
@@ -158,15 +349,27 @@ func (n *Network) SimulateLinesToWire(writers []io.Writer, buffer int) (WireStat
 	var wg sync.WaitGroup
 	for i, w := range writers {
 		ws := &wireShard{
-			si:   si,
-			id:   uint8(i),
-			ch:   make(chan []byte, buffer),
-			pool: make(chan []byte, buffer),
+			si: si,
+			id: uint8(i),
+			ch: make(chan []byte, buffer),
+			// One slot of headroom: the end-of-run flush of a partial
+			// coalescing buffer sends without taking a replacement, so
+			// the writer recycles one more buffer than the pool was
+			// seeded with — without the slack it would block forever.
+			pool: make(chan []byte, buffer+1),
 		}
-		// One buffer in the encoder's hand, `buffer` more in the pool.
-		ws.out = make([]byte, 0, 4096)
+		if format == WireDict {
+			ws.epoch = n.World.Days[0].Unix()
+			ws.rate = n.Cfg.SamplingRate
+			ws.lineIDs = map[netip.Addr]uint32{}
+			ws.backendIDs = map[netip.Addr]uint32{}
+		}
+		// One buffer in the encoder's hand, `buffer` more in the pool,
+		// each sized for the coalescing threshold plus one line batch
+		// of slack so steady state never reallocates.
+		ws.out = make([]byte, 0, wireSendBytes+4096)
 		for b := 0; b < buffer; b++ {
-			ws.pool <- make([]byte, 0, 4096)
+			ws.pool <- make([]byte, 0, wireSendBytes+4096)
 		}
 		shards[i] = ws
 		wg.Add(1)
@@ -183,11 +386,20 @@ func (n *Network) SimulateLinesToWire(writers []io.Writer, buffer int) (WireStat
 		}(w, ws, &writeErrs[i])
 	}
 
+	endLine := func(shard int, _ *Line) { shards[shard].endLine() }
+	if format == WireDict {
+		endLine = func(shard int, _ *Line) { shards[shard].endLineDict() }
+	}
 	n.SimulateLines(len(writers),
 		func(shard int) func(netflow.Record) { return shards[shard].sink },
-		func(shard int, _ *Line) { shards[shard].endLine() },
+		endLine,
 	)
 	for _, ws := range shards {
+		// Flush the partial coalescing buffer before ending the stream.
+		if len(ws.out) > 0 {
+			ws.ch <- ws.out
+			ws.out = nil
+		}
 		close(ws.ch)
 	}
 	wg.Wait()
@@ -201,6 +413,8 @@ func (n *Network) SimulateLinesToWire(writers []io.Writer, buffer int) (WireStat
 		stats.V6Records += ws.V6Records
 		stats.Flushes += ws.Flushes
 		stats.Clamped += ws.Clamped
+		stats.DictEntries += ws.DictEntries
+		stats.BatchFrames += ws.BatchFrames
 		if firstErr == nil && ws.err != nil {
 			firstErr = fmt.Errorf("isp: wire stream %d: %w", i, ws.err)
 		}

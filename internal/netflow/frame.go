@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/netip"
+	"time"
 )
 
 // The collector ingestion path moves NetFlow over byte streams (TCP
@@ -213,6 +215,11 @@ type FrameReader struct {
 	// pend holds bytes read from r but not yet consumed: the tail of a
 	// rejected header, or the candidate frame a Resync scan located.
 	pend []byte
+	// hdr and scan are reused read buffers. As locals they would escape
+	// to the heap through the io.Reader interface on every call — one
+	// allocation per frame on the ingest hot loop.
+	hdr  [frameHeader]byte
+	scan [256]byte
 }
 
 // NewFrameReader returns a reader.
@@ -237,7 +244,7 @@ func (fr *FrameReader) readFull(p []byte) (int, error) {
 // A stream that ends mid-frame yields a descriptive error wrapping
 // io.ErrUnexpectedEOF — never a silent short read.
 func (fr *FrameReader) Next() (Frame, error) {
-	var hdr [frameHeader]byte
+	hdr := &fr.hdr
 	if n, err := fr.readFull(hdr[:]); err != nil {
 		if err == io.EOF && n == 0 {
 			return Frame{}, io.EOF
@@ -252,9 +259,7 @@ func (fr *FrameReader) Next() (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %02x%02x", ErrBadFrameMagic, hdr[0], hdr[1])
 	}
 	typ := hdr[2]
-	switch typ {
-	case FrameV5, FrameV6, FrameFlush:
-	default:
+	if !knownFrameType(typ) {
 		fr.stash(hdr[1:])
 		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrBadFrameType, typ)
 	}
@@ -300,16 +305,14 @@ func (fr *FrameReader) stash(b []byte) {
 func (fr *FrameReader) Resync() (skipped int64, err error) {
 	w := fr.pend
 	fr.pend = nil
-	var chunk [256]byte
+	chunk := &fr.scan
 	for {
 		limit := len(w) - frameHeader
 		for i := 0; i <= limit; i++ {
 			if w[i] != frameMagic0 || w[i+1] != frameMagic1 {
 				continue
 			}
-			switch w[i+2] {
-			case FrameV5, FrameV6, FrameFlush:
-			default:
+			if !knownFrameType(w[i+2]) {
 				continue
 			}
 			if binary.BigEndian.Uint32(w[i+3:]) > MaxFramePayload {
@@ -341,31 +344,69 @@ func (fr *FrameReader) Resync() (skipped int64, err error) {
 // record count are corruption, not the next datagram, and are rejected
 // with a descriptive error.
 func DecodeV5Strict(pkt []byte) (V5Header, []Record, error) {
-	h, records, err := DecodeV5(pkt)
+	return DecodeV5StrictInto(pkt, nil)
+}
+
+// DecodeV5StrictInto is DecodeV5Strict appending onto a recycled
+// scratch slice, allocation-free on the hot path.
+func DecodeV5StrictInto(pkt []byte, dst []Record) (V5Header, []Record, error) {
+	base := len(dst)
+	h, records, err := DecodeV5Into(pkt, dst)
 	if err != nil {
 		return h, records, err
 	}
-	if want := v5HeaderLen + len(records)*v5RecordLen; len(pkt) != want {
+	if want := v5HeaderLen + (len(records)-base)*v5RecordLen; len(pkt) != want {
 		return V5Header{}, nil, fmt.Errorf("%w: header advertises %d records (%d bytes) but frame carries %d bytes",
-			ErrV5Trailing, len(records), want, len(pkt))
+			ErrV5Trailing, len(records)-base, want, len(pkt))
 	}
 	return h, records, nil
 }
 
 // DecodeV6Payload parses a FrameV6 payload back into records.
 func DecodeV6Payload(payload []byte) ([]Record, error) {
-	sr := NewStreamReader(bytes.NewReader(payload))
-	var out []Record
-	for {
-		r, err := sr.Next()
-		if err == io.EOF {
-			return out, nil
+	return DecodeV6PayloadInto(payload, nil)
+}
+
+// DecodeV6PayloadInto parses a FrameV6 payload appending onto dst,
+// walking the bytes directly — no intermediate readers, no per-frame
+// slice allocation when dst recycles.
+func DecodeV6PayloadInto(payload []byte, dst []Record) ([]Record, error) {
+	be := binary.BigEndian
+	for len(payload) > 0 {
+		var alen int
+		switch payload[0] {
+		case famV4:
+			alen = 4
+		case famV6:
+			alen = 16
+		default:
+			return nil, fmt.Errorf("%w: %d", ErrBadFamily, payload[0])
 		}
-		if err != nil {
-			return nil, err
+		bodyLen := 2*alen + 2 + 2 + 1 + 8 + 8 + 8
+		if len(payload) < 1+bodyLen {
+			return nil, fmt.Errorf("netflow: stream record truncated: family %d requires a %d-byte body but the stream carries %d: %w",
+				payload[0], bodyLen, len(payload)-1, io.ErrUnexpectedEOF)
 		}
-		out = append(out, r)
+		body := payload[1 : 1+bodyLen]
+		var r Record
+		if alen == 4 {
+			r.Src = netip.AddrFrom4([4]byte(body[0:4]))
+			r.Dst = netip.AddrFrom4([4]byte(body[4:8]))
+		} else {
+			r.Src = netip.AddrFrom16([16]byte(body[0:16]))
+			r.Dst = netip.AddrFrom16([16]byte(body[16:32]))
+		}
+		p := 2 * alen
+		r.SrcPort = be.Uint16(body[p:])
+		r.DstPort = be.Uint16(body[p+2:])
+		r.Proto = body[p+4]
+		r.Bytes = be.Uint64(body[p+5:])
+		r.Packets = be.Uint64(body[p+13:])
+		r.Start = time.Unix(int64(be.Uint64(body[p+21:])), 0).UTC()
+		dst = append(dst, r)
+		payload = payload[1+bodyLen:]
 	}
+	return dst, nil
 }
 
 // --- Sampling-rate advertisement ---------------------------------------

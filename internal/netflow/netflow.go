@@ -146,6 +146,13 @@ func appendV5(dst []byte, h V5Header, records []Record) (out []byte, clamped int
 
 // DecodeV5 parses one v5 packet.
 func DecodeV5(pkt []byte) (V5Header, []Record, error) {
+	return DecodeV5Into(pkt, nil)
+}
+
+// DecodeV5Into is DecodeV5 appending onto dst — pass a recycled
+// scratch slice (dst[:0]) and the per-packet record allocation
+// disappears from the hot ingest loop.
+func DecodeV5Into(pkt []byte, dst []Record) (V5Header, []Record, error) {
 	if len(pkt) < v5HeaderLen {
 		return V5Header{}, nil, ErrV5Truncated
 	}
@@ -170,24 +177,23 @@ func DecodeV5(pkt []byte) (V5Header, []Record, error) {
 		EngineID:         pkt[21],
 		SamplingInterval: be.Uint16(pkt[22:]),
 	}
-	records := make([]Record, count)
 	for i := 0; i < count; i++ {
 		off := v5HeaderLen + i*v5RecordLen
-		var src, dst [4]byte
+		var src, da [4]byte
 		copy(src[:], pkt[off:])
-		copy(dst[:], pkt[off+4:])
-		records[i] = Record{
+		copy(da[:], pkt[off+4:])
+		dst = append(dst, Record{
 			Src:     netip.AddrFrom4(src),
-			Dst:     netip.AddrFrom4(dst),
+			Dst:     netip.AddrFrom4(da),
 			Packets: uint64(be.Uint32(pkt[off+16:])),
 			Bytes:   uint64(be.Uint32(pkt[off+20:])),
 			Start:   time.Unix(int64(be.Uint32(pkt[off+24:])), 0).UTC(),
 			SrcPort: be.Uint16(pkt[off+32:]),
 			DstPort: be.Uint16(pkt[off+34:]),
 			Proto:   pkt[off+38],
-		}
+		})
 	}
-	return h, records, nil
+	return h, dst, nil
 }
 
 // v5Zero is the zero-fill source for appendV5 (one max-size packet).

@@ -1,0 +1,474 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Templated decode: NetFlow v9 (RFC 3954) and IPFIX (RFC 7011) carry
+// their record layout in template sets instead of a fixed format, which
+// is the shape foreign recorded feeds arrive in. TemplateCache decodes
+// both into the same Record the rest of the pipeline speaks:
+//
+//	supported    field IDs 1 (bytes), 2 (packets), 4 (protocol),
+//	             7/11 (src/dst L4 port), 8/12 (IPv4 src/dst),
+//	             27/28 (IPv6 src/dst), 150 (flowStartSeconds),
+//	             152 (flowStartMilliseconds)
+//	skipped      any other field (advanced by its declared length),
+//	             enterprise-specific fields, options templates, and
+//	             data sets whose template has not been seen yet
+//	rejected     zero-length or variable-length fields, empty
+//	             templates, template IDs below 256 — a template that
+//	             cannot delimit records is corruption, not data
+//
+// Records without an explicit start field take the message's export
+// time. Templates are cached per (observation domain, template ID);
+// one TemplateCache serves one stream/source.
+
+// Templated packet geometry.
+const (
+	v9Version     = 9
+	ipfixVersion  = 10
+	v9HeaderLen   = 20
+	ipfixHdrLen   = 16
+	setHeaderLen  = 4
+	minTemplateID = 256
+
+	v9TemplateSetID    = 0
+	v9OptionsSetID     = 1
+	ipfixTemplateSetID = 2
+	ipfixOptionsSetID  = 3
+	varLenField        = 0xFFFF
+	enterpriseBit      = 0x8000
+	maxTemplateFields  = 256
+)
+
+// Recognized information element IDs.
+const (
+	fieldInBytes    = 1
+	fieldInPackets  = 2
+	fieldProtocol   = 4
+	fieldSrcPort    = 7
+	fieldV4Src      = 8
+	fieldDstPort    = 11
+	fieldV4Dst      = 12
+	fieldV6Src      = 27
+	fieldV6Dst      = 28
+	fieldStartSecs  = 150
+	fieldStartMilli = 152
+)
+
+// ErrTemplated marks a v9/IPFIX packet that does not parse: truncated
+// headers or sets, field specs that cannot delimit records, bad
+// versions. Like every payload error it is per-packet — a DropFrame
+// policy discards the packet and the template cache stays consistent.
+var ErrTemplated = errors.New("netflow: malformed templated packet")
+
+// tplKey identifies a template within one stream's cache.
+type tplKey struct {
+	domain uint32 // v9 source ID / IPFIX observation domain
+	id     uint16
+}
+
+// tplField is one template field spec.
+type tplField struct {
+	id     uint16
+	length int
+	skip   bool // enterprise-specific or unrecognized-at-parse-time
+}
+
+// template is one cached record layout.
+type template struct {
+	fields []tplField
+	recLen int
+}
+
+// TemplateCache decodes NetFlow v9 and IPFIX packets, learning
+// templates as they arrive. One cache serves one stream (templates are
+// scoped to the exporter); not safe for concurrent use.
+type TemplateCache struct {
+	tpl map[tplKey]template
+	// Templates counts template records learned (including refreshes);
+	// SkippedSets counts data sets dropped for want of their template.
+	Templates   uint64
+	SkippedSets uint64
+}
+
+// NewTemplateCache returns an empty cache.
+func NewTemplateCache() *TemplateCache {
+	return &TemplateCache{tpl: map[tplKey]template{}}
+}
+
+// Decode parses one v9 or IPFIX packet (the version field decides),
+// appending decoded records onto dst. Data sets whose template is
+// unknown are skipped (UDP reordering loses templates as a matter of
+// course); structural damage returns an error wrapping ErrTemplated
+// with nothing appended beyond the rows already decoded.
+func (tc *TemplateCache) Decode(pkt []byte, dst []Record) ([]Record, error) {
+	if len(pkt) < 2 {
+		return dst, fmt.Errorf("%w: %d bytes", ErrTemplated, len(pkt))
+	}
+	switch binary.BigEndian.Uint16(pkt) {
+	case v9Version:
+		return tc.decodeV9(pkt, dst)
+	case ipfixVersion:
+		return tc.decodeIPFIX(pkt, dst)
+	default:
+		return dst, fmt.Errorf("%w: version %d is neither v9 nor IPFIX", ErrTemplated, binary.BigEndian.Uint16(pkt))
+	}
+}
+
+func (tc *TemplateCache) decodeV9(pkt []byte, dst []Record) ([]Record, error) {
+	if len(pkt) < v9HeaderLen {
+		return dst, fmt.Errorf("%w: v9 header is %d bytes, want %d", ErrTemplated, len(pkt), v9HeaderLen)
+	}
+	be := binary.BigEndian
+	exportSecs := int64(be.Uint32(pkt[8:]))
+	domain := be.Uint32(pkt[16:])
+	return tc.walkSets(pkt[v9HeaderLen:], domain, exportSecs, v9TemplateSetID, v9OptionsSetID, dst)
+}
+
+func (tc *TemplateCache) decodeIPFIX(pkt []byte, dst []Record) ([]Record, error) {
+	if len(pkt) < ipfixHdrLen {
+		return dst, fmt.Errorf("%w: IPFIX header is %d bytes, want %d", ErrTemplated, len(pkt), ipfixHdrLen)
+	}
+	be := binary.BigEndian
+	msgLen := int(be.Uint16(pkt[2:]))
+	if msgLen < ipfixHdrLen || msgLen > len(pkt) {
+		return dst, fmt.Errorf("%w: IPFIX message length %d (packet carries %d bytes)", ErrTemplated, msgLen, len(pkt))
+	}
+	exportSecs := int64(be.Uint32(pkt[4:]))
+	domain := be.Uint32(pkt[12:])
+	return tc.walkSets(pkt[ipfixHdrLen:msgLen], domain, exportSecs, ipfixTemplateSetID, ipfixOptionsSetID, dst)
+}
+
+// walkSets iterates the sets of one message body.
+func (tc *TemplateCache) walkSets(body []byte, domain uint32, exportSecs int64, templateSetID, optionsSetID uint16, dst []Record) ([]Record, error) {
+	be := binary.BigEndian
+	for len(body) > 0 {
+		if len(body) < setHeaderLen {
+			return dst, fmt.Errorf("%w: trailing %d bytes are not a set header", ErrTemplated, len(body))
+		}
+		setID := be.Uint16(body)
+		setLen := int(be.Uint16(body[2:]))
+		if setLen < setHeaderLen || setLen > len(body) {
+			return dst, fmt.Errorf("%w: set %d advertises %d bytes (body carries %d)", ErrTemplated, setID, setLen, len(body))
+		}
+		content := body[setHeaderLen:setLen]
+		switch {
+		case setID == templateSetID:
+			if err := tc.parseTemplates(content, domain); err != nil {
+				return dst, err
+			}
+		case setID == optionsSetID:
+			// Options templates (and their data) describe the exporter,
+			// not flows — ignored by design, visible in the counter.
+			tc.SkippedSets++
+		case setID >= minTemplateID:
+			var err error
+			dst, err = tc.parseData(content, domain, setID, exportSecs, dst)
+			if err != nil {
+				return dst, err
+			}
+		default:
+			return dst, fmt.Errorf("%w: set ID %d is reserved", ErrTemplated, setID)
+		}
+		body = body[setLen:]
+	}
+	return dst, nil
+}
+
+// parseTemplates learns every template record in one template set.
+func (tc *TemplateCache) parseTemplates(p []byte, domain uint32) error {
+	be := binary.BigEndian
+	for len(p) >= 4 {
+		tid := be.Uint16(p)
+		count := int(be.Uint16(p[2:]))
+		p = p[4:]
+		if tid < minTemplateID {
+			return fmt.Errorf("%w: template ID %d is below %d", ErrTemplated, tid, minTemplateID)
+		}
+		if count == 0 {
+			return fmt.Errorf("%w: template %d declares no fields", ErrTemplated, tid)
+		}
+		if count > maxTemplateFields {
+			return fmt.Errorf("%w: template %d declares %d fields (limit %d)", ErrTemplated, tid, count, maxTemplateFields)
+		}
+		t := template{fields: make([]tplField, 0, count)}
+		for i := 0; i < count; i++ {
+			if len(p) < 4 {
+				return fmt.Errorf("%w: template %d field spec truncated", ErrTemplated, tid)
+			}
+			id := be.Uint16(p)
+			length := int(be.Uint16(p[2:]))
+			p = p[4:]
+			skip := false
+			if id&enterpriseBit != 0 {
+				// IPFIX enterprise-specific element: a 4-byte enterprise
+				// number follows; the field itself is skipped by length.
+				if len(p) < 4 {
+					return fmt.Errorf("%w: template %d enterprise number truncated", ErrTemplated, tid)
+				}
+				p = p[4:]
+				skip = true
+			}
+			if length == varLenField {
+				return fmt.Errorf("%w: template %d field %d is variable-length (unsupported)", ErrTemplated, tid, id)
+			}
+			if length == 0 {
+				return fmt.Errorf("%w: template %d field %d has zero length", ErrTemplated, tid, id)
+			}
+			t.fields = append(t.fields, tplField{id: id &^ enterpriseBit, length: length, skip: skip})
+			t.recLen += length
+		}
+		tc.tpl[tplKey{domain: domain, id: tid}] = t
+		tc.Templates++
+	}
+	// Up to 3 bytes of padding may trail the last template record.
+	if len(p) >= 4 {
+		return fmt.Errorf("%w: %d trailing template bytes", ErrTemplated, len(p))
+	}
+	return nil
+}
+
+// parseData decodes one data set against its cached template.
+func (tc *TemplateCache) parseData(p []byte, domain uint32, setID uint16, exportSecs int64, dst []Record) ([]Record, error) {
+	t, ok := tc.tpl[tplKey{domain: domain, id: setID}]
+	if !ok {
+		tc.SkippedSets++
+		return dst, nil
+	}
+	for len(p) >= t.recLen {
+		var r Record
+		r.Start = time.Unix(exportSecs, 0).UTC()
+		off := 0
+		for _, f := range t.fields {
+			v := p[off : off+f.length]
+			off += f.length
+			if f.skip {
+				continue
+			}
+			switch f.id {
+			case fieldV4Src:
+				if f.length == 4 {
+					r.Src = netip.AddrFrom4([4]byte(v))
+				}
+			case fieldV4Dst:
+				if f.length == 4 {
+					r.Dst = netip.AddrFrom4([4]byte(v))
+				}
+			case fieldV6Src:
+				if f.length == 16 {
+					r.Src = netip.AddrFrom16([16]byte(v))
+				}
+			case fieldV6Dst:
+				if f.length == 16 {
+					r.Dst = netip.AddrFrom16([16]byte(v))
+				}
+			case fieldSrcPort:
+				if n, ok := beUint(v); ok {
+					r.SrcPort = uint16(n)
+				}
+			case fieldDstPort:
+				if n, ok := beUint(v); ok {
+					r.DstPort = uint16(n)
+				}
+			case fieldProtocol:
+				if n, ok := beUint(v); ok {
+					r.Proto = uint8(n)
+				}
+			case fieldInBytes:
+				if n, ok := beUint(v); ok {
+					r.Bytes = n
+				}
+			case fieldInPackets:
+				if n, ok := beUint(v); ok {
+					r.Packets = n
+				}
+			case fieldStartSecs:
+				if n, ok := beUint(v); ok {
+					r.Start = time.Unix(int64(n), 0).UTC()
+				}
+			case fieldStartMilli:
+				if n, ok := beUint(v); ok {
+					r.Start = time.Unix(int64(n/1000), 0).UTC()
+				}
+			}
+		}
+		dst = append(dst, r)
+		p = p[t.recLen:]
+	}
+	// A tail shorter than one record is padding (RFC-sanctioned).
+	return dst, nil
+}
+
+// beUint reads a reduced-size big-endian unsigned integer (1..8 bytes).
+func beUint(v []byte) (uint64, bool) {
+	if len(v) == 0 || len(v) > 8 {
+		return 0, false
+	}
+	var n uint64
+	for _, b := range v {
+		n = n<<8 | uint64(b)
+	}
+	return n, true
+}
+
+// --- Encoding (tests, iotgen, round-trip harnesses) --------------------
+
+// The encoders emit the two fixed layouts the decoder recognizes in
+// full — an IPv4 template (ID 256) and an IPv6 template (ID 257), each
+// carrying addresses, ports, protocol, 64-bit counters, and
+// flowStartSeconds — so an encoded feed round-trips to the exact
+// records that went in (at second-resolution start times).
+
+const (
+	tplV4ID = 256
+	tplV6ID = 257
+)
+
+var tplV4Fields = []tplField{
+	{id: fieldV4Src, length: 4},
+	{id: fieldV4Dst, length: 4},
+	{id: fieldSrcPort, length: 2},
+	{id: fieldDstPort, length: 2},
+	{id: fieldProtocol, length: 1},
+	{id: fieldInBytes, length: 8},
+	{id: fieldInPackets, length: 8},
+	{id: fieldStartSecs, length: 4},
+}
+
+var tplV6Fields = []tplField{
+	{id: fieldV6Src, length: 16},
+	{id: fieldV6Dst, length: 16},
+	{id: fieldSrcPort, length: 2},
+	{id: fieldDstPort, length: 2},
+	{id: fieldProtocol, length: 1},
+	{id: fieldInBytes, length: 8},
+	{id: fieldInPackets, length: 8},
+	{id: fieldStartSecs, length: 4},
+}
+
+func appendTemplateSet(dst []byte, setID uint16) []byte {
+	be := binary.BigEndian
+	start := len(dst)
+	dst = be.AppendUint16(dst, setID)
+	dst = be.AppendUint16(dst, 0) // patched below
+	for _, t := range []struct {
+		id     uint16
+		fields []tplField
+	}{{tplV4ID, tplV4Fields}, {tplV6ID, tplV6Fields}} {
+		dst = be.AppendUint16(dst, t.id)
+		dst = be.AppendUint16(dst, uint16(len(t.fields)))
+		for _, f := range t.fields {
+			dst = be.AppendUint16(dst, f.id)
+			dst = be.AppendUint16(dst, uint16(f.length))
+		}
+	}
+	be.PutUint16(dst[start+2:], uint16(len(dst)-start))
+	return dst
+}
+
+func appendDataRecord(dst []byte, r Record) []byte {
+	be := binary.BigEndian
+	if r.IsV4() {
+		s, d := r.Src.Unmap().As4(), r.Dst.Unmap().As4()
+		dst = append(dst, s[:]...)
+		dst = append(dst, d[:]...)
+	} else {
+		s, d := r.Src.As16(), r.Dst.As16()
+		dst = append(dst, s[:]...)
+		dst = append(dst, d[:]...)
+	}
+	dst = be.AppendUint16(dst, r.SrcPort)
+	dst = be.AppendUint16(dst, r.DstPort)
+	dst = append(dst, r.Proto)
+	dst = be.AppendUint64(dst, r.Bytes)
+	dst = be.AppendUint64(dst, r.Packets)
+	dst = be.AppendUint32(dst, uint32(r.Start.Unix()))
+	return dst
+}
+
+// appendDataSets appends same-family runs of records as data sets,
+// preserving record order.
+func appendDataSets(dst []byte, recs []Record) []byte {
+	be := binary.BigEndian
+	for i := 0; i < len(recs); {
+		j := i
+		v4 := recs[i].IsV4()
+		for j < len(recs) && recs[j].IsV4() == v4 {
+			j++
+		}
+		setID := uint16(tplV6ID)
+		if v4 {
+			setID = tplV4ID
+		}
+		start := len(dst)
+		dst = be.AppendUint16(dst, setID)
+		dst = be.AppendUint16(dst, 0)
+		for _, r := range recs[i:j] {
+			dst = appendDataRecord(dst, r)
+		}
+		be.PutUint16(dst[start+2:], uint16(len(dst)-start))
+		i = j
+	}
+	return dst
+}
+
+// AppendIPFIXMessage appends one IPFIX message carrying the standard
+// template set (when withTemplates is set — every stream's first
+// message needs it) followed by the records as data sets. The message
+// length field is 16 bits; callers chunk records accordingly (≤ 1000
+// records is always safe).
+func AppendIPFIXMessage(dst []byte, domain uint32, seq uint32, withTemplates bool, recs []Record) ([]byte, error) {
+	be := binary.BigEndian
+	start := len(dst)
+	dst = be.AppendUint16(dst, ipfixVersion)
+	dst = be.AppendUint16(dst, 0) // length, patched below
+	exportSecs := uint32(0)
+	if len(recs) > 0 {
+		exportSecs = uint32(recs[0].Start.Unix())
+	}
+	dst = be.AppendUint32(dst, exportSecs)
+	dst = be.AppendUint32(dst, seq)
+	dst = be.AppendUint32(dst, domain)
+	if withTemplates {
+		dst = appendTemplateSet(dst, ipfixTemplateSetID)
+	}
+	dst = appendDataSets(dst, recs)
+	n := len(dst) - start
+	if n > 0xFFFF {
+		return nil, fmt.Errorf("netflow: IPFIX message of %d bytes exceeds the 16-bit length field", n)
+	}
+	be.PutUint16(dst[start+2:], uint16(n))
+	return dst, nil
+}
+
+// AppendV9Packet appends one NetFlow v9 packet (template flowset when
+// withTemplates is set, then the records as data flowsets). v9 packets
+// have no message-length field, so any record count within flowset
+// limits encodes.
+func AppendV9Packet(dst []byte, sourceID uint32, seq uint32, withTemplates bool, recs []Record) []byte {
+	be := binary.BigEndian
+	dst = be.AppendUint16(dst, v9Version)
+	count := len(recs)
+	if withTemplates {
+		count += 2
+	}
+	dst = be.AppendUint16(dst, uint16(count))
+	dst = be.AppendUint32(dst, 0) // sysUptime
+	exportSecs := uint32(0)
+	if len(recs) > 0 {
+		exportSecs = uint32(recs[0].Start.Unix())
+	}
+	dst = be.AppendUint32(dst, exportSecs)
+	dst = be.AppendUint32(dst, seq)
+	dst = be.AppendUint32(dst, sourceID)
+	if withTemplates {
+		dst = appendTemplateSet(dst, v9TemplateSetID)
+	}
+	return appendDataSets(dst, recs)
+}

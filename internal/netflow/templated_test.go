@@ -1,0 +1,306 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+// tplRecs is a mixed v4/v6 record set exercising both template layouts.
+func tplRecs() []Record {
+	v6a := rec("2003:100::1", "2001:db8::9", 40123, 8883, 7000, 9)
+	return []Record{
+		rec("95.1.2.3", "52.0.0.9", 40123, 8883, 5000, 12),
+		rec("95.9.9.9", "20.1.1.1", 51000, 443, 900, 3),
+		v6a,
+	}
+}
+
+func checkTplRecs(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Src != w.Src || g.Dst != w.Dst || g.SrcPort != w.SrcPort || g.DstPort != w.DstPort ||
+			g.Proto != w.Proto || g.Bytes != w.Bytes || g.Packets != w.Packets || !g.Start.Equal(w.Start) {
+			t.Fatalf("record %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestV9RoundTrip(t *testing.T) {
+	want := tplRecs()
+	pkt := AppendV9Packet(nil, 42, 7, true, want)
+	c := NewTemplateCache()
+	got, err := c.Decode(pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTplRecs(t, got, want)
+	if c.Templates != 2 {
+		t.Fatalf("templates cached = %d", c.Templates)
+	}
+
+	// Templates persist: a data-only packet from the same source decodes.
+	dataOnly := AppendV9Packet(nil, 42, 10, false, want[:1])
+	got, err = c.Decode(dataOnly, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTplRecs(t, got, want[:1])
+
+	// A fresh cache has never seen the template: the set is skipped
+	// silently, not an error (the sender re-announces periodically).
+	fresh := NewTemplateCache()
+	got, err = fresh.Decode(dataOnly, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || fresh.SkippedSets == 0 {
+		t.Fatalf("unknown template: %d records, %d skipped sets", len(got), fresh.SkippedSets)
+	}
+
+	// Template IDs are scoped per source: another sourceID misses.
+	other := AppendV9Packet(nil, 43, 1, false, want[:1])
+	if got, err := c.Decode(other, nil); err != nil || len(got) != 0 {
+		t.Fatalf("cross-domain decode: %d records, %v", len(got), err)
+	}
+}
+
+func TestIPFIXRoundTrip(t *testing.T) {
+	want := tplRecs()
+	pkt, err := AppendIPFIXMessage(nil, 99, 7, true, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewTemplateCache()
+	got, err := c.Decode(pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTplRecs(t, got, want)
+
+	dataOnly, err := AppendIPFIXMessage(nil, 99, 10, false, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Decode(dataOnly, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTplRecs(t, got, want)
+}
+
+// TestTemplatedStartFallback: a record layout without a start-time
+// field inherits the packet's export time.
+func TestTemplatedStartFallback(t *testing.T) {
+	export := time.Date(2022, 3, 2, 14, 0, 0, 0, time.UTC)
+	// Handcrafted IPFIX: template 300 = {v4 src, v4 dst}, one record.
+	var msg []byte
+	msg = binary.BigEndian.AppendUint16(msg, ipfixVersion)
+	msg = binary.BigEndian.AppendUint16(msg, 0) // length patched below
+	msg = binary.BigEndian.AppendUint32(msg, uint32(export.Unix()))
+	msg = binary.BigEndian.AppendUint32(msg, 1) // seq
+	msg = binary.BigEndian.AppendUint32(msg, 5) // domain
+	msg = binary.BigEndian.AppendUint16(msg, ipfixTemplateSetID)
+	msg = binary.BigEndian.AppendUint16(msg, 4+12) // set length
+	msg = binary.BigEndian.AppendUint16(msg, 300)
+	msg = binary.BigEndian.AppendUint16(msg, 2)
+	msg = binary.BigEndian.AppendUint16(msg, fieldV4Src)
+	msg = binary.BigEndian.AppendUint16(msg, 4)
+	msg = binary.BigEndian.AppendUint16(msg, fieldV4Dst)
+	msg = binary.BigEndian.AppendUint16(msg, 4)
+	msg = binary.BigEndian.AppendUint16(msg, 300) // data set
+	msg = binary.BigEndian.AppendUint16(msg, 4+8)
+	msg = append(msg, 95, 1, 2, 3, 52, 0, 0, 9)
+	binary.BigEndian.PutUint16(msg[2:], uint16(len(msg)))
+
+	c := NewTemplateCache()
+	got, err := c.Decode(msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d records", len(got))
+	}
+	if !got[0].Start.Equal(export) {
+		t.Fatalf("start = %v, want export time %v", got[0].Start, export)
+	}
+	if got[0].Src.String() != "95.1.2.3" || got[0].Dst.String() != "52.0.0.9" {
+		t.Fatalf("addrs = %v -> %v", got[0].Src, got[0].Dst)
+	}
+}
+
+// TestEnterpriseFieldSkipped: an enterprise-scoped field consumes its
+// 4-byte enterprise number in the spec and its bytes in the record,
+// contributing nothing.
+func TestEnterpriseFieldSkipped(t *testing.T) {
+	var msg []byte
+	msg = binary.BigEndian.AppendUint16(msg, ipfixVersion)
+	msg = binary.BigEndian.AppendUint16(msg, 0)
+	msg = binary.BigEndian.AppendUint32(msg, 1646222400)
+	msg = binary.BigEndian.AppendUint32(msg, 1)
+	msg = binary.BigEndian.AppendUint32(msg, 5)
+	msg = binary.BigEndian.AppendUint16(msg, ipfixTemplateSetID)
+	msg = binary.BigEndian.AppendUint16(msg, 4+16) // tid+count + 2 specs (one enterprise)
+	msg = binary.BigEndian.AppendUint16(msg, 301)
+	msg = binary.BigEndian.AppendUint16(msg, 2)
+	msg = binary.BigEndian.AppendUint16(msg, enterpriseBit|77) // vendor field
+	msg = binary.BigEndian.AppendUint16(msg, 2)
+	msg = binary.BigEndian.AppendUint32(msg, 12345) // enterprise number
+	msg = binary.BigEndian.AppendUint16(msg, fieldV4Src)
+	msg = binary.BigEndian.AppendUint16(msg, 4)
+	msg = binary.BigEndian.AppendUint16(msg, 301)
+	msg = binary.BigEndian.AppendUint16(msg, 4+6)
+	msg = append(msg, 0xFF, 0xFF)  // vendor payload, skipped
+	msg = append(msg, 95, 1, 2, 3) // src
+	binary.BigEndian.PutUint16(msg[2:], uint16(len(msg)))
+
+	c := NewTemplateCache()
+	got, err := c.Decode(msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Src.String() != "95.1.2.3" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestOptionsTemplatesIgnored: options template sets (v9 set 1, IPFIX
+// set 3) are skipped without polluting the data-template cache.
+func TestOptionsTemplatesIgnored(t *testing.T) {
+	want := tplRecs()[:1]
+	pkt := AppendV9Packet(nil, 42, 7, true, want)
+	// Splice an options set between header and the real sets.
+	opts := make([]byte, 4+6)
+	binary.BigEndian.PutUint16(opts[0:], v9OptionsSetID)
+	binary.BigEndian.PutUint16(opts[2:], uint16(len(opts)))
+	spliced := append([]byte{}, pkt[:v9HeaderLen]...)
+	spliced = append(spliced, opts...)
+	spliced = append(spliced, pkt[v9HeaderLen:]...)
+
+	c := NewTemplateCache()
+	got, err := c.Decode(spliced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTplRecs(t, got, want)
+	if c.SkippedSets == 0 {
+		t.Fatal("options set not counted as skipped")
+	}
+}
+
+// badTemplate builds a v9 packet whose single template set carries the
+// given field specs — the handcrafting seam for malformed-template
+// tests.
+func badTemplate(specs ...uint16) []byte {
+	var pkt []byte
+	pkt = binary.BigEndian.AppendUint16(pkt, v9Version)
+	pkt = binary.BigEndian.AppendUint16(pkt, 1) // count
+	pkt = binary.BigEndian.AppendUint32(pkt, 0) // uptime
+	pkt = binary.BigEndian.AppendUint32(pkt, 1646222400)
+	pkt = binary.BigEndian.AppendUint32(pkt, 1) // seq
+	pkt = binary.BigEndian.AppendUint32(pkt, 9) // source
+	set := make([]byte, 0, 64)
+	set = binary.BigEndian.AppendUint16(set, 300)
+	set = binary.BigEndian.AppendUint16(set, uint16(len(specs)/2))
+	for _, v := range specs {
+		set = binary.BigEndian.AppendUint16(set, v)
+	}
+	pkt = binary.BigEndian.AppendUint16(pkt, v9TemplateSetID)
+	pkt = binary.BigEndian.AppendUint16(pkt, uint16(4+len(set)))
+	return append(pkt, set...)
+}
+
+func TestMalformedTemplatesError(t *testing.T) {
+	cases := map[string][]byte{
+		"zero-length field": badTemplate(fieldV4Src, 0),
+		"variable length":   badTemplate(fieldV4Src, varLenField),
+		"truncated specs":   badTemplate(fieldV4Src), // count says 0.5 specs
+	}
+	for name, pkt := range cases {
+		if _, err := NewTemplateCache().Decode(pkt, nil); !errors.Is(err, ErrTemplated) {
+			t.Fatalf("%s: err = %v", name, err)
+		}
+	}
+	// Unknown field IDs are fine — skipped by length at decode.
+	okPkt := badTemplate(999, 4, fieldV4Src, 4)
+	if _, err := NewTemplateCache().Decode(okPkt, nil); err != nil {
+		t.Fatalf("unknown field: %v", err)
+	}
+}
+
+// FuzzDecodeV9 hammers the templated decoder with v9-shaped bytes:
+// template confusion, truncated field specs, and length-zero fields
+// must error cleanly — never panic, never hang.
+func FuzzDecodeV9(f *testing.F) {
+	want := tplRecs()
+	f.Add(AppendV9Packet(nil, 42, 7, true, want))
+	f.Add(AppendV9Packet(nil, 42, 8, false, want))
+	f.Add(badTemplate(fieldV4Src, 0))
+	f.Add(badTemplate(fieldV4Src, varLenField))
+	f.Add(badTemplate(fieldV4Src))
+	full := AppendV9Packet(nil, 42, 7, true, want)
+	f.Add(full[:v9HeaderLen])
+	f.Add(full[:v9HeaderLen+5])
+	f.Add(full[:len(full)-3])
+	f.Add([]byte{0, 9})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewTemplateCache()
+		// Two passes through one cache: the second sees whatever
+		// templates the first defined — the template-confusion case.
+		for i := 0; i < 2; i++ {
+			recs, _ := c.Decode(data, nil)
+			for _, r := range recs {
+				if r.Start.IsZero() {
+					t.Fatal("record with zero start time")
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeIPFIX is FuzzDecodeV9 for the v10 header layout and its
+// message-length field.
+func FuzzDecodeIPFIX(f *testing.F) {
+	want := tplRecs()
+	full, err := AppendIPFIXMessage(nil, 99, 7, true, want)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dataOnly, err := AppendIPFIXMessage(nil, 99, 8, false, want)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(dataOnly)
+	f.Add(full[:ipfixHdrLen])
+	f.Add(full[:len(full)-1])
+	// Message length lying beyond the buffer.
+	lying := append([]byte{}, full...)
+	binary.BigEndian.PutUint16(lying[2:], uint16(len(lying)+100))
+	f.Add(lying)
+	// Message length shorter than the header.
+	short := append([]byte{}, full...)
+	binary.BigEndian.PutUint16(short[2:], 8)
+	f.Add(short)
+	f.Add([]byte{0, 10})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewTemplateCache()
+		for i := 0; i < 2; i++ {
+			recs, _ := c.Decode(data, nil)
+			for _, r := range recs {
+				if r.Start.IsZero() {
+					t.Fatal("record with zero start time")
+				}
+			}
+		}
+	})
+}

@@ -128,6 +128,12 @@ type Config struct {
 	// WireStallTimeout arms the collector's per-stream read-stall
 	// watchdog in wire mode; zero disables it.
 	WireStallTimeout time.Duration
+	// WireFormat selects the wire-mode on-wire encoding: WireFormatDict
+	// (default) ships per-stream address dictionaries and columnar batch
+	// frames — the zero-copy hot path; WireFormatV5 keeps the legacy
+	// framed NetFlow v5 encoding (what PR 3-6 recorded files use).
+	// Figures are byte-identical across both. Ignored in memory mode.
+	WireFormat string
 }
 
 // ErrorPolicy re-exports the collector's stream-fault policy.
@@ -195,6 +201,26 @@ const (
 	// figures are computed from packets, not memory.
 	TrafficModeWire = "wire"
 )
+
+// Wire-mode encodings (Config.WireFormat).
+const (
+	// WireFormatDict is the columnar dictionary encoding (default).
+	WireFormatDict = "dict"
+	// WireFormatV5 is the legacy framed NetFlow v5 encoding.
+	WireFormatV5 = "v5"
+)
+
+// wireFormat maps Config.WireFormat to the exporter's enum.
+func (c Config) wireFormat() (isp.WireFormat, error) {
+	switch c.WireFormat {
+	case WireFormatDict, "":
+		return isp.WireDict, nil
+	case WireFormatV5:
+		return isp.WireV5, nil
+	default:
+		return 0, fmt.Errorf("iotmap: unknown WireFormat %q", c.WireFormat)
+	}
+}
 
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
@@ -541,6 +567,10 @@ func (s *System) runPipeline(net *isp.Network, idx *flows.BackendIndex, opts flo
 		}
 		return pipelineRun{parts: parts}, nil
 	case TrafficModeWire:
+		format, err := s.Cfg.wireFormat()
+		if err != nil {
+			return pipelineRun{}, err
+		}
 		streams := s.Cfg.WireStreams
 		if streams <= 0 {
 			streams = runtime.GOMAXPROCS(0)
@@ -561,7 +591,7 @@ func (s *System) runPipeline(net *isp.Network, idx *flows.BackendIndex, opts flo
 			return pipelineRun{}, err
 		}
 		writers, wait := col.IngestPipes(streams)
-		wireStats, exportErr := net.SimulateLinesToWire(writers, 0)
+		wireStats, exportErr := net.SimulateLinesToWireFormat(writers, 0, format)
 		if err := wait(); err != nil {
 			return pipelineRun{}, err
 		}
