@@ -388,6 +388,57 @@ func BenchmarkStageWireWeek(b *testing.B) { benchStageWireWeek(b, isp.WireDict) 
 // keeps the v5 framing for its richer resync semantics.)
 func BenchmarkStageWireWeekDict(b *testing.B) { benchStageWireWeek(b, isp.WireDict) }
 
+// BenchmarkStageWindowWeek is the service-mode week: the same columnar
+// dictionary streams as StageWireWeek, but folding into one shared
+// sliding flows.Window (hour buckets, per-flush routing) instead of
+// per-stream ShardPartials, then merging the trailing view. The delta
+// over StageWireWeek is the price of being able to answer "the trailing
+// 7 days" at any moment.
+func BenchmarkStageWindowWeek(b *testing.B) {
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := isp.NewNetwork(isp.Config{Seed: 5, Lines: 5000}, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	opts := flows.Options{ScannerThreshold: 100, SamplingRate: 100}
+	winOpts := opts
+	winOpts.SamplingRate = 1
+	streams := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		win, err := flows.NewWindow(idx, w.Days[0], len(w.Days)*24, winOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := collector.New(collector.Config{Index: idx, Days: w.Days, Opts: opts, Window: win})
+		if err != nil {
+			b.Fatal(err)
+		}
+		writers, wait := col.IngestPipes(streams)
+		if _, err := net.SimulateLinesToWireFormat(writers, 0, isp.WireDict); err != nil {
+			b.Fatal(err)
+		}
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+		cc, fcol := col.Finalize()
+		if len(cc.Scanners(100)) == 0 {
+			b.Fatal("no scanners classified")
+		}
+		if fcol.Study().Hours() == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
 // BenchmarkStageWireWeekFaulty is the wire week under fire: a seeded
 // 1% frame corruption injected into every stream, ingested with the
 // DropFrame self-healing policy. It deliberately keeps the legacy v5

@@ -17,6 +17,17 @@
 //	iotcollect streams/stream-*.nf       # re-ingest recorded streams
 //	iotcollect -listen 127.0.0.1:2055    # accept -streams TCP feeds, then report
 //	iotcollect -udp 127.0.0.1:2055       # raw v5 datagrams until Ctrl-C
+//
+// With -serve the collector becomes a long-lived daemon instead of a
+// batch run: feeds attach and detach at runtime (inbound TCP on
+// -feed-listen, files and outbound dials via the HTTP API), the study
+// is a sliding trailing window (-window hours), and the window plus
+// per-stream dictionary state checkpoint atomically to -checkpoint on
+// a timer (-checkpoint-every) and on SIGTERM, so a restart resumes
+// without re-ingesting. See docs/operations.md for the runbook.
+//
+//	iotcollect -serve 127.0.0.1:8080 -feed-listen 127.0.0.1:2055 \
+//	    -checkpoint /var/lib/iotmap/ckpt -checkpoint-every 1h streams/*.nf
 package main
 
 import (
@@ -29,13 +40,17 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"iotmap"
 	"iotmap/internal/collector"
 	"iotmap/internal/core/flows"
 	"iotmap/internal/figures"
 	"iotmap/internal/isp"
+	"iotmap/internal/serve"
 )
 
 func main() {
@@ -52,6 +67,11 @@ func main() {
 	policy := flag.String("policy", "abort", "stream-fault policy: abort, drop (drop bad frames, resync), quarantine (discard faulty streams)")
 	stall := flag.Duration("stall", 0, "per-stream read-stall timeout (0 disables the watchdog)")
 	format := flag.String("format", "dict", "wire encoding for -export and -demo: dict (columnar dictionary batches) or v5 (legacy framed NetFlow v5)")
+	serveAddr := flag.String("serve", "", "run as a daemon: HTTP API on this address (file args preload as feeds)")
+	feedListen := flag.String("feed-listen", "", "with -serve: accept inbound framed exporter streams on this TCP address")
+	windowHours := flag.Int("window", 0, "with -serve: trailing window span in hours, a multiple of 24 (0 = whole study)")
+	checkpoint := flag.String("checkpoint", "", "with -serve: checkpoint file path (restored at startup if present)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "with -serve: periodic checkpoint interval (0 = only on shutdown/demand)")
 	flag.Parse()
 
 	var wf isp.WireFormat
@@ -104,6 +124,15 @@ func main() {
 
 	if *exportDir != "" {
 		exportStreams(ispNet, *exportDir, *streams, wf)
+		return
+	}
+
+	if *serveAddr != "" {
+		runServe(sys, idx, opts, serveConfig{
+			addr: *serveAddr, feedAddr: *feedListen, windowHours: *windowHours,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+			policy: pol, stall: *stall, vantage: *vantage, preload: flag.Args(),
+		})
 		return
 	}
 
@@ -265,4 +294,69 @@ func report(sys *iotmap.System, col *collector.Collector) {
 	fmt.Println(figures.Figure8(sys))
 	fmt.Println(figures.Figure9(sys))
 	fmt.Println(figures.Figure11(sys))
+}
+
+// serveConfig carries the -serve flag set into runServe.
+type serveConfig struct {
+	addr, feedAddr  string
+	windowHours     int
+	checkpoint      string
+	checkpointEvery time.Duration
+	policy          collector.ErrorPolicy
+	stall           time.Duration
+	vantage         string
+	preload         []string
+}
+
+// runServe hosts the long-lived collector service until SIGINT/SIGTERM,
+// then drains feeds, writes a final checkpoint, and exits.
+func runServe(sys *iotmap.System, idx *flows.BackendIndex, opts flows.Options, sc serveConfig) {
+	// The figures package renders from the System, which is not safe for
+	// concurrent mutation — serialize /figures requests over it.
+	var figMu sync.Mutex
+	render := func(cc *flows.ContactCounter, fcol *flows.Collector) string {
+		figMu.Lock()
+		defer figMu.Unlock()
+		sys.Contacts = cc
+		sys.Study = fcol.Study()
+		return strings.Join([]string{
+			figures.Figure5(sys), figures.Figure8(sys),
+			figures.Figure9(sys), figures.Figure11(sys),
+		}, "\n") + "\n"
+	}
+	svc, err := serve.New(serve.Config{
+		Index: idx, Days: sys.World.Days, Opts: opts,
+		WindowHours: sc.windowHours, Policy: sc.policy, StallTimeout: sc.stall,
+		CheckpointPath: sc.checkpoint, CheckpointEvery: sc.checkpointEvery,
+		RenderFigures: render, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpLn, err := net.Listen("tcp", sc.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var feedLn net.Listener
+	if sc.feedAddr != "" {
+		if feedLn, err = net.Listen("tcp", sc.feedAddr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("iotcollect: accepting exporter streams on %s", feedLn.Addr())
+	}
+	for _, path := range sc.preload {
+		if _, err := svc.AttachFile(path, path, sc.vantage); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("iotcollect: attached recorded feed %s", path)
+	}
+	if svc.Restored {
+		log.Printf("iotcollect: resumed window from checkpoint %s", sc.checkpoint)
+	}
+	log.Printf("iotcollect: serving HTTP API on %s (interrupt to checkpoint and exit)", httpLn.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := svc.Run(ctx, httpLn, feedLn); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -58,6 +58,7 @@ const (
 	QuarantineStream
 )
 
+// String names the policy for logs and stats output.
 func (p ErrorPolicy) String() string {
 	switch p {
 	case DropFrame:
@@ -97,6 +98,41 @@ type Config struct {
 	// splices into the wire path. The collector keeps the raw reader for
 	// abort/drain control, so a tap cannot deadlock the exporter.
 	Tap func(stream int, source string, r io.Reader) io.Reader
+	// Window, when set, switches the collector from batch to sliding-
+	// window mode: every stream folds into this shared flows.Window
+	// instead of a per-stream ShardPartial, Finalize returns
+	// Window.Merged(), and completed streams' dictionary state is
+	// retained (DictStates) so a service can checkpoint it. Window mode
+	// requires Policy != QuarantineStream (a shared sink cannot retract
+	// one stream's contribution), Window.Epoch() == Days[0], and
+	// Window.SamplingRate() == 1 (the wire path pre-scales counters).
+	Window *flows.Window
+	// RestoredDicts seeds streams with dictionary state recovered from a
+	// checkpoint, keyed by source label: a stream whose source matches an
+	// entry adopts its tables instead of waiting for a hello frame, so a
+	// recorded feed's tail can resume mid-stream after a daemon restart.
+	// Each entry is consumed by the first matching stream. Window mode
+	// only.
+	RestoredDicts map[string]*DictState
+}
+
+// DictState is one stream's dictionary-mode decode state, detached from
+// the stream so a service can checkpoint it at shutdown and hand it
+// back via Config.RestoredDicts after a restart. Tables must be bound
+// to the same Window the restored collector will feed
+// (flows.RestoreWireTables against that Window).
+type DictState struct {
+	// Source is the stream's source label (Config.RestoredDicts key).
+	Source string
+	// Epoch is the exporter's hour-zero (Unix seconds) from the hello
+	// frame that armed the tables.
+	Epoch int64
+	// Rate is the stream's advertised sampling rate (0 = none seen).
+	Rate uint32
+	// Tables is the stream's dictionary state.
+	Tables *flows.WireTables
+	// LineV4/BackV4 mirror the dictionary entries' address families.
+	LineV4, BackV4 []bool
 }
 
 // Stats counts what crossed the wire. All counters are totals across
@@ -213,6 +249,11 @@ type Collector struct {
 	stats      Stats
 	perStream  []StreamStat
 	nextStream int
+	// restored holds Config.RestoredDicts entries not yet claimed by a
+	// stream; dicts retains completed streams' dictionary state for
+	// checkpointing (window mode only).
+	restored map[string]*DictState
+	dicts    map[string]*DictState
 }
 
 // New builds a collector.
@@ -223,17 +264,38 @@ func New(cfg Config) (*Collector, error) {
 	if len(cfg.Days) == 0 {
 		return nil, errors.New("collector: Config.Days is required")
 	}
+	if cfg.Window != nil {
+		if cfg.Policy == QuarantineStream {
+			return nil, errors.New("collector: QuarantineStream is incompatible with window mode (streams share one sink)")
+		}
+		if !cfg.Window.Epoch().Equal(cfg.Days[0]) {
+			return nil, fmt.Errorf("collector: Window epoch %v != Days[0] %v", cfg.Window.Epoch(), cfg.Days[0])
+		}
+		if cfg.Window.SamplingRate() != 1 {
+			return nil, fmt.Errorf("collector: Window sampling rate %v != 1 (the wire path pre-scales counters)", cfg.Window.SamplingRate())
+		}
+	} else if len(cfg.RestoredDicts) != 0 {
+		return nil, errors.New("collector: RestoredDicts requires window mode")
+	}
 	// Freeze the dense backend/alias ID assignment now, while New is
 	// still single-threaded: every accepted stream builds its shard
 	// partial concurrently, and they must all see one built index.
 	cfg.Index.Build()
 	po := cfg.Opts
 	po.SamplingRate = 1
-	return &Collector{cfg: cfg, partialOpts: po}, nil
+	restored := make(map[string]*DictState, len(cfg.RestoredDicts))
+	for src, ds := range cfg.RestoredDicts {
+		restored[src] = ds
+	}
+	return &Collector{cfg: cfg, partialOpts: po, restored: restored, dicts: map[string]*DictState{}}, nil
 }
 
 // stream is one shard's decode state.
 type stream struct {
+	// sink is where flushes fold: the stream's own ShardPartial (batch
+	// mode, also held in part for quarantine swaps) or the collector's
+	// shared Window.
+	sink flows.Sink
 	part *flows.ShardPartial
 	// index is the stream's reserved index (see reserveStreams); source
 	// its endpoint label.
@@ -285,7 +347,7 @@ type stream struct {
 // dictionaries from ID zero, so arriving mid-stream is self-healing.
 func (st *stream) resetDict(epoch int64) {
 	st.epoch = epoch
-	st.tables = st.part.NewWireTables()
+	st.tables = st.sink.NewWireTables()
 	st.batch.Reset()
 	st.lineV4 = st.lineV4[:0]
 	st.backV4 = st.backV4[:0]
@@ -313,19 +375,38 @@ func (c *Collector) newStream(source string) *stream {
 }
 
 func (c *Collector) newStreamAt(idx int, source string) *stream {
-	part := flows.NewShardPartial(c.cfg.Index, c.cfg.Days, c.partialOpts)
-	c.mu.Lock()
-	c.parts[idx] = part
-	c.mu.Unlock()
 	if source == "" {
 		source = fmt.Sprintf("stream-%d", idx)
 	}
 	hours := len(c.cfg.Days) * 24
-	return &stream{
-		part: part, index: idx, source: source,
+	st := &stream{
+		index: idx, source: source,
 		start: c.cfg.Days[0], hours: hours,
 		hourBits: make([]uint64, (hours+63)/64),
 	}
+	if c.cfg.Window != nil {
+		st.sink = c.cfg.Window
+		// Resume a checkpointed feed's dictionary state so its tail
+		// decodes without waiting for a hello frame it will never see.
+		c.mu.Lock()
+		if ds, ok := c.restored[source]; ok {
+			delete(c.restored, source)
+			st.tables = ds.Tables
+			st.epoch = ds.Epoch
+			st.rate = ds.Rate
+			st.lineV4 = ds.LineV4
+			st.backV4 = ds.BackV4
+		}
+		c.mu.Unlock()
+		return st
+	}
+	part := flows.NewShardPartial(c.cfg.Index, c.cfg.Days, c.partialOpts)
+	c.mu.Lock()
+	c.parts[idx] = part
+	c.mu.Unlock()
+	st.part = part
+	st.sink = part
+	return st
 }
 
 // cover marks the study hours the records fall into.
@@ -361,6 +442,14 @@ func (c *Collector) finish(st *stream) {
 		c.stats.QuarantinedStreams += st.stats.QuarantinedStreams
 	} else {
 		c.stats.add(st.stats)
+	}
+	if c.cfg.Window != nil && st.tables != nil {
+		// Retain the completed stream's dictionary state so a checkpoint
+		// can persist it and its tail can resume after a restart.
+		c.dicts[st.source] = &DictState{
+			Source: st.source, Epoch: st.epoch, Rate: st.rate,
+			Tables: st.tables, LineV4: st.lineV4, BackV4: st.backV4,
+		}
 	}
 	c.perStream = append(c.perStream, StreamStat{
 		Stream:       st.index,
@@ -405,17 +494,17 @@ func (st *stream) ingestV5(h netflow.V5Header, recs []netflow.Record) {
 	st.buf = append(st.buf, recs...)
 }
 
-// flush completes the buffered line batch in the shard partial (the
+// flush completes the buffered line batch in the stream's sink (the
 // scanner-classification point). Columnar rows fold through IngestBatch
 // (already rebased and scaled at decode); legacy record-path rows are
-// scaled here and fold through Ingest/EndLine.
+// scaled here and fold through IngestFlush.
 func (st *stream) flush(fallbackRate uint32) {
 	if st.batch.Len() > 0 {
-		st.part.IngestBatch(st.tables, &st.batch)
+		st.sink.IngestBatch(st.tables, &st.batch)
 		st.batch.Reset()
 	}
 	if len(st.buf) == 0 {
-		st.part.EndLine()
+		st.sink.IngestFlush(nil)
 		return
 	}
 	rate := st.rate
@@ -429,14 +518,13 @@ func (st *stream) flush(fallbackRate uint32) {
 	if st.sampler == nil || st.sampler.Rate != rate {
 		st.sampler = netflow.NewSampler(rate, 0)
 	}
-	for _, r := range st.buf {
-		r.Bytes = st.sampler.Scale(r.Bytes)
-		r.Packets = st.sampler.Scale(r.Packets)
-		st.stats.ScaledBytes += r.Bytes
-		st.part.Ingest(r)
+	for i := range st.buf {
+		st.buf[i].Bytes = st.sampler.Scale(st.buf[i].Bytes)
+		st.buf[i].Packets = st.sampler.Scale(st.buf[i].Packets)
+		st.stats.ScaledBytes += st.buf[i].Bytes
 	}
+	st.sink.IngestFlush(st.buf)
 	st.buf = st.buf[:0]
-	st.part.EndLine()
 }
 
 // IngestStream consumes one framed NetFlow stream (the
@@ -774,6 +862,7 @@ func (c *Collector) quarantine(st *stream, raw io.Reader) error {
 	c.parts[st.index] = part
 	c.mu.Unlock()
 	st.part = part
+	st.sink = part
 	drainReader(raw)
 	return nil
 }
@@ -1367,8 +1456,13 @@ func (c *Collector) ServeUDP(pc net.PacketConn) error {
 // Finalize merges every stream's partial into the study aggregates —
 // call after all ingestion has completed. With zero streams it returns
 // empty aggregates. The merge consumes the partials; repeated calls
-// return the cached result.
+// return the cached result. In window mode it returns the trailing
+// window's merged view (Window.Merged) — non-destructive, callable
+// while ingestion continues.
 func (c *Collector) Finalize() (*flows.ContactCounter, *flows.Collector) {
+	if c.cfg.Window != nil {
+		return c.cfg.Window.Merged()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.parts) == 0 {
@@ -1388,11 +1482,34 @@ func (c *Collector) Finalize() (*flows.ContactCounter, *flows.Collector) {
 // assumes ownership: the collector is left empty, and a later Finalize
 // returns empty aggregates. Call only after all ingestion completed.
 func (c *Collector) Partials() []*flows.ShardPartial {
+	if c.cfg.Window != nil {
+		return nil // window mode has no per-stream partials to hand over
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	parts := c.parts
 	c.parts = nil
 	return parts
+}
+
+// DictStates returns the dictionary state retained from completed
+// streams (window mode), keyed by source label — what a service
+// checkpoints so recorded feeds can resume mid-stream after a restart.
+// Unclaimed RestoredDicts entries are included, so state survives a
+// restart even if the matching feed never reattached. The returned map
+// is a copy; the DictState values are live (checkpoint them only while
+// no stream is ingesting under the same source).
+func (c *Collector) DictStates() map[string]*DictState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*DictState, len(c.dicts)+len(c.restored))
+	for src, ds := range c.restored {
+		out[src] = ds
+	}
+	for src, ds := range c.dicts {
+		out[src] = ds
+	}
+	return out
 }
 
 // Stats returns a snapshot of the wire counters.

@@ -43,25 +43,26 @@ type wireLineEnt struct {
 	valid    bool  // false for gap-filled (lost) entries
 }
 
-// WireTables is one wire stream's dictionary state, bound to the
-// ShardPartial the stream feeds. Dictionary frames append entries
-// (AddLines/AddBackends); batch frames validate against the tables
-// (Validate) and fold via ShardPartial.IngestBatch. Owned by one
-// stream; no locking.
+// WireTables is one wire stream's dictionary state, bound to the index
+// and exclusion set of the Sink the stream feeds (a ShardPartial or a
+// Window). Dictionary frames append entries (AddLines/AddBackends);
+// batch frames validate against the tables (Validate) and fold via the
+// sink's IngestBatch. Owned by one stream; no locking.
 type WireTables struct {
-	p        *ShardPartial
+	idx      *BackendIndex
+	excluded map[netip.Addr]struct{}
 	lines    []wireLineEnt
 	backends []int32 // dense backend ID, unknownBackend, or lostBackend
 	// entSlot/touched scratch one IngestBatch call's per-line ent
-	// assignment (index+1 into the partial's recycled ents; 0 = none).
+	// assignment (index+1 into the sink's recycled ents; 0 = none).
 	entSlot []int32
 	touched []int32
 }
 
-// NewWireTables returns empty dictionary tables feeding p. A stream
-// (re)starts with fresh tables on every hello frame.
+// NewWireTables implements Sink: empty dictionary tables feeding p. A
+// stream (re)starts with fresh tables on every hello frame.
 func (p *ShardPartial) NewWireTables() *WireTables {
-	return &WireTables{p: p}
+	return &WireTables{idx: p.idx, excluded: p.col.excluded}
 }
 
 // Lines returns the line-dictionary size (lost entries included).
@@ -96,7 +97,7 @@ func (t *WireTables) AddLines(base uint32, addrs []netip.Addr) error {
 		t.lines = append(t.lines, wireLineEnt{ccID: -1, colID: -1})
 	}
 	for _, a := range addrs {
-		_, excluded := t.p.col.excluded[a]
+		_, excluded := t.excluded[a]
 		t.lines = append(t.lines, wireLineEnt{addr: a, ccID: -1, colID: -1, excluded: excluded, valid: true})
 	}
 	t.entSlot = grown(t.entSlot, len(t.lines))
@@ -114,7 +115,7 @@ func (t *WireTables) AddBackends(base uint32, addrs []netip.Addr) error {
 		t.backends = append(t.backends, lostBackend)
 	}
 	for _, a := range addrs {
-		if bi, ok := t.p.idx.info[a]; ok {
+		if bi, ok := t.idx.info[a]; ok {
 			t.backends = append(t.backends, bi.id)
 		} else {
 			t.backends = append(t.backends, unknownBackend)

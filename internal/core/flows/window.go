@@ -1,0 +1,575 @@
+package flows
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sync"
+	"time"
+
+	"iotmap/internal/analysis"
+	"iotmap/internal/netflow"
+	"iotmap/internal/proto"
+)
+
+// Sliding-window aggregation: the long-lived collector service cannot
+// afford the batch pipeline's "ingest a week, Study() once, exit"
+// shape — it ingests endless feeds and must answer "figures for the
+// trailing N hours" at any moment. Window wraps the dense aggregation
+// core in an hour-granular ring: every study hour owns a private
+// ContactCounter + Collector pair anchored at that hour, new hours
+// evict the oldest bucket wholesale (retiring its entire contribution,
+// which a cross-line sum could never subtract record by record), and
+// Study() folds the surviving buckets — shifted to the window's frame —
+// into one collector. Because every aggregate's merge is
+// order-independent and exact (see Collector.Merge), a window that
+// never evicted is byte-identical to a batch run over the same feed,
+// and an evicted window is byte-identical to a batch run over only the
+// surviving hours' flushes (TestWindowEvictionMatchesBatch).
+//
+// Eviction granularity caveat: scanner classification stays per-flush,
+// exactly like the live wire pipeline (ShardPartial.EndLine/
+// IngestBatch), but a bucket can only retire what landed in its hour.
+// A flush whose records span multiple hours is split across buckets
+// while its classification evidence was pooled, so eviction is exact
+// for feeds whose flush intervals respect hour boundaries (the natural
+// discipline of a live exporter flushing at least hourly) and
+// approximate otherwise — the whole-window no-eviction identity holds
+// for any flush pattern either way.
+
+// Sink is where a wire stream's flush intervals land: either a
+// per-stream ShardPartial (the batch collector) or a shared Window (the
+// long-lived service). Both consume whole flush intervals, because
+// scanner classification is a per-flush decision.
+type Sink interface {
+	// IngestFlush consumes one flush interval's records (bytes already
+	// scaled to volume estimates): classify each line address against
+	// the scanner threshold using this flush's distinct-backend
+	// evidence, count every record's contact, aggregate the kept ones.
+	// An empty flush is a no-op.
+	IngestFlush(recs []netflow.Record)
+	// IngestBatch is IngestFlush for the columnar wire path: one flush
+	// interval's validated RecordBatch, resolved through the stream's
+	// dictionary tables.
+	IngestBatch(t *WireTables, b *netflow.RecordBatch)
+	// NewWireTables returns empty per-stream dictionary tables bound to
+	// this sink's index and exclusion set.
+	NewWireTables() *WireTables
+}
+
+var (
+	_ Sink = (*ShardPartial)(nil)
+	_ Sink = (*Window)(nil)
+)
+
+// IngestFlush implements Sink: buffer the flush interval's records and
+// complete it, classifying its lines with EndLine's per-flush evidence.
+func (p *ShardPartial) IngestFlush(recs []netflow.Record) {
+	p.buf = append(p.buf, recs...)
+	p.EndLine()
+}
+
+// Window is an hour-granular sliding study over the dense aggregation
+// core. It is safe for concurrent use: many collector streams may
+// flush into one Window while Study/Snapshot readers run.
+type Window struct {
+	mu sync.Mutex
+
+	idx       *BackendIndex
+	opts      Options
+	epoch     time.Time
+	hours     int
+	threshold int
+	rate      float64
+
+	// end is the newest absolute hour ever ingested (-1 before the
+	// first record); the live window is [end-hours+1, end].
+	end int64
+	// ring holds the live hour buckets, indexed by absolute hour mod
+	// hours. advance() nils a slot before its hour comes around again.
+	ring []*hourBucket
+
+	stats WindowStats
+
+	// Per-flush classification scratch, recycled across calls (shared
+	// by the record and columnar paths; guarded by mu).
+	sides []recSide
+	ents  []endEnt
+	entOf map[netip.Addr]int32
+}
+
+// hourBucket is one live hour's private aggregation state: a
+// ContactCounter plus a Collector over a single-day frame anchored at
+// the bucket's hour, so every record lands at bucket-local hour 0.
+type hourBucket struct {
+	ah      int64 // absolute hour (since the window epoch)
+	cc      *ContactCounter
+	col     *Collector
+	records uint64
+}
+
+// WindowStats counts what the window refused or retired.
+type WindowStats struct {
+	// PreWindowRecords counts records timestamped before the window
+	// epoch — there is no hour to attribute them to.
+	PreWindowRecords uint64
+	// LateRecords counts records older than the trailing window at
+	// arrival time: their hour was already evicted (or never lived).
+	LateRecords uint64
+	// EvictedHours counts hour buckets retired as the window advanced.
+	EvictedHours uint64
+	// EvictedRecords counts the aggregated records those buckets held.
+	EvictedRecords uint64
+}
+
+// BucketStat is one live hour bucket's fill, for the service's /window
+// endpoint.
+type BucketStat struct {
+	// Hour is the bucket's absolute hour index since the window epoch.
+	Hour int64
+	// Start is the bucket's wall-clock hour start.
+	Start time.Time
+	// Records is the number of records aggregated into the bucket.
+	Records uint64
+}
+
+// NewWindow builds a sliding window of `hours` trailing hours over idx,
+// with hour 0 anchored at epoch. hours must be a positive multiple of
+// 24 (study frames are day-granular). opts follows NewShardedAggregator
+// semantics; when the window is fed by a wire collector (whose streams
+// pre-scale counters at the stream boundary) opts.SamplingRate must be
+// 1, exactly as the collector forces on its own partials.
+func NewWindow(idx *BackendIndex, epoch time.Time, hours int, opts Options) (*Window, error) {
+	if hours <= 0 || hours%24 != 0 {
+		return nil, fmt.Errorf("flows: window hours must be a positive multiple of 24, got %d", hours)
+	}
+	idx.ensureBuilt()
+	threshold := opts.ScannerThreshold
+	if threshold <= 0 {
+		threshold = math.MaxInt
+	}
+	rate := float64(opts.SamplingRate)
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Window{
+		idx:       idx,
+		opts:      opts,
+		epoch:     epoch,
+		hours:     hours,
+		threshold: threshold,
+		rate:      rate,
+		end:       -1,
+		ring:      make([]*hourBucket, hours),
+		entOf:     map[netip.Addr]int32{},
+	}, nil
+}
+
+// Epoch returns the wall-clock anchor of absolute hour 0.
+func (w *Window) Epoch() time.Time { return w.epoch }
+
+// Hours returns the window length in hours.
+func (w *Window) Hours() int { return w.hours }
+
+// SamplingRate returns the byte-scaling rate the window applies at
+// ingest (1 when the feed pre-scales, e.g. a wire collector's streams).
+func (w *Window) SamplingRate() uint32 { return uint32(w.rate) }
+
+// End returns the newest absolute hour ever ingested (-1 before any
+// record arrived).
+func (w *Window) End() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.end
+}
+
+// Span returns the current study frame: the wall-clock start of the
+// oldest retained hour and the end of the newest. Before the window has
+// filled once it spans the first `hours` hours after the epoch.
+func (w *Window) Span() (start, end time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ws := w.startHourLocked()
+	return w.epoch.Add(time.Duration(ws) * time.Hour),
+		w.epoch.Add(time.Duration(ws+int64(w.hours)) * time.Hour)
+}
+
+// startHourLocked is the oldest hour of the current study frame.
+func (w *Window) startHourLocked() int64 {
+	ws := w.end - int64(w.hours) + 1
+	if ws < 0 {
+		ws = 0
+	}
+	return ws
+}
+
+// Stats returns a snapshot of the window's refusal/eviction counters.
+func (w *Window) Stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// BucketStats returns the live buckets' fill, oldest first.
+func (w *Window) BucketStats() []BucketStat {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]BucketStat, 0, len(w.ring))
+	for ah := w.startHourLocked(); ah <= w.end; ah++ {
+		bk := w.ring[int(ah%int64(w.hours))]
+		if bk == nil {
+			continue
+		}
+		out = append(out, BucketStat{
+			Hour:    bk.ah,
+			Start:   w.epoch.Add(time.Duration(bk.ah) * time.Hour),
+			Records: bk.records,
+		})
+	}
+	return out
+}
+
+// advance moves the newest hour to ah, retiring every bucket that falls
+// out of the trailing window. Walking only the slots the new hours
+// claim keeps eviction amortized O(1) per hour of progress: the bucket
+// in slot (end+1+k) mod hours is exactly the one hour end+1+k evicts.
+func (w *Window) advance(ah int64) {
+	if w.end >= 0 {
+		steps := ah - w.end
+		if steps > int64(w.hours) {
+			steps = int64(w.hours)
+		}
+		for k := int64(0); k < steps; k++ {
+			i := int((w.end + 1 + k) % int64(w.hours))
+			if bk := w.ring[i]; bk != nil {
+				w.stats.EvictedHours++
+				w.stats.EvictedRecords += bk.records
+				w.ring[i] = nil
+			}
+		}
+	}
+	w.end = ah
+}
+
+// route resolves one record's absolute hour to its live bucket,
+// advancing (and evicting) as needed. nil means the record was refused
+// (pre-epoch or older than the trailing window) and counted in stats.
+func (w *Window) route(ah int64, pre bool) *hourBucket {
+	if pre {
+		w.stats.PreWindowRecords++
+		return nil
+	}
+	if ah > w.end {
+		w.advance(ah)
+	} else if w.end-ah >= int64(w.hours) {
+		w.stats.LateRecords++
+		return nil
+	}
+	i := int(ah % int64(w.hours))
+	bk := w.ring[i]
+	if bk == nil {
+		bk = &hourBucket{
+			ah:  ah,
+			cc:  NewContactCounter(w.idx),
+			col: NewCollector(w.idx, []time.Time{w.epoch.Add(time.Duration(ah) * time.Hour)}, w.opts),
+		}
+		w.ring[i] = bk
+	}
+	return bk
+}
+
+// IngestFlush implements Sink for the record path: classification
+// evidence is pooled over the whole flush (exactly like
+// ShardPartial.EndLine — a scanner's contacts count no matter which
+// hour they land in), then each record folds into its own hour bucket.
+func (w *Window) IngestFlush(recs []netflow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	words := w.idx.words
+	w.sides = w.sides[:0]
+	ents := w.ents[:0]
+	for _, r := range recs {
+		line, backendID, down, ok := w.idx.lineSide(r)
+		if !ok {
+			w.sides = append(w.sides, recSide{entry: -1})
+			continue
+		}
+		e, found := w.entOf[line]
+		if !found {
+			e = int32(len(ents))
+			ents = appendEnt(ents, line, words)
+			w.entOf[line] = e
+		}
+		setBit(ents[e].bits, int(backendID))
+		w.sides = append(w.sides, recSide{backendID: backendID, entry: e, down: down})
+	}
+	for i := range ents {
+		ents[i].over = popcount(ents[i].bits) > w.threshold
+	}
+	for i, r := range recs {
+		s := w.sides[i]
+		if s.entry < 0 {
+			continue
+		}
+		since := r.Start.Sub(w.epoch)
+		bk := w.route(int64(since/time.Hour), since < 0)
+		if bk == nil {
+			continue
+		}
+		ent := &ents[s.entry]
+		id := bk.cc.lineID(ent.addr)
+		setBit(bk.cc.bits[int(id)*bk.cc.words:], int(s.backendID))
+		if ent.over {
+			continue
+		}
+		bk.col.ingestClassified(r, ent.addr, s.backendID, s.down)
+		bk.records++
+	}
+	w.ents = ents
+	clear(w.entOf)
+}
+
+// IngestBatch implements Sink for the columnar wire path. Row hours are
+// epoch-relative study hours exactly as the wire collector rebases them
+// (negative = before the epoch); rows beyond the newest hour advance
+// the window. Classification mirrors ShardPartial.IngestBatch:
+// per-flush evidence over every row with an indexed backend, exclusion
+// per line address, contacts counted regardless of the scanner verdict.
+func (w *Window) IngestBatch(t *WireTables, b *netflow.RecordBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	words := w.idx.words
+	ents := w.ents[:0]
+
+	// Pass 1: per-line contact evidence for this flush interval.
+	for i := 0; i < n; i++ {
+		be := t.backends[b.Backend[i]]
+		if be < 0 {
+			continue
+		}
+		li := b.Line[i]
+		e := t.entSlot[li]
+		if e == 0 {
+			ents = appendEnt(ents, t.lines[li].addr, words)
+			e = int32(len(ents))
+			t.entSlot[li] = e
+			t.touched = append(t.touched, int32(li))
+		}
+		setBit(ents[e-1].bits, int(be))
+	}
+	for _, li := range t.touched {
+		ent := &ents[t.entSlot[li]-1]
+		ent.over = popcount(ent.bits) > w.threshold
+	}
+
+	// Pass 2: route every row to its hour bucket — contact evidence
+	// always, collector aggregation only for kept rows of non-excluded
+	// lines. The bucket interns line IDs itself (plan arithmetic), so
+	// the tables' per-partial ccID/colID memos are deliberately unused.
+	for i := 0; i < n; i++ {
+		be := t.backends[b.Backend[i]]
+		if be < 0 {
+			continue
+		}
+		h := int64(b.Hour[i])
+		bk := w.route(h, h < 0)
+		if bk == nil {
+			continue
+		}
+		li := b.Line[i]
+		ln := &t.lines[li]
+		id := bk.cc.lineID(ln.addr)
+		setBit(bk.cc.bits[int(id)*bk.cc.words:], int(be))
+		if ents[t.entSlot[li]-1].over || ln.excluded {
+			continue
+		}
+		port := proto.PortKey{Port: b.Port[i]}
+		if b.Proto[i] == netflow.ProtoUDP {
+			port.Transport = proto.UDP
+		}
+		bk.col.ingestDense(int(bk.col.lineID(ln.addr)), be, b.Down[i], 0, port, float64(b.Bytes[i])*w.rate)
+		bk.records++
+	}
+
+	for _, li := range t.touched {
+		t.entSlot[li] = 0
+	}
+	t.touched = t.touched[:0]
+	w.ents = ents
+}
+
+// NewWireTables implements Sink: fresh dictionary tables resolved
+// against the window's index and exclusion set.
+func (w *Window) NewWireTables() *WireTables {
+	return &WireTables{idx: w.idx, excluded: w.opts.Excluded}
+}
+
+// appendEnt reuses (or allocates) the next per-flush line entry.
+func appendEnt(ents []endEnt, addr netip.Addr, words int) []endEnt {
+	if cap(ents) > len(ents) {
+		ents = ents[:len(ents)+1]
+		ent := &ents[len(ents)-1]
+		ent.addr = addr
+		if len(ent.bits) != words {
+			ent.bits = make([]uint64, words)
+		} else {
+			clearBits(ent.bits)
+		}
+		return ents
+	}
+	return append(ents, endEnt{addr: addr, bits: make([]uint64, words)})
+}
+
+// Merged folds the surviving hour buckets into one ContactCounter and
+// Collector over the current trailing frame (the last `hours` hours —
+// anchored at the epoch until the window has filled once). The fold
+// copies; the window stays live and repeated calls are independent.
+func (w *Window) Merged() (*ContactCounter, *Collector) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ws := w.startHourLocked()
+	days := make([]time.Time, w.hours/24)
+	start := w.epoch.Add(time.Duration(ws) * time.Hour)
+	for i := range days {
+		days[i] = start.Add(time.Duration(i) * 24 * time.Hour)
+	}
+	col := NewCollector(w.idx, days, w.opts)
+	cc := NewContactCounter(w.idx)
+	for ah := ws; ah <= w.end; ah++ {
+		bk := w.ring[int(ah%int64(w.hours))]
+		if bk == nil {
+			continue
+		}
+		cc.Merge(bk.cc)
+		col.mergeHourBucket(bk.col, int(ah-ws))
+	}
+	return cc, col
+}
+
+// Study returns the finalized trailing-window analysis: the merged
+// ContactCounter (Figure 5's evidence) and the named Study over the
+// surviving hours.
+func (w *Window) Study() (*ContactCounter, *Study) {
+	cc, col := w.Merged()
+	return cc, col.Study()
+}
+
+// mergeHourBucket folds a single-hour bucket collector into c at hour
+// offset hourOff (bucket-local hour 0 ≡ receiver hour hourOff). The
+// donor must be an hour bucket (a one-day frame with data only at hour
+// 0 of day 0); unlike Merge, every aggregate is copied, never adopted —
+// the bucket stays live for the next fold. The field enumeration must
+// stay in lockstep with Merge/clone (TestCollectorCloneComplete and the
+// window-vs-batch identity tests guard it).
+func (c *Collector) mergeHourBucket(o *Collector, hourOff int) {
+	c.idx.checkGen(c.gen)
+	c.idx.checkGen(o.gen)
+	if o.ds != 1 {
+		panic("flows: mergeHourBucket donor must be a single-day hour bucket")
+	}
+	dayOff := hourOff / 24
+
+	remap := make([]int32, len(o.lines.addrs))
+	for i, a := range o.lines.addrs {
+		remap[i] = c.lineID(a)
+	}
+	portRemap := make([]int32, len(o.ports.keys))
+	for i, k := range o.ports.keys {
+		portRemap[i] = c.ports.id(k)
+	}
+
+	ds2 := 2 * c.ds
+	for i, t := range remap {
+		c.lineDaily[int(t)*ds2+2*dayOff] += o.lineDaily[2*i]
+		c.lineDaily[int(t)*ds2+2*dayOff+1] += o.lineDaily[2*i+1]
+		c.lineConts[t] |= o.lineConts[i]
+		orBits(c.lineAliasBits[int(t)*c.aw:(int(t)+1)*c.aw], o.lineAliasBits[i*c.aw:(i+1)*c.aw])
+		orBits(c.lineCertBits[int(t)*c.aw:(int(t)+1)*c.aw], o.lineCertBits[i*c.aw:(i+1)*c.aw])
+	}
+
+	for a := 0; a < c.nAliases; a++ {
+		if src := o.visible[a]; src != nil {
+			if c.visible[a] == nil {
+				c.visible[a] = make([]uint64, c.idx.words)
+			}
+			orBits(c.visible[a], src)
+		}
+		c.lineHours[a] = shiftLineHours(c.lineHours[a], o.lineHours[a], remap, c.hw, o.hw, hourOff, len(c.lines.addrs))
+		c.downHour[a] = shiftSeries(c.downHour[a], o.downHour[a], hourOff, c.hours)
+		c.upHour[a] = shiftSeries(c.upHour[a], o.upHour[a], hourOff, c.hours)
+		if src := o.portVol[a]; len(src) > 0 {
+			forEachBit(o.portSeen[a], func(pid int) {
+				t := int(portRemap[pid])
+				pv := grown(c.portVol[a], t+1)
+				c.portVol[a] = pv
+				pv[t] += src[pid]
+				ps := grown(c.portSeen[a], t>>6+1)
+				c.portSeen[a] = ps
+				setBit(ps, t)
+			})
+		}
+	}
+
+	for s, k := range o.laKeys {
+		c.laDaily[c.laSlotBase(int(remap[k.line]), int(k.alias))+dayOff] += o.laDaily[s]
+	}
+	for s, k := range o.lpKeys {
+		c.lpDaily[c.lpSlotBase(int(remap[k.line]), int(portRemap[k.port]))+dayOff] += o.lpDaily[s]
+	}
+
+	forEachBit(o.backendSeen, func(b int) { c.backendVol[b] += o.backendVol[b] })
+	orBits(c.backendSeen, o.backendSeen)
+	forEachBit(o.coverBits, func(h int) { setBit(c.coverBits, hourOff+h) })
+	for cont, v := range o.contVol {
+		c.contVol[cont] += v
+	}
+
+	if c.focusAlias != "" && o.focusAlias == c.focusAlias {
+		c.focusDownAll = shiftSeries(c.focusDownAll, o.focusDownAll, hourOff, c.hours)
+		c.focusDownRegion = shiftSeries(c.focusDownRegion, o.focusDownRegion, hourOff, c.hours)
+		c.focusDownEU = shiftSeries(c.focusDownEU, o.focusDownEU, hourOff, c.hours)
+		c.focusHoursAll = shiftLineHours(c.focusHoursAll, o.focusHoursAll, remap, c.hw, o.hw, hourOff, len(c.lines.addrs))
+		c.focusHoursRegion = shiftLineHours(c.focusHoursRegion, o.focusHoursRegion, remap, c.hw, o.hw, hourOff, len(c.lines.addrs))
+		c.focusHoursEU = shiftLineHours(c.focusHoursEU, o.focusHoursEU, remap, c.hw, o.hw, hourOff, len(c.lines.addrs))
+	}
+}
+
+// shiftLineHours ORs a donor's per-line hour bitsets into dst with
+// every hour shifted by off (donor stride ohw, receiver stride hw).
+func shiftLineHours(dst, src []uint64, remap []int32, hw, ohw, off, nLines int) []uint64 {
+	if len(src) == 0 {
+		return dst
+	}
+	dst = grown(dst, nLines*hw)
+	for i := 0; i < len(src)/ohw; i++ {
+		row := dst[int(remap[i])*hw : (int(remap[i])+1)*hw]
+		forEachBit(src[i*ohw:(i+1)*ohw], func(h int) { setBit(row, off+h) })
+	}
+	return dst
+}
+
+// shiftSeries adds src's values into dst at offset off, allocating dst
+// (src's label, the receiver's hour count) when missing. src is never
+// adopted; a nil src is a no-op. Only nonzero values move, so a donor
+// confined to hour 0 (the bucket invariant) can never write past dst.
+func shiftSeries(dst, src *analysis.Series, off, hours int) *analysis.Series {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		dst = analysis.NewSeries(src.Label, hours)
+	}
+	for h, v := range src.Values {
+		if v != 0 {
+			dst.Values[off+h] += v
+		}
+	}
+	return dst
+}

@@ -1,0 +1,362 @@
+package flows
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"iotmap/internal/isp"
+	"iotmap/internal/netflow"
+)
+
+// windowThresholds is the Figure 5 sweep the window tests compare on.
+var windowThresholds = []int{10, 50, 100, 500, 1000}
+
+// assertWindowEquals pins a window's merged state against a reference
+// counter/collector pair on every comparison surface the dense tests
+// use: the named study, the raw contact sets, the scanner set, and the
+// Figure 5 curve.
+func assertWindowEquals(t *testing.T, win *Window, refCC *ContactCounter, refCol *Collector, threshold int) {
+	t.Helper()
+	cc, col := win.Merged()
+	if !reflect.DeepEqual(col.Study(), refCol.Study()) {
+		t.Error("window study differs from batch reference")
+	}
+	if !reflect.DeepEqual(cc.contactSets(), refCC.contactSets()) {
+		t.Error("window contact sets differ from batch reference")
+	}
+	if !reflect.DeepEqual(cc.Scanners(threshold), refCC.Scanners(threshold)) {
+		t.Error("window scanner set differs from batch reference")
+	}
+	if !reflect.DeepEqual(cc.Curve(windowThresholds), refCC.Curve(windowThresholds)) {
+		t.Error("window curve differs from batch reference")
+	}
+}
+
+// TestWindowWeekMatchesBatch: a whole-week window fed the same
+// per-line-week flushes as the sharded batch pipeline produces the
+// identical study — the no-eviction identity that makes the service's
+// trailing-week figures trustworthy.
+func TestWindowWeekMatchesBatch(t *testing.T) {
+	w, _, _ := buildStudy(t)
+	batchCC, batchCol := runPipeline(cachedNet, cachedIdx, w, testShards)
+	opts := Options{
+		ScannerThreshold: 100,
+		SamplingRate:     cachedNet.Cfg.SamplingRate,
+		FocusAlias:       "T1",
+		FocusRegion:      "us-east-1",
+	}
+	win, err := NewWindow(cachedIdx, w.Days[0], len(w.Days)*24, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]netflow.Record, testShards)
+	cachedNet.SimulateLines(testShards,
+		func(shard int) func(netflow.Record) {
+			return func(r netflow.Record) { bufs[shard] = append(bufs[shard], r) }
+		},
+		func(shard int, _ *isp.Line) {
+			win.IngestFlush(bufs[shard])
+			bufs[shard] = bufs[shard][:0]
+		},
+	)
+	if st := win.Stats(); st.EvictedHours != 0 || st.LateRecords != 0 || st.PreWindowRecords != 0 {
+		t.Fatalf("whole-week feed should fit the window, got stats %+v", st)
+	}
+	assertWindowEquals(t, win, batchCC, batchCol, 100)
+}
+
+// hourFlushes groups a record stream into per-hour flush intervals in
+// ascending hour order (pre-epoch records form the leading flush) —
+// the flush discipline under which bucket eviction is exact.
+func hourFlushes(recs []netflow.Record, epoch time.Time) [][]netflow.Record {
+	groups := map[int64][]netflow.Record{}
+	for _, r := range recs {
+		since := r.Start.Sub(epoch)
+		h := int64(since / time.Hour)
+		if since < 0 {
+			h = -1
+		}
+		groups[h] = append(groups[h], r)
+	}
+	hours := make([]int64, 0, len(groups))
+	for h := range groups {
+		hours = append(hours, h)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i] < hours[j] })
+	out := make([][]netflow.Record, 0, len(groups))
+	for _, h := range hours {
+		out = append(out, groups[h])
+	}
+	return out
+}
+
+// flushHour returns the (clamped) hour a flush group belongs to.
+func flushHour(flush []netflow.Record, epoch time.Time) int64 {
+	since := flush[0].Start.Sub(epoch)
+	if since < 0 {
+		return -1
+	}
+	return int64(since / time.Hour)
+}
+
+// TestWindowEvictionMatchesBatch: the core eviction property — after a
+// 5-day hour-aligned feed slid through a 2-day window, the window's
+// state is byte-identical to a batch run that never saw the evicted
+// hours' flushes at all. Evicted == never ingested.
+func TestWindowEvictionMatchesBatch(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		f := buildDenseFixture(seed)
+		opts := f.opts
+		opts.ScannerThreshold = 3
+		const windowHours = 48
+		epoch := f.days[0]
+		win, err := NewWindow(f.idx, epoch, windowHours, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flushes := hourFlushes(f.recs, epoch)
+		end := flushHour(flushes[len(flushes)-1], epoch)
+		for _, flush := range flushes {
+			win.IngestFlush(flush)
+		}
+		st := win.Stats()
+		if st.EvictedHours == 0 {
+			t.Fatalf("seed %d: 5-day feed through a 2-day window must evict", seed)
+		}
+		if st.PreWindowRecords == 0 {
+			t.Fatalf("seed %d: fixture has pre-epoch records, none counted", seed)
+		}
+
+		// Batch reference: a partial over the surviving 2-day frame, fed
+		// only the surviving hours' flushes.
+		ws := end - windowHours + 1
+		days := []time.Time{
+			epoch.Add(time.Duration(ws) * time.Hour),
+			epoch.Add(time.Duration(ws+24) * time.Hour),
+		}
+		ref := NewShardPartial(f.idx, days, opts)
+		for _, flush := range flushes {
+			if h := flushHour(flush, epoch); h >= ws && h <= end {
+				ref.IngestFlush(flush)
+			}
+		}
+		refCC, refCol := MergePartials([]*ShardPartial{ref})
+		assertWindowEquals(t, win, refCC, refCol, opts.ScannerThreshold)
+	}
+}
+
+// TestWindowBatchPathMatchesRecordPath: the columnar wire path
+// (dictionary tables + RecordBatch) folds into a window exactly like
+// the equivalent record flushes.
+func TestWindowBatchPathMatchesRecordPath(t *testing.T) {
+	f := buildDenseFixture(7)
+	opts := f.opts
+	opts.ScannerThreshold = 3
+	const windowHours = 48
+	epoch := f.days[0]
+	winRec, err := NewWindow(f.idx, epoch, windowHours, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winBatch, err := NewWindow(f.idx, epoch, windowHours, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := winBatch.NewWireTables()
+
+	// Build the stream dictionaries the exporter would have negotiated.
+	lineID := map[netip.Addr]uint32{}
+	backID := map[netip.Addr]uint32{}
+	var lineAddrs, backAddrs []netip.Addr
+	for _, r := range f.recs {
+		line, beID, _, ok := f.idx.lineSide(r)
+		if !ok {
+			continue
+		}
+		if _, seen := lineID[line]; !seen {
+			lineID[line] = uint32(len(lineAddrs))
+			lineAddrs = append(lineAddrs, line)
+		}
+		be := f.idx.addrs[beID]
+		if _, seen := backID[be]; !seen {
+			backID[be] = uint32(len(backAddrs))
+			backAddrs = append(backAddrs, be)
+		}
+	}
+	if err := tables.AddLines(0, lineAddrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tables.AddBackends(0, backAddrs); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, flush := range hourFlushes(f.recs, epoch) {
+		winRec.IngestFlush(flush)
+		var b netflow.RecordBatch
+		for _, r := range flush {
+			line, beID, down, ok := f.idx.lineSide(r)
+			if !ok {
+				continue
+			}
+			since := r.Start.Sub(epoch)
+			h := int32(since / time.Hour)
+			if since < 0 {
+				h = -1
+			}
+			port := r.SrcPort
+			if !down {
+				port = r.DstPort
+			}
+			b.Append(lineID[line], backID[f.idx.addrs[beID]], down, h, port, r.Proto, r.Bytes, r.Packets)
+		}
+		winBatch.IngestBatch(tables, &b)
+	}
+
+	ccR, colR := winRec.Merged()
+	ccB, colB := winBatch.Merged()
+	if !reflect.DeepEqual(colB.Study(), colR.Study()) {
+		t.Error("batch-path window study differs from record-path window")
+	}
+	if !reflect.DeepEqual(ccB.contactSets(), ccR.contactSets()) {
+		t.Error("batch-path window contact sets differ from record-path window")
+	}
+	if winRec.Stats() != winBatch.Stats() {
+		t.Errorf("stats differ: record %+v batch %+v", winRec.Stats(), winBatch.Stats())
+	}
+}
+
+// TestWindowSnapshotRoundTrip: snapshot a half-fed window, restore it,
+// feed both the same remainder, and require indistinguishable state —
+// including byte-identical re-snapshots (the crash-recovery contract).
+func TestWindowSnapshotRoundTrip(t *testing.T) {
+	f := buildDenseFixture(11)
+	opts := f.opts
+	opts.ScannerThreshold = 3
+	const windowHours = 48
+	epoch := f.days[0]
+	win, err := NewWindow(f.idx, epoch, windowHours, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushes := hourFlushes(f.recs, epoch)
+	half := len(flushes) / 2
+	for _, flush := range flushes[:half] {
+		win.IngestFlush(flush)
+	}
+
+	var buf bytes.Buffer
+	if err := Snapshot(&buf, win); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), f.idx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.End() != win.End() || restored.Stats() != win.Stats() {
+		t.Fatalf("restored window header differs: end %d/%d stats %+v/%+v",
+			restored.End(), win.End(), restored.Stats(), win.Stats())
+	}
+
+	for _, flush := range flushes[half:] {
+		win.IngestFlush(flush)
+		restored.IngestFlush(flush)
+	}
+	ccA, colA := win.Merged()
+	ccB, colB := restored.Merged()
+	if !reflect.DeepEqual(colB.Study(), colA.Study()) {
+		t.Error("restored window study diverged after continued ingest")
+	}
+	if !reflect.DeepEqual(ccB.contactSets(), ccA.contactSets()) {
+		t.Error("restored window contact sets diverged after continued ingest")
+	}
+	var againA, againB bytes.Buffer
+	if err := Snapshot(&againA, win); err != nil {
+		t.Fatal(err)
+	}
+	if err := Snapshot(&againB, restored); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(againA.Bytes(), againB.Bytes()) {
+		t.Error("re-snapshots of original and restored windows are not byte-identical")
+	}
+}
+
+// TestWindowSnapshotRefusesMismatch: a snapshot must not restore over a
+// different world or different aggregation options.
+func TestWindowSnapshotRefusesMismatch(t *testing.T) {
+	f := buildDenseFixture(13)
+	opts := f.opts
+	win, err := NewWindow(f.idx, f.days[0], 48, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win.IngestFlush(f.recs[:100])
+	var buf bytes.Buffer
+	if err := Snapshot(&buf, win); err != nil {
+		t.Fatal(err)
+	}
+
+	other := buildDenseFixture(14)
+	if _, err := Restore(bytes.NewReader(buf.Bytes()), other.idx, opts); err == nil {
+		t.Error("restore against a different index must fail")
+	}
+	badOpts := opts
+	badOpts.SamplingRate = 999
+	if _, err := Restore(bytes.NewReader(buf.Bytes()), f.idx, badOpts); err == nil {
+		t.Error("restore under different options must fail")
+	}
+	if _, err := Restore(bytes.NewReader([]byte("NOPE")), f.idx, opts); err == nil {
+		t.Error("restore of garbage must fail")
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := Restore(bytes.NewReader(truncated), f.idx, opts); err == nil {
+		t.Error("restore of a truncated snapshot must fail")
+	}
+}
+
+// TestWireTablesSnapshotRoundTrip: dictionary state survives a
+// checkpoint, including gap-filled (lost) entries and exclusion
+// recomputation.
+func TestWireTablesSnapshotRoundTrip(t *testing.T) {
+	f := buildDenseFixture(17)
+	opts := f.opts
+	opts.Excluded = map[netip.Addr]struct{}{isp.LineV4Addr(0, 7): {}}
+	win, err := NewWindow(f.idx, f.days[0], 48, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := win.NewWireTables()
+	lines := []netip.Addr{isp.LineV4Addr(0, 7), isp.LineV4Addr(0, 9), netip.MustParseAddr("10.1.2.3")}
+	if err := tables.AddLines(2, lines); err != nil { // base 2 → two lost entries
+		t.Fatal(err)
+	}
+	backs := append([]netip.Addr{netip.MustParseAddr("203.0.113.9")}, f.idx.addrs[:5]...)
+	if err := tables.AddBackends(1, backs); err != nil { // base 1 → one lost entry
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tables.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreWireTables(bytes.NewReader(buf.Bytes()), win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.lines, tables.lines) {
+		t.Errorf("restored lines differ:\n%+v\n%+v", restored.lines, tables.lines)
+	}
+	if !reflect.DeepEqual(restored.backends, tables.backends) {
+		t.Errorf("restored backends differ:\n%v\n%v", restored.backends, tables.backends)
+	}
+	if len(restored.entSlot) != len(tables.entSlot) {
+		t.Errorf("restored entSlot length %d, want %d", len(restored.entSlot), len(tables.entSlot))
+	}
+	if _, err := RestoreWireTables(bytes.NewReader([]byte("JUNKJUNK")), win); err == nil {
+		t.Error("restore of garbage wire tables must fail")
+	}
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"iotmap/internal/collector"
+	"iotmap/internal/core/flows"
+)
+
+// Checkpoint container: a magic header followed by tagged,
+// length-prefixed sections, so the window snapshot and each stream's
+// dictionary state stay independently framed (and future sections can
+// be added without breaking old readers that skip unknown tags).
+//
+//	"IOTCKPT1"                          8-byte magic (version in the tag)
+//	"WIN0" u32-len  flows.Snapshot      the sliding window
+//	"DCT0" u32-len  dictionary bundle   all retained DictStates
+//
+// The dictionary bundle is itself length-prefixed per entry: source
+// label, exporter epoch, advertised rate, the per-entry address
+// families, and the flows.WireTables snapshot. Everything is
+// little-endian, matching the flows snapshot codec.
+const (
+	checkpointMagic = "IOTCKPT1"
+	sectionWindow   = "WIN0"
+	sectionDicts    = "DCT0"
+	// maxSectionBytes bounds one section (and any length field inside
+	// the dictionary bundle) against a corrupt header allocating GBs.
+	maxSectionBytes = 1 << 31
+)
+
+// writeCheckpoint atomically persists the window and dictionary state:
+// the container is written to a temp file in the destination directory,
+// synced, then renamed over path — a crash mid-write leaves the
+// previous checkpoint intact.
+func writeCheckpoint(path string, win *flows.Window, dicts map[string]*collector.DictState) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	n, err := writeContainer(bw, win, dicts)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func writeContainer(dst io.Writer, win *flows.Window, dicts map[string]*collector.DictState) (int64, error) {
+	var total int64
+	put := func(b []byte) error {
+		n, err := dst.Write(b)
+		total += int64(n)
+		return err
+	}
+	if err := put([]byte(checkpointMagic)); err != nil {
+		return total, err
+	}
+
+	var sec bytes.Buffer
+	if err := flows.Snapshot(&sec, win); err != nil {
+		return total, err
+	}
+	if err := putSection(put, sectionWindow, sec.Bytes()); err != nil {
+		return total, err
+	}
+
+	sec.Reset()
+	if err := encodeDicts(&sec, dicts); err != nil {
+		return total, err
+	}
+	if err := putSection(put, sectionDicts, sec.Bytes()); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+func putSection(put func([]byte) error, tag string, body []byte) error {
+	if err := put([]byte(tag)); err != nil {
+		return err
+	}
+	var ln [4]byte
+	binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
+	if err := put(ln[:]); err != nil {
+		return err
+	}
+	return put(body)
+}
+
+// encodeDicts serializes the dictionary bundle in sorted source order,
+// so back-to-back checkpoints of identical state are byte-identical.
+func encodeDicts(dst *bytes.Buffer, dicts map[string]*collector.DictState) error {
+	srcs := make([]string, 0, len(dicts))
+	for src := range dicts {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		dst.Write(b[:])
+	}
+	putBytes := func(b []byte) {
+		putU32(uint32(len(b)))
+		dst.Write(b)
+	}
+	putBools := func(v []bool) {
+		b := make([]byte, len(v))
+		for i, x := range v {
+			if x {
+				b[i] = 1
+			}
+		}
+		putBytes(b)
+	}
+	putU32(uint32(len(dicts)))
+	for _, src := range srcs {
+		ds := dicts[src]
+		putBytes([]byte(src))
+		var e [8]byte
+		binary.LittleEndian.PutUint64(e[:], uint64(ds.Epoch))
+		dst.Write(e[:])
+		putU32(ds.Rate)
+		putBools(ds.LineV4)
+		putBools(ds.BackV4)
+		var tab bytes.Buffer
+		if err := ds.Tables.Snapshot(&tab); err != nil {
+			return err
+		}
+		putBytes(tab.Bytes())
+	}
+	return nil
+}
+
+// loadCheckpoint restores a checkpoint container against the given
+// index and window options: the window section is mandatory, the
+// dictionary section optional (old or dict-less checkpoints), and
+// unknown section tags are skipped.
+func loadCheckpoint(path string, idx *flows.BackendIndex, winOpts flows.Options) (*flows.Window, map[string]*collector.DictState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < len(checkpointMagic) || string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, nil, fmt.Errorf("serve: %s is not a checkpoint (bad magic)", path)
+	}
+	rest := data[len(checkpointMagic):]
+	var win *flows.Window
+	var winBuf []byte
+	var dictBuf []byte
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("serve: truncated section header")
+		}
+		tag := string(rest[:4])
+		ln := binary.LittleEndian.Uint32(rest[4:8])
+		if uint64(ln) > maxSectionBytes || uint64(ln) > uint64(len(rest)-8) {
+			return nil, nil, fmt.Errorf("serve: section %q claims %d bytes, %d remain", tag, ln, len(rest)-8)
+		}
+		body := rest[8 : 8+ln]
+		rest = rest[8+ln:]
+		switch tag {
+		case sectionWindow:
+			winBuf = body
+		case sectionDicts:
+			dictBuf = body
+		}
+	}
+	if winBuf == nil {
+		return nil, nil, fmt.Errorf("serve: checkpoint has no window section")
+	}
+	win, err = flows.Restore(bytes.NewReader(winBuf), idx, winOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	dicts := map[string]*collector.DictState{}
+	if dictBuf != nil {
+		if dicts, err = decodeDicts(dictBuf, win); err != nil {
+			return nil, nil, err
+		}
+	}
+	return win, dicts, nil
+}
+
+func decodeDicts(buf []byte, win *flows.Window) (map[string]*collector.DictState, error) {
+	r := bytes.NewReader(buf)
+	getU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	getBytes := func() ([]byte, error) {
+		n, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(n) > uint64(r.Len()) {
+			return nil, fmt.Errorf("serve: dictionary bundle field claims %d bytes, %d remain", n, r.Len())
+		}
+		b := make([]byte, n)
+		_, err = io.ReadFull(r, b)
+		return b, err
+	}
+	getBools := func() ([]bool, error) {
+		b, err := getBytes()
+		if err != nil {
+			return nil, err
+		}
+		v := make([]bool, len(b))
+		for i, x := range b {
+			v[i] = x != 0
+		}
+		return v, nil
+	}
+	count, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(count) > uint64(r.Len()) { // each entry is > 1 byte
+		return nil, fmt.Errorf("serve: dictionary bundle claims %d entries, %d bytes remain", count, r.Len())
+	}
+	dicts := make(map[string]*collector.DictState, count)
+	for i := uint32(0); i < count; i++ {
+		src, err := getBytes()
+		if err != nil {
+			return nil, err
+		}
+		var e [8]byte
+		if _, err := io.ReadFull(r, e[:]); err != nil {
+			return nil, err
+		}
+		epoch := int64(binary.LittleEndian.Uint64(e[:]))
+		rate, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		lineV4, err := getBools()
+		if err != nil {
+			return nil, err
+		}
+		backV4, err := getBools()
+		if err != nil {
+			return nil, err
+		}
+		tabBuf, err := getBytes()
+		if err != nil {
+			return nil, err
+		}
+		tables, err := flows.RestoreWireTables(bytes.NewReader(tabBuf), win)
+		if err != nil {
+			return nil, fmt.Errorf("serve: dictionary %q: %w", src, err)
+		}
+		dicts[string(src)] = &collector.DictState{
+			Source: string(src), Epoch: epoch, Rate: rate,
+			Tables: tables, LineV4: lineV4, BackV4: backV4,
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes after dictionary bundle", r.Len())
+	}
+	return dicts, nil
+}
