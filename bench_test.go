@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"iotmap"
 	"iotmap/internal/collector"
@@ -435,6 +436,69 @@ func BenchmarkStageWindowWeek(b *testing.B) {
 		}
 		if fcol.Study().Hours() == 0 {
 			b.Fatal("empty study")
+		}
+	}
+}
+
+// BenchmarkWindowSteadyState is the eviction-dominated regime the week
+// benches never reach: a 30-day chronological feed through a 7-day
+// window. Once the feed passes day 7 every advance retires the oldest
+// hour bucket, so the measured cost is dominated by eviction plus
+// recycled-arena refills — the daemon's steady state — rather than the
+// cold window fill that StageWindowWeek measures. The feed is day-major
+// (SimulateDay), so hours arrive nearly in order and nothing is late.
+func BenchmarkWindowSteadyState(b *testing.B) {
+	days := make([]time.Time, 30)
+	start := world.StudyDays()[0]
+	for i := range days {
+		days[i] = start.AddDate(0, 0, i)
+	}
+	w, err := world.Build(world.Config{Seed: 5, Scale: 0.02, Days: days})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := flows.NewBackendIndex()
+	for _, s := range w.AllServers() {
+		idx.Add(s.Addr, w.AliasOf(s.Provider), s.Region.Continent, s.Region.Region, s.Class.CertVisible())
+	}
+	winOpts := flows.Options{ScannerThreshold: 100, SamplingRate: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Network each iteration: device homing state persists on
+		// the Network across SimulateDay calls, so reusing one would feed
+		// different records after the first iteration.
+		net, err := isp.NewNetwork(isp.Config{Seed: 5, Lines: 2000}, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		win, err := flows.NewWindow(idx, days[0], 7*24, winOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]netflow.Record, 0, 2048)
+		sink := func(r netflow.Record) {
+			buf = append(buf, r)
+			if len(buf) == cap(buf) {
+				win.IngestFlush(buf)
+				buf = buf[:0]
+			}
+		}
+		for day := range days {
+			net.SimulateDay(day, sink)
+		}
+		if len(buf) > 0 {
+			win.IngestFlush(buf)
+		}
+		st := win.Stats()
+		if st.EvictedHours == 0 {
+			b.Fatal("steady-state bench never evicted: window not advancing")
+		}
+		if st.LateRecords != 0 {
+			b.Fatalf("chronological feed produced %d late records", st.LateRecords)
+		}
+		if _, s := win.Study(); s.Hours() == 0 {
+			b.Fatal("empty trailing study")
 		}
 	}
 }

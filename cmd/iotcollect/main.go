@@ -72,6 +72,7 @@ func main() {
 	windowHours := flag.Int("window", 0, "with -serve: trailing window span in hours, a multiple of 24 (0 = whole study)")
 	checkpoint := flag.String("checkpoint", "", "with -serve: checkpoint file path (restored at startup if present)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "with -serve: periodic checkpoint interval (0 = only on shutdown/demand)")
+	pprofFlag := flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/ on the API address")
 	flag.Parse()
 
 	var wf isp.WireFormat
@@ -132,6 +133,7 @@ func main() {
 			addr: *serveAddr, feedAddr: *feedListen, windowHours: *windowHours,
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 			policy: pol, stall: *stall, vantage: *vantage, preload: flag.Args(),
+			pprof: *pprofFlag,
 		})
 		return
 	}
@@ -306,6 +308,7 @@ type serveConfig struct {
 	stall           time.Duration
 	vantage         string
 	preload         []string
+	pprof           bool
 }
 
 // runServe hosts the long-lived collector service until SIGINT/SIGTERM,
@@ -328,7 +331,7 @@ func runServe(sys *iotmap.System, idx *flows.BackendIndex, opts flows.Options, s
 		Index: idx, Days: sys.World.Days, Opts: opts,
 		WindowHours: sc.windowHours, Policy: sc.policy, StallTimeout: sc.stall,
 		CheckpointPath: sc.checkpoint, CheckpointEvery: sc.checkpointEvery,
-		RenderFigures: render, Logf: log.Printf,
+		RenderFigures: render, Logf: log.Printf, EnablePprof: sc.pprof,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -25,6 +25,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"time"
 
@@ -231,6 +232,8 @@ func main() {
 	smoke := flag.Bool("smoke", false, "drive an in-process collector over pipes and assert ingest health")
 	duration := flag.Duration("duration", 5*time.Second, "smoke: generation window")
 	minRPS := flag.Float64("min-rps", 0, "smoke: fail unless ingested records/sec meets this floor")
+	winHours := flag.Int("window", 0, "smoke: fold into a sliding window of this many hours (0 = batch mode; must cover -hours so nothing arrives late)")
+	maxHeapMB := flag.Uint64("max-heap-mb", 0, "smoke: fail if post-ingest heap exceeds this many MiB (0 = no bound)")
 	flag.Parse()
 	cfg.rate = uint32(*rate)
 
@@ -252,10 +255,17 @@ func main() {
 		log.Fatalf("iotgen: -hours %d out of range", cfg.hours)
 	}
 
+	if *winHours != 0 && (*winHours%24 != 0 || *winHours < cfg.hours) {
+		// The generator scatters each line's records across all -hours
+		// uniformly, not chronologically, so a window narrower than the
+		// feed would drop a timing-dependent share as late — the smoke's
+		// zero-late assertion needs the whole feed to fit.
+		log.Fatalf("iotgen: -window %d must be a multiple of 24 covering -hours %d", *winHours, cfg.hours)
+	}
 	pool := backendPool(cfg.backends)
 	switch {
 	case *smoke:
-		if err := runSmoke(cfg, pool, *duration, *minRPS); err != nil {
+		if err := runSmoke(cfg, pool, *duration, *minRPS, *winHours, *maxHeapMB); err != nil {
 			log.Fatal(err)
 		}
 	case *out != "":
@@ -304,15 +314,31 @@ func smokeIndex(pool []netip.Addr) *flows.BackendIndex {
 }
 
 // runSmoke drives an in-process collector at line rate for the window
-// and asserts the feed ingested clean and fast enough.
-func runSmoke(cfg genConfig, pool []netip.Addr, window time.Duration, minRPS float64) error {
+// and asserts the feed ingested clean and fast enough. With winHours >
+// 0 every stream folds into one shared sliding flows.Window (the
+// daemon's shape) and the run additionally asserts nothing arrived
+// late; with maxHeapMB > 0 the post-ingest live heap must stay under
+// the bound.
+func runSmoke(cfg genConfig, pool []netip.Addr, window time.Duration, minRPS float64, winHours int, maxHeapMB uint64) error {
 	days := make([]time.Time, (cfg.hours+23)/24)
 	for i := range days {
 		days[i] = studyEpoch.AddDate(0, 0, i)
 	}
+	idx := smokeIndex(pool)
+	var win *flows.Window
+	if winHours > 0 {
+		var err error
+		// SamplingRate 1: the collector rescales at the stream boundary
+		// and hands the window already-scaled records.
+		win, err = flows.NewWindow(idx, studyEpoch, winHours, flows.Options{SamplingRate: 1})
+		if err != nil {
+			return err
+		}
+	}
 	col, err := collector.New(collector.Config{
-		Index: smokeIndex(pool), Days: days,
-		Opts: flows.Options{SamplingRate: cfg.rate},
+		Index: idx, Days: days,
+		Opts:   flows.Options{SamplingRate: cfg.rate},
+		Window: win,
 	})
 	if err != nil {
 		return err
@@ -400,6 +426,26 @@ func runSmoke(cfg genConfig, pool []netip.Addr, window time.Duration, minRPS flo
 	}
 	if minRPS > 0 && rps < minRPS {
 		return fmt.Errorf("iotgen: %.0f records/sec under the %.0f floor", rps, minRPS)
+	}
+	if win != nil {
+		wst := win.Stats()
+		fmt.Printf("              window: %+v\n", wst)
+		if wst.LateRecords != 0 || wst.PreWindowRecords != 0 {
+			return fmt.Errorf("iotgen: window dropped records on an in-window feed: %+v", wst)
+		}
+		if _, s := win.Study(); ingested > 0 && s.Hours() == 0 {
+			return fmt.Errorf("iotgen: window study empty after folding %d records", ingested)
+		}
+	}
+	if maxHeapMB > 0 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapMB := ms.HeapAlloc >> 20
+		fmt.Printf("              live heap after ingest: %d MiB (bound %d)\n", heapMB, maxHeapMB)
+		if heapMB > maxHeapMB {
+			return fmt.Errorf("iotgen: live heap %d MiB exceeds the %d MiB bound", heapMB, maxHeapMB)
+		}
 	}
 	return nil
 }

@@ -41,11 +41,17 @@ type Record struct {
 // Endpoint returns the record's addr:port.
 func (r Record) Endpoint() netip.AddrPort { return netip.AddrPortFrom(r.Addr, r.Port) }
 
+// recRange is a [start, end) span of indices into Snapshot.records.
+// Records are sorted by (Addr, Port), so one address's records are
+// always contiguous — a range costs one map value per address instead
+// of a growing index slice per record.
+type recRange struct{ start, end int32 }
+
 // Snapshot is one daily scan result set.
 type Snapshot struct {
 	Date    time.Time
 	records []Record
-	byAddr  map[netip.Addr][]int
+	byAddr  map[netip.Addr]recRange
 	// certNames caches each record's regex match candidates (trailing-dot,
 	// wildcard-expanded), computed once at ingest; nil for cert-less
 	// records.
@@ -66,11 +72,16 @@ func NewSnapshot(date time.Time, records []Record) *Snapshot {
 		}
 		return a.Port < b.Port
 	})
-	s.byAddr = make(map[netip.Addr][]int)
+	s.byAddr = make(map[netip.Addr]recRange)
 	s.certNames = make([][]string, len(s.records))
 	s.byDomain = make(map[string][]int)
 	for i, r := range s.records {
-		s.byAddr[r.Addr] = append(s.byAddr[r.Addr], i)
+		if rr, ok := s.byAddr[r.Addr]; ok {
+			rr.end = int32(i + 1)
+			s.byAddr[r.Addr] = rr
+		} else {
+			s.byAddr[r.Addr] = recRange{start: int32(i), end: int32(i + 1)}
+		}
 		if r.Cert == nil {
 			continue
 		}
@@ -93,14 +104,14 @@ func (s *Snapshot) Len() int { return len(s.records) }
 // Records returns all records (shared slice; callers must not mutate).
 func (s *Snapshot) Records() []Record { return s.records }
 
-// ByAddr returns the records for one address.
+// ByAddr returns the records for one address (shared slice; callers
+// must not mutate).
 func (s *Snapshot) ByAddr(a netip.Addr) []Record {
-	idx := s.byAddr[a]
-	out := make([]Record, len(idx))
-	for i, j := range idx {
-		out[i] = s.records[j]
+	rr, ok := s.byAddr[a]
+	if !ok {
+		return nil
 	}
-	return out
+	return s.records[rr.start:rr.end]
 }
 
 // SearchCerts returns records whose certificate names match re and whose

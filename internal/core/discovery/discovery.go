@@ -79,7 +79,26 @@ type AddrInfo struct {
 }
 
 func newAddrInfo() *AddrInfo {
-	return &AddrInfo{Names: map[string]struct{}{}, Ports: map[proto.PortKey]proto.Protocol{}}
+	// Names and Ports are created lazily by addName/addPort: a nil map
+	// reads and ranges as empty, and many addresses only ever carry a
+	// source bit, so eager maps tripled the allocation count for nothing.
+	return &AddrInfo{}
+}
+
+// addName records an observed name, creating the map on first use.
+func (ai *AddrInfo) addName(n string) {
+	if ai.Names == nil {
+		ai.Names = make(map[string]struct{}, 2)
+	}
+	ai.Names[n] = struct{}{}
+}
+
+// addPort records an open port, creating the map on first use.
+func (ai *AddrInfo) addPort(k proto.PortKey, p proto.Protocol) {
+	if ai.Ports == nil {
+		ai.Ports = make(map[proto.PortKey]proto.Protocol, 2)
+	}
+	ai.Ports[k] = p
 }
 
 // DayResult is one provider's discovery set for one day.
@@ -141,10 +160,10 @@ func (r *Result) Union() map[netip.Addr]*AddrInfo {
 			}
 			dst.Sources |= ai.Sources
 			for n := range ai.Names {
-				dst.Names[n] = struct{}{}
+				dst.addName(n)
 			}
 			for k, v := range ai.Ports {
-				dst.Ports[k] = v
+				dst.addPort(k, v)
 			}
 		}
 	}
@@ -350,14 +369,14 @@ func runDay(ctx context.Context, in Inputs, cps []*compiled, v6ByProvider map[st
 			for _, rec := range snap.SearchCertsAnchored(p.Regex, p.Anchors()) {
 				ai := dr.info(rec.Addr)
 				ai.Sources |= SrcCert
-				ai.Ports[proto.PortKey{Transport: rec.Transport, Port: rec.Port}] = rec.Protocol
+				ai.addPort(proto.PortKey{Transport: rec.Transport, Port: rec.Port}, rec.Protocol)
 				for _, n := range rec.Cert.AllNames() {
-					ai.Names[dnsmsg.CanonicalName(n)] = struct{}{}
+					ai.addName(dnsmsg.CanonicalName(n))
 				}
 				// Harvest co-located open ports for the protocol
 				// column (the scan saw the whole endpoint).
 				for _, sib := range snap.ByAddr(rec.Addr) {
-					ai.Ports[proto.PortKey{Transport: sib.Transport, Port: sib.Port}] = sib.Protocol
+					ai.addPort(proto.PortKey{Transport: sib.Transport, Port: sib.Port}, sib.Protocol)
 				}
 			}
 		}
@@ -365,9 +384,9 @@ func runDay(ctx context.Context, in Inputs, cps []*compiled, v6ByProvider map[st
 		for _, hit := range v6ByProvider[p.ProviderID()] {
 			ai := dr.info(hit.addr)
 			ai.Sources |= SrcCert
-			ai.Ports[hit.port] = hit.protocol
+			ai.addPort(hit.port, hit.protocol)
 			for _, n := range hit.names {
-				ai.Names[n] = struct{}{}
+				ai.addName(n)
 			}
 		}
 		// (3) Passive DNS.
@@ -379,7 +398,7 @@ func runDay(ctx context.Context, in Inputs, cps []*compiled, v6ByProvider map[st
 				if a, ok := o.Addr(); ok {
 					ai := dr.info(a)
 					ai.Sources |= SrcPDNS
-					ai.Names[o.RRName] = struct{}{}
+					ai.addName(o.RRName)
 				}
 			}
 			for _, n := range cp.wholeNames {
@@ -396,7 +415,7 @@ func runDay(ctx context.Context, in Inputs, cps []*compiled, v6ByProvider map[st
 					for _, a := range addrs {
 						ai := dr.info(a)
 						ai.Sources |= SrcActive
-						ai.Names[name] = struct{}{}
+						ai.addName(name)
 						allVP[a] = struct{}{}
 						if vi == 0 {
 							firstVP[a] = struct{}{}

@@ -39,6 +39,7 @@ type wireLineEnt struct {
 	addr     netip.Addr
 	ccID     int32 // interned on first contact evidence; -1 until then
 	colID    int32 // interned on first kept record; -1 until then
+	winID    int32 // window-shard line ID+1; 0 until first routed row
 	excluded bool  // pre-seeded scanner (Options.Excluded)
 	valid    bool  // false for gap-filled (lost) entries
 }
@@ -51,6 +52,10 @@ type wireLineEnt struct {
 type WireTables struct {
 	idx      *BackendIndex
 	excluded map[netip.Addr]struct{}
+	// shard is the window ingest shard the tables are bound to (nil for
+	// ShardPartial-fed tables and until Window.IngestBatch binds one);
+	// winID memos are IDs in this shard's line table.
+	shard    *winShard
 	lines    []wireLineEnt
 	backends []int32 // dense backend ID, unknownBackend, or lostBackend
 	// entSlot/touched scratch one IngestBatch call's per-line ent

@@ -144,6 +144,8 @@ func grown[T int32 | uint8 | uint64 | float64](s []T, n int) []T {
 
 func setBit(s []uint64, i int) { s[i>>6] |= 1 << (uint(i) & 63) }
 
+func hasBit(s []uint64, i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
 func popcount(s []uint64) int {
 	n := 0
 	for _, w := range s {

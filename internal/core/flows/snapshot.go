@@ -251,12 +251,23 @@ func optionsFingerprint(o Options) uint64 {
 // --- Window snapshot -----------------------------------------------------
 
 // Snapshot writes a versioned binary checkpoint of the window — every
-// live hour bucket's dense aggregation state — to dst. The window stays
-// live; concurrent ingest is blocked only for the duration of the
-// encode. Restore with Restore against the same index and Options.
+// live hour's dense aggregation state — to dst. The window stays live;
+// concurrent ingest is blocked only for the duration of the encode.
+// Restore with Restore against the same index and Options.
+//
+// The v1 format is unchanged from the per-bucket-Collector era: each
+// live hour is converted at the snapshot boundary into a transient
+// single-day ContactCounter+Collector pair and encoded with the
+// existing codecs. The conversion is canonical — lines and ports in
+// sorted order, slot tables in line-major order — so two windows whose
+// ring-columnar state is distributed differently across ingest shards
+// (an original and its restored twin, say) still serialize
+// byte-identically.
 func Snapshot(dst io.Writer, w *Window) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.lockShards()
+	defer w.unlockShards()
+	end := w.endA.Load()
+	stats := w.Stats()
 	s := &snapWriter{w: dst}
 	s.write([]byte(snapshotMagic))
 	s.u16(snapshotVersion)
@@ -264,26 +275,273 @@ func Snapshot(dst io.Writer, w *Window) error {
 	s.u64(optionsFingerprint(w.opts))
 	s.u32(uint32(w.hours))
 	s.i64(w.epoch.UnixNano())
-	s.i64(w.end)
-	s.u64(w.stats.PreWindowRecords)
-	s.u64(w.stats.LateRecords)
-	s.u64(w.stats.EvictedHours)
-	s.u64(w.stats.EvictedRecords)
+	s.i64(end)
+	s.u64(stats.PreWindowRecords)
+	s.u64(stats.LateRecords)
+	s.u64(stats.EvictedHours)
+	s.u64(stats.EvictedRecords)
 
-	live := make([]*hourBucket, 0, len(w.ring))
-	for ah := w.startHourLocked(); ah <= w.end; ah++ {
-		if bk := w.ring[int(ah%int64(w.hours))]; bk != nil {
-			live = append(live, bk)
+	type liveHour struct {
+		ah   int64
+		refs []bucketRef
+	}
+	live := make([]liveHour, 0, w.hours)
+	for ah := w.startHour(end); ah <= end; ah++ {
+		slot := int(ah % int64(w.hours))
+		var refs []bucketRef
+		for _, sh := range w.shards {
+			if bk := sh.ring[slot]; bk != nil && bk.ah == ah {
+				refs = append(refs, bucketRef{sh: sh, bk: bk})
+			}
+		}
+		if len(refs) > 0 {
+			live = append(live, liveHour{ah: ah, refs: refs})
 		}
 	}
 	s.u32(uint32(len(live)))
-	for _, bk := range live {
-		s.i64(bk.ah)
-		s.u64(bk.records)
-		snapshotCounter(s, bk.cc)
-		snapshotCollector(s, bk.col)
+	for _, h := range live {
+		cc, col, records := w.hourAggregates(h.ah, h.refs)
+		s.i64(h.ah)
+		s.u64(records)
+		snapshotCounter(s, cc)
+		snapshotCollector(s, col)
 	}
 	return s.err
+}
+
+// bucketRef pairs a live bucket with the shard whose intern tables its
+// IDs resolve through.
+type bucketRef struct {
+	sh *winShard
+	bk *winBucket
+}
+
+// hourAggregates converts one live hour's shard buckets into a
+// transient canonical single-day ContactCounter+Collector (the exact
+// shape the per-bucket-Collector snapshot format encoded). Lines
+// intern in sorted address order, ports in sorted (transport, port)
+// order, and the la/lp slot tables fill line-major, so the encoding is
+// independent of how rows were distributed across shards. Caller holds
+// all shard locks.
+func (w *Window) hourAggregates(ah int64, refs []bucketRef) (*ContactCounter, *Collector, uint64) {
+	cc := NewContactCounter(w.idx)
+	col := NewCollector(w.idx, []time.Time{w.epoch.Add(time.Duration(ah) * time.Hour)}, w.opts)
+	var records uint64
+
+	// Gather every row by address, across shards.
+	type rowAt struct{ ref, row int }
+	rows := map[netip.Addr][]rowAt{}
+	addrs := []netip.Addr{}
+	for ri, ref := range refs {
+		records += ref.bk.records
+		for r := 0; r < ref.bk.nRows; r++ {
+			a := ref.sh.lines.addrs[ref.bk.lineIDs[r]]
+			if _, ok := rows[a]; !ok {
+				addrs = append(addrs, a)
+			}
+			rows[a] = append(rows[a], rowAt{ri, r})
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+
+	// Canonical port table: the union of per-alias seen ports (which
+	// covers the row port slots — a slot only ever carries a port a
+	// scatter also marked in portSeenA), in sorted key order.
+	pset := map[proto.PortKey]struct{}{}
+	for _, ref := range refs {
+		for a := 0; a < w.nA; a++ {
+			forEachBit(ref.bk.portSeenA[a*ref.sh.pw:(a+1)*ref.sh.pw], func(p int) {
+				pset[ref.sh.ports.keys[p]] = struct{}{}
+			})
+		}
+	}
+	portKeys := make([]proto.PortKey, 0, len(pset))
+	for k := range pset {
+		portKeys = append(portKeys, k)
+	}
+	sort.Slice(portKeys, func(i, j int) bool {
+		if portKeys[i].Transport != portKeys[j].Transport {
+			return portKeys[i].Transport < portKeys[j].Transport
+		}
+		return portKeys[i].Port < portKeys[j].Port
+	})
+	for _, k := range portKeys {
+		col.ports.id(k)
+	}
+	// Per-ref shard-port → canonical-port remap (-1 = not in this hour).
+	pmaps := make([][]int32, len(refs))
+	for ri, ref := range refs {
+		pm := make([]int32, len(ref.sh.ports.keys))
+		for i := range pm {
+			pm[i] = -1
+		}
+		for i, k := range portKeys {
+			if id, ok := ref.sh.ports.ids[k]; ok && int(id) < len(pm) {
+				pm[id] = int32(i)
+			}
+		}
+		pmaps[ri] = pm
+	}
+
+	mergedAlias := make([]uint64, w.aw)
+	mergedCert := make([]uint64, w.aw)
+	mergedDownA := make([]uint64, w.aw)
+	laVol := make([]float64, w.nA)
+	lpSeen := make([]uint64, (len(portKeys)+63)/64+1)
+	lpVol := make([]float64, len(portKeys))
+	for _, a := range addrs {
+		cid := cc.lineID(a)
+		dst := cc.bits[int(cid)*cc.words : (int(cid)+1)*cc.words]
+		hasCol := false
+		for _, ra := range rows[a] {
+			bk := refs[ra.ref].bk
+			forEachBit(bk.rowU64[ra.row*bk.bw:(ra.row+1)*bk.bw], func(lb int) {
+				setBit(dst, int(bk.beIDs[lb]))
+			})
+			if bk.rowU8[ra.row*bk.uw+bk.asl] != 0 {
+				hasCol = true
+			}
+		}
+		if !hasCol {
+			continue // contact evidence only — no Collector line existed
+		}
+		t := int(col.lineID(a))
+		clearBits(mergedAlias)
+		clearBits(mergedCert)
+		clearBits(mergedDownA)
+		var downV, upV float64
+		var conts, fb uint8
+		for _, ra := range rows[a] {
+			bk := refs[ra.ref].bk
+			fr := bk.rowF64[ra.row*bk.fw : (ra.row+1)*bk.fw]
+			downV += fr[0]
+			upV += fr[1]
+			conts |= bk.rowU8[ra.row*bk.uw+bk.asl]
+			fb |= bk.rowU8[ra.row*bk.uw+bk.asl+1]
+			for i := 0; i < bk.asl; i++ {
+				id := bk.rowI32[ra.row*bk.iw+i]
+				if id == 0 {
+					break
+				}
+				al := int(id) - 1
+				fl := bk.rowU8[ra.row*bk.uw+i]
+				setBit(mergedAlias, al)
+				if fl&afCert != 0 {
+					setBit(mergedCert, al)
+				}
+				if fl&afDown != 0 {
+					setBit(mergedDownA, al)
+					laVol[al] += fr[2+i]
+				}
+			}
+			for i := 0; i < bk.psl; i++ {
+				id := bk.rowI32[ra.row*bk.iw+bk.asl+i]
+				if id == 0 {
+					break
+				}
+				cp := int(pmaps[ra.ref][int(id)-1])
+				setBit(lpSeen, cp)
+				lpVol[cp] += fr[2+bk.asl+i]
+			}
+		}
+		col.lineDaily[t*2] = downV
+		col.lineDaily[t*2+1] = upV
+		col.lineConts[t] = conts
+		copy(col.lineAliasBits[t*w.aw:(t+1)*w.aw], mergedAlias)
+		copy(col.lineCertBits[t*w.aw:(t+1)*w.aw], mergedCert)
+		forEachBit(mergedAlias, func(al int) {
+			lh := grown(col.lineHours[al], (t+1)*col.hw)
+			col.lineHours[al] = lh
+			setBit(lh[t*col.hw:], 0)
+		})
+		forEachBit(mergedDownA, func(al int) {
+			col.laDaily[col.laSlotBase(t, al)] += laVol[al]
+			laVol[al] = 0
+		})
+		forEachBit(lpSeen, func(cp int) {
+			col.lpDaily[col.lpSlotBase(t, cp)] += lpVol[cp]
+			lpVol[cp] = 0
+		})
+		clearBits(lpSeen)
+		if fb&1 != 0 {
+			col.focusHoursAll = grown(col.focusHoursAll, (t+1)*col.hw)
+			setBit(col.focusHoursAll[t*col.hw:], 0)
+		}
+		if fb&2 != 0 {
+			col.focusHoursRegion = grown(col.focusHoursRegion, (t+1)*col.hw)
+			setBit(col.focusHoursRegion[t*col.hw:], 0)
+		}
+		if fb&4 != 0 {
+			col.focusHoursEU = grown(col.focusHoursEU, (t+1)*col.hw)
+			setBit(col.focusHoursEU[t*col.hw:], 0)
+		}
+	}
+
+	for a := 0; a < w.nA; a++ {
+		var downSum, upSum float64
+		var downSeen, upSeen bool
+		for _, ref := range refs {
+			if hasBit(ref.bk.aliasSeen[:w.aw], a) {
+				downSeen = true
+				downSum += ref.bk.aliasVol[2*a]
+			}
+			if hasBit(ref.bk.aliasSeen[w.aw:], a) {
+				upSeen = true
+				upSum += ref.bk.aliasVol[2*a+1]
+			}
+		}
+		if downSeen {
+			s := analysis.NewSeries(w.idx.aliasNames[a], col.hours)
+			s.Values[0] = downSum
+			col.downHour[a] = s
+		}
+		if upSeen {
+			s := analysis.NewSeries(w.idx.aliasNames[a], col.hours)
+			s.Values[0] = upSum
+			col.upHour[a] = s
+		}
+		for ri, ref := range refs {
+			sh := ref.sh
+			forEachBit(ref.bk.portSeenA[a*sh.pw:(a+1)*sh.pw], func(p int) {
+				cp := int(pmaps[ri][p])
+				pv := grown(col.portVol[a], cp+1)
+				col.portVol[a] = pv
+				pv[cp] += ref.bk.portVolA[a*sh.pcap+p]
+				ps := grown(col.portSeen[a], cp>>6+1)
+				col.portSeen[a] = ps
+				setBit(ps, cp)
+			})
+		}
+	}
+
+	for _, ref := range refs {
+		bk := ref.bk
+		forEachBit(bk.backendSeen, func(lb int) {
+			b := int(bk.beIDs[lb])
+			bi := &w.idx.infos[b]
+			v := bk.backendVol[lb]
+			col.backendVol[b] += v
+			vs := col.visible[bi.aliasID]
+			if vs == nil {
+				vs = make([]uint64, w.idx.words)
+				col.visible[bi.aliasID] = vs
+			}
+			setBit(vs, b)
+			col.contVol[bi.cont] += v
+			setBit(col.backendSeen, b)
+		})
+		if bk.covered {
+			setBit(col.coverBits, 0)
+		}
+	}
+	if col.focusDownAll != nil {
+		for _, ref := range refs {
+			col.focusDownAll.Values[0] += ref.bk.focusAllV
+			col.focusDownRegion.Values[0] += ref.bk.focusRegionV
+			col.focusDownEU.Values[0] += ref.bk.focusEUV
+		}
+	}
+	return cc, col, records
 }
 
 // Restore reads a Snapshot-written checkpoint and rebuilds the window.
@@ -324,7 +582,11 @@ func Restore(src io.Reader, idx *BackendIndex, opts Options) (*Window, error) {
 		return nil, err
 	}
 	w.end = end
-	w.stats = stats
+	w.endA.Store(end)
+	w.preWindow.Store(stats.PreWindowRecords)
+	w.late.Store(stats.LateRecords)
+	w.evictedHours = stats.EvictedHours
+	w.evictedRecords = stats.EvictedRecords
 
 	n := s.count("bucket")
 	for i := 0; i < n && s.err == nil; i++ {
@@ -341,12 +603,176 @@ func Restore(src io.Reader, idx *BackendIndex, opts Options) (*Window, error) {
 		if s.err != nil {
 			break
 		}
-		w.ring[int(ah%int64(hours))] = &hourBucket{ah: ah, cc: cc, col: col, records: records}
+		if err := w.restoreBucket(ah, records, cc, col); err != nil {
+			return nil, err
+		}
 	}
 	if s.err != nil {
 		return nil, s.err
 	}
 	return w, nil
+}
+
+// restoreBucket converts one decoded hour's ContactCounter+Collector
+// pair into a ring-columnar bucket on shard 0. The stored collector
+// must be hour-confined (data only at bucket-local hour 0), which the
+// live window guaranteed by construction; anything else is a corrupt
+// or hand-edited checkpoint.
+func (w *Window) restoreBucket(ah int64, records uint64, cc *ContactCounter, col *Collector) error {
+	if err := validateHourConfinement(col); err != nil {
+		return err
+	}
+	sh := w.shards[0]
+	slot := int(ah % int64(w.hours))
+	if old := sh.ring[slot]; old != nil {
+		sh.recycle(old)
+	}
+	bk := sh.takeBucket(ah)
+	sh.ring[slot] = bk
+	bk.records = records
+
+	// Intern the stored port table first: growPorts restrides the live
+	// ring, and bk is already in it.
+	pmap := make([]int32, len(col.ports.keys))
+	for i, k := range col.ports.keys {
+		pmap[i] = int32(sh.portID(k))
+	}
+
+	for i, a := range cc.lines.addrs {
+		row := sh.rowFor(bk, sh.lines.id(a))
+		forEachBit(cc.bits[i*cc.words:(i+1)*cc.words], func(b int) {
+			sh.ccSet(bk, row, int32(b))
+		})
+	}
+
+	colRow := make([]int, len(col.lines.addrs))
+	for i, a := range col.lines.addrs {
+		row := sh.rowFor(bk, sh.lines.id(a))
+		colRow[i] = row
+		bk.rowF64[row*bk.fw] = col.lineDaily[2*i]
+		bk.rowF64[row*bk.fw+1] = col.lineDaily[2*i+1]
+		bk.rowU8[row*bk.uw+bk.asl] = col.lineConts[i]
+		forEachBit(col.lineAliasBits[i*w.aw:(i+1)*w.aw], func(al int) {
+			si := sh.aliasSlot(bk, row, al)
+			if hasBit(col.lineCertBits[i*w.aw:(i+1)*w.aw], al) {
+				bk.rowU8[row*bk.uw+si] |= afCert
+			}
+		})
+		var fb uint8
+		if hourZeroBit(col.focusHoursAll, i) {
+			fb |= 1
+		}
+		if hourZeroBit(col.focusHoursRegion, i) {
+			fb |= 2
+		}
+		if hourZeroBit(col.focusHoursEU, i) {
+			fb |= 4
+		}
+		bk.rowU8[row*bk.uw+bk.asl+1] = fb
+	}
+	for s, k := range col.laKeys {
+		row := colRow[k.line]
+		si := sh.aliasSlot(bk, row, int(k.alias))
+		bk.rowU8[row*bk.uw+si] |= afDown
+		bk.rowF64[row*bk.fw+2+si] = col.laDaily[s]
+	}
+	for s, k := range col.lpKeys {
+		row := colRow[k.line]
+		pi := sh.portSlot(bk, row, int(pmap[k.port]))
+		bk.rowF64[row*bk.fw+2+bk.asl+pi] = col.lpDaily[s]
+	}
+
+	for a := 0; a < w.nA; a++ {
+		if ser := col.downHour[a]; ser != nil {
+			setBit(bk.aliasSeen, a)
+			bk.aliasVol[2*a] = ser.Values[0]
+		}
+		if ser := col.upHour[a]; ser != nil {
+			setBit(bk.aliasSeen[w.aw:], a)
+			bk.aliasVol[2*a+1] = ser.Values[0]
+		}
+		forEachBit(col.portSeen[a], func(p int) {
+			cp := int(pmap[p])
+			if p < len(col.portVol[a]) {
+				bk.portVolA[a*sh.pcap+cp] = col.portVol[a][p]
+			}
+			setBit(bk.portSeenA[a*sh.pw:], cp)
+		})
+	}
+
+	forEachBit(col.backendSeen, func(b int) {
+		lb := sh.beLocal(bk, int32(b))
+		bk.backendVol = grown(bk.backendVol, lb+1)
+		bk.backendVol[lb] = col.backendVol[b]
+		setBit(bk.backendSeen, lb)
+	})
+	bk.covered = len(col.coverBits) > 0 && col.coverBits[0]&1 != 0
+	if col.focusDownAll != nil {
+		bk.focusAllV = col.focusDownAll.Values[0]
+		bk.focusRegionV = col.focusDownRegion.Values[0]
+		bk.focusEUV = col.focusDownEU.Values[0]
+	}
+
+	w.hourLive[slot] = true
+	w.hourRecs[slot] = records
+	return nil
+}
+
+// validateHourConfinement rejects a stored hour-bucket collector with
+// data outside bucket-local hour 0 — the single-hour invariant every
+// live bucket maintains, and the only shape restoreBucket can place
+// into an hour column.
+func validateHourConfinement(c *Collector) error {
+	bad := false
+	if len(c.coverBits) > 0 && c.coverBits[0]&^1 != 0 {
+		bad = true
+	}
+	for _, w := range c.coverBits[1:] {
+		if w != 0 {
+			bad = true
+		}
+	}
+	checkHours := func(rows []uint64) {
+		for i, w := range rows {
+			if i%c.hw == 0 {
+				w &^= 1
+			}
+			if w != 0 {
+				bad = true
+			}
+		}
+	}
+	checkSeries := func(ser *analysis.Series) {
+		if ser == nil {
+			return
+		}
+		for _, v := range ser.Values[1:] {
+			if v != 0 {
+				bad = true
+			}
+		}
+	}
+	for a := 0; a < c.nAliases; a++ {
+		checkHours(c.lineHours[a])
+		checkSeries(c.downHour[a])
+		checkSeries(c.upHour[a])
+	}
+	checkHours(c.focusHoursAll)
+	checkHours(c.focusHoursRegion)
+	checkHours(c.focusHoursEU)
+	checkSeries(c.focusDownAll)
+	checkSeries(c.focusDownRegion)
+	checkSeries(c.focusDownEU)
+	if bad {
+		return fmt.Errorf("flows: snapshot hour bucket has data outside its hour")
+	}
+	return nil
+}
+
+// hourZeroBit reports whether a stored per-line hour bitset (stride 1
+// for a single-day bucket) has line's hour-0 bit set.
+func hourZeroBit(rows []uint64, line int) bool {
+	return line < len(rows) && rows[line]&1 != 0
 }
 
 // snapshotCounter encodes a ContactCounter: line addresses in ID order

@@ -2,9 +2,11 @@ package flows
 
 import (
 	"bytes"
+	"io"
 	"net/netip"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -227,6 +229,89 @@ func TestWindowBatchPathMatchesRecordPath(t *testing.T) {
 	if winRec.Stats() != winBatch.Stats() {
 		t.Errorf("stats differ: record %+v batch %+v", winRec.Stats(), winBatch.Stats())
 	}
+}
+
+// TestWindowConcurrentIngest: N goroutines flush disjoint interleaves
+// of the same feed into one Window while readers hammer Study, Snapshot,
+// and BucketStats the whole time; the final figures must be identical on
+// every comparison surface to a sequential feed of the same records.
+// The feed span fits inside the window, so nothing evicts and fold
+// order cannot matter — any divergence is a real data race or a lost
+// update. Under -race this doubles as the lock-order property test for
+// the foldMu → shard → frame hierarchy.
+func TestWindowConcurrentIngest(t *testing.T) {
+	f := buildDenseFixture(13)
+	opts := f.opts
+	opts.ScannerThreshold = 3
+	// One spare day: the fixture's offsets overshoot the study span by a
+	// few hours, and the no-eviction premise must hold for the whole feed.
+	windowHours := (len(f.days) + 1) * 24
+	epoch := f.days[0]
+
+	seq, err := NewWindow(f.idx, epoch, windowHours, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushes := hourFlushes(f.recs, epoch)
+	for _, fl := range flushes {
+		seq.IngestFlush(fl)
+	}
+	refCC, refCol := seq.Merged()
+
+	con, err := NewWindow(f.idx, epoch, windowHours, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for kind := 0; kind < 3; kind++ {
+		readers.Add(1)
+		go func(kind int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch kind {
+				case 0:
+					_, s := con.Study()
+					_ = s.Hours()
+				case 1:
+					if err := Snapshot(io.Discard, con); err != nil {
+						t.Errorf("snapshot under live ingest: %v", err)
+						return
+					}
+				default:
+					_ = con.BucketStats()
+					_ = con.Stats()
+				}
+			}
+		}(kind)
+	}
+	const workers = 8
+	var writers sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		writers.Add(1)
+		go func(wk int) {
+			defer writers.Done()
+			for i := wk; i < len(flushes); i += workers {
+				con.IngestFlush(flushes[i])
+			}
+		}(wk)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if st := con.Stats(); st.EvictedHours != 0 || st.LateRecords != 0 {
+		t.Fatalf("in-window feed must not evict or drop late, got %+v", st)
+	}
+	if con.Stats() != seq.Stats() {
+		t.Errorf("stats differ: concurrent %+v sequential %+v", con.Stats(), seq.Stats())
+	}
+	assertWindowEquals(t, con, refCC, refCol, opts.ScannerThreshold)
 }
 
 // TestWindowSnapshotRoundTrip: snapshot a half-fed window, restore it,

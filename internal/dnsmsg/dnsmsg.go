@@ -359,10 +359,12 @@ func appendName(buf []byte, name string, comp map[string]int) ([]byte, error) {
 	if len(n) > 255 {
 		return nil, ErrNameTooLong
 	}
-	labels := strings.Split(strings.TrimSuffix(n, "."), ".")
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	// Walk label boundaries in place: n is canonical ("a.b.c."), so every
+	// label ends at a dot and n[i:] is the dotted suffix starting at label
+	// i — a substring, so compression-map keys cost no allocation.
+	for i := 0; i < len(n); {
 		if comp != nil {
+			suffix := n[i:]
 			if off, ok := comp[suffix]; ok && off < 0x4000 {
 				buf = appendU16(buf, uint16(off)|0xC000)
 				return buf, nil
@@ -371,15 +373,16 @@ func appendName(buf []byte, name string, comp map[string]int) ([]byte, error) {
 				comp[suffix] = len(buf)
 			}
 		}
-		label := labels[i]
-		if label == "" {
+		j := strings.IndexByte(n[i:], '.')
+		if j == 0 {
 			return nil, ErrBadName
 		}
-		if len(label) > 63 {
+		if j > 63 {
 			return nil, ErrLabelTooLong
 		}
-		buf = append(buf, byte(len(label)))
-		buf = append(buf, label...)
+		buf = append(buf, byte(j))
+		buf = append(buf, n[i:i+j]...)
+		i += j + 1
 	}
 	return append(buf, 0), nil
 }
@@ -522,7 +525,11 @@ func readRR(wire []byte, off int) (RR, int, error) {
 // returns the canonical name plus the offset just past the name in the
 // original stream.
 func readName(wire []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	// Names are capped at 255 presentation octets, so a stack buffer
+	// covers every legal name and the only heap allocation is the final
+	// string. Lowercasing happens as labels are copied in.
+	var nb [256]byte
+	ln := 0
 	jumped := false
 	ret := off
 	hops := 0
@@ -536,14 +543,10 @@ func readName(wire []byte, off int) (string, int, error) {
 			if !jumped {
 				ret = off + 1
 			}
-			name := sb.String()
-			if name == "" {
-				name = "."
+			if ln == 0 {
+				return ".", ret, nil
 			}
-			if len(name) > 255 {
-				return "", 0, ErrNameTooLong
-			}
-			return name, ret, nil
+			return string(nb[:ln]), ret, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(wire) {
 				return "", 0, ErrShortMessage
@@ -569,22 +572,21 @@ func readName(wire []byte, off int) (string, int, error) {
 			if off+1+l > len(wire) {
 				return "", 0, ErrShortMessage
 			}
-			sb.Write(toLower(wire[off+1 : off+1+l]))
-			sb.WriteByte('.')
+			if ln+l+1 > 255 {
+				return "", 0, ErrNameTooLong
+			}
+			for _, c := range wire[off+1 : off+1+l] {
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				nb[ln] = c
+				ln++
+			}
+			nb[ln] = '.'
+			ln++
 			off += 1 + l
 		}
 	}
-}
-
-func toLower(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		out[i] = c
-	}
-	return out
 }
 
 func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }

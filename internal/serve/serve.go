@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
@@ -62,6 +63,10 @@ type Config struct {
 	// RenderFigures renders the study as text for GET /figures. Nil
 	// falls back to the JSON summary.
 	RenderFigures func(cc *flows.ContactCounter, col *flows.Collector) string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
+	// mux. Off by default: the profiling endpoints expose goroutine
+	// stacks and heap contents, so they are opt-in per deployment.
+	EnablePprof bool
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -372,6 +377,7 @@ func (s *Service) Handler() http.Handler { return s.mux }
 
 func (s *Service) buildMux() {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /streams", s.handleStreams)
 	mux.HandleFunc("GET /window", s.handleWindow)
@@ -380,7 +386,29 @@ func (s *Service) buildMux() {
 	mux.HandleFunc("POST /streams/file", s.handleAttachFile)
 	mux.HandleFunc("POST /streams/dial", s.handleAttachDial)
 	mux.HandleFunc("DELETE /streams/{id}", s.handleDetach)
+	if s.cfg.EnablePprof {
+		// net/http/pprof registers on DefaultServeMux as a side effect
+		// of its import; mount its handlers here explicitly so they are
+		// only reachable when the deployment asked for them.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
+}
+
+// handleHealthz is the liveness probe: a cheap 200 that touches the
+// window's atomics but takes no locks, so a stalled fold or a wedged
+// stream cannot make the probe itself hang.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":  "ok",
+		"started": s.started,
+		"uptime":  time.Since(s.started).String(),
+		"endHour": s.win.End(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

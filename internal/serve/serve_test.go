@@ -218,6 +218,51 @@ func jsonStr(s string) string {
 	return string(b)
 }
 
+// TestHealthzAndPprof: /healthz answers on every service; /debug/pprof/
+// is 404 unless Config.EnablePprof opted in.
+func TestHealthzAndPprof(t *testing.T) {
+	f := buildFixture(t)
+	s := f.service(t, "")
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var hz struct {
+		Status  string `json:"status"`
+		EndHour int64  `json:"endHour"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv, "/healthz")), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" {
+		t.Fatalf("healthz status %q, want ok", hz.Status)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without opt-in: %d, want 404", resp.StatusCode)
+	}
+
+	sp, err := New(Config{
+		Index: f.idx, Days: f.days, Opts: f.opts,
+		Policy: collector.DropFrame, RenderFigures: renderFigures,
+		EnablePprof: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv := httptest.NewServer(sp.Handler())
+	defer psrv.Close()
+	if body := get(t, psrv, "/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+	if !strings.Contains(get(t, psrv, "/debug/pprof/"), "goroutine") {
+		t.Fatal("pprof index incomplete")
+	}
+}
+
 // TestServeFeedsTCP: an exporter dialing the feed listener is ingested
 // as a registry "conn" feed.
 func TestServeFeedsTCP(t *testing.T) {

@@ -233,6 +233,10 @@ func (w *World) ZoneStore(dayIdx int) *dnszone.Store {
 			Serial: uint32(2022022800 + dayIdx), Minimum: 300,
 		})
 		for _, name := range p.Names() {
+			// Canonicalize once per name: AddAddr canonicalizes every
+			// record, and a per-day rebuild multiplies that by servers ×
+			// views. A pre-canonical name takes the no-alloc fast path.
+			cname := dnsmsg.CanonicalName(name)
 			var active []*Server
 			for _, s := range p.names[name] {
 				if s.ActiveOn(dayIdx) {
@@ -255,20 +259,20 @@ func (w *World) ZoneStore(dayIdx int) *dnszone.Store {
 						near = active
 					}
 					for _, s := range rotate(near, dayIdx*3+vi) {
-						store.AddAddr(view, name, s.Addr, 60)
+						store.AddAddr(view, cname, s.Addr, 60)
 					}
 				}
 				for _, s := range rotate(active, dayIdx) {
-					store.AddAddr(dnszone.DefaultView, name, s.Addr, 60)
+					store.AddAddr(dnszone.DefaultView, cname, s.Addr, 60)
 				}
 			} else {
 				for vi, view := range VantagePointViews {
 					for _, s := range rotate(active, dayIdx*3+vi) {
-						store.AddAddr(view, name, s.Addr, 300)
+						store.AddAddr(view, cname, s.Addr, 300)
 					}
 				}
 				for _, s := range rotate(active, dayIdx) {
-					store.AddAddr(dnszone.DefaultView, name, s.Addr, 300)
+					store.AddAddr(dnszone.DefaultView, cname, s.Addr, 300)
 				}
 			}
 		}
