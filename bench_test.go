@@ -28,6 +28,7 @@ import (
 	"iotmap/internal/figures"
 	"iotmap/internal/isp"
 	"iotmap/internal/netflow"
+	"iotmap/internal/scenario"
 	"iotmap/internal/world"
 )
 
@@ -817,4 +818,46 @@ func benchName(prefix string, v int) string {
 // validateFilter adapts the §3.4 filter for the ablation bench.
 func validateFilter(addrs []netip.Addr, pdns *dnsdb.DB, tr dnsdb.TimeRange, threshold int) ([]netip.Addr, []netip.Addr, []validate.Classification) {
 	return validate.FilterShared(addrs, patterns.All(), pdns, tr, threshold)
+}
+
+// BenchmarkStageDisruptionSuite measures the declarative scenario
+// engine end to end: compiling the paper-week preset (hijack, regional
+// outage with feed death, AS migration) and driving its per-step plus
+// cumulative what-ifs through the federated pipeline against a clean
+// baseline. Memory-mode federation: the suite's cost is the repeated
+// federation studies, not wire framing.
+func BenchmarkStageDisruptionSuite(b *testing.B) {
+	sys, err := iotmap.New(iotmap.Config{
+		Seed: 3, Scale: 0.02, Lines: 900, SkipLiveScan: true,
+		Days:        iotmap.OutageStudyDays(),
+		TrafficMode: iotmap.TrafficModeMemory, WireStreams: 3,
+		Vantages: []iotmap.VantageSpec{
+			{Name: "isp-a"},
+			{Name: "isp-b", Lines: 600},
+			{Name: "ixp", Lines: 700, SamplingRate: 1024, ScannerFraction: -1},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Discover(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		b.Fatal(err)
+	}
+	suite := scenario.Presets(5)[scenario.PresetPaperWeek]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Federation = nil // re-run the baseline too: whole-suite cost
+		res, err := sys.DisruptionSuite(suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Scenarios) != 4 {
+			b.Fatalf("scenarios = %d", len(res.Scenarios))
+		}
+	}
 }

@@ -133,7 +133,7 @@ func main() {
 			addr: *serveAddr, feedAddr: *feedListen, windowHours: *windowHours,
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 			policy: pol, stall: *stall, vantage: *vantage, preload: flag.Args(),
-			pprof: *pprofFlag,
+			pprof: *pprofFlag, seed: *seed,
 		})
 		return
 	}
@@ -309,6 +309,7 @@ type serveConfig struct {
 	vantage         string
 	preload         []string
 	pprof           bool
+	seed            int64
 }
 
 // runServe hosts the long-lived collector service until SIGINT/SIGTERM,
@@ -330,6 +331,7 @@ func runServe(sys *iotmap.System, idx *flows.BackendIndex, opts flows.Options, s
 	svc, err := serve.New(serve.Config{
 		Index: idx, Days: sys.World.Days, Opts: opts,
 		WindowHours: sc.windowHours, Policy: sc.policy, StallTimeout: sc.stall,
+		ReconnectSeed:  sc.seed,
 		CheckpointPath: sc.checkpoint, CheckpointEvery: sc.checkpointEvery,
 		RenderFigures: render, Logf: log.Printf, EnablePprof: sc.pprof,
 	})

@@ -9,9 +9,15 @@
 // and dying mid-week), reporting per-vantage and union deltas plus the
 // degraded-vantage coverage annotations.
 //
+// With -suite NAME it runs a named preset scenario suite from the
+// declarative engine (internal/scenario) over the same federation:
+// per-step and cumulative deltas vs the clean baseline, wire-fault
+// ledgers, and the suite's BGP what-if impact check. -suite list
+// prints the library.
+//
 // Usage:
 //
-//	iotdisrupt [-seed N] [-scale F] [-lines N] [-federate]
+//	iotdisrupt [-seed N] [-scale F] [-lines N] [-federate] [-suite NAME]
 package main
 
 import (
@@ -19,9 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"iotmap"
 	"iotmap/internal/figures"
+	"iotmap/internal/scenario"
 )
 
 func main() {
@@ -29,7 +37,16 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "deployment scale (1.0 = paper-sized)")
 	lines := flag.Int("lines", 10000, "simulated subscriber lines")
 	federate := flag.Bool("federate", false, "run the federated disruption what-if suite (outage + wire chaos)")
+	suite := flag.String("suite", "", "run a preset scenario suite over the federation ('list' prints the library): "+
+		strings.Join(scenario.PresetNames(), ", "))
 	flag.Parse()
+
+	if *suite == "list" {
+		for _, name := range scenario.PresetNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	sys, err := iotmap.New(iotmap.Config{
 		Seed:   *seed,
@@ -57,6 +74,50 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+
+	if *suite != "" {
+		if err := scenarioSuite(sys, *seed, *lines, *suite); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// scenarioSuite runs a named preset suite from the declarative scenario
+// engine over the same 3-vantage wire-mode federation -federate uses.
+// The wire format is pinned to v5: the hour-windowed fault rules a
+// suite compiles (feed death mid-week) read the study clock from v5
+// frame headers, which dictionary-format streams don't carry per frame.
+func scenarioSuite(sys *iotmap.System, seed int64, lines int, name string) error {
+	presets := scenario.Presets(seed)
+	suite, ok := presets[name]
+	if !ok {
+		return fmt.Errorf("unknown suite %q (have: %s)", name, strings.Join(scenario.PresetNames(), ", "))
+	}
+
+	sys.Cfg.Outage = nil
+	sys.Cfg.TrafficMode = iotmap.TrafficModeWire
+	sys.Cfg.WireFormat = iotmap.WireFormatV5
+	sys.Cfg.WireStreams = 3
+	sys.Cfg.WirePolicy = iotmap.WireDropFrame
+	sys.Cfg.Vantages = []iotmap.VantageSpec{
+		{Name: "isp-a"},
+		{Name: "isp-b", Lines: lines / 2},
+		{Name: "ixp", SamplingRate: 1024, ScannerFraction: -1},
+	}
+
+	res, err := sys.DisruptionSuite(suite)
+	if err != nil {
+		return err
+	}
+	fmt.Println(figures.FederationCoverage(sys))
+	fmt.Println(figures.SuiteDeltas(res))
+	// The final (cumulative when multi-step) scenario's coverage view,
+	// degraded annotations included.
+	last := res.Scenarios[len(res.Scenarios)-1]
+	tmp := *sys
+	tmp.Federation = last.Federation
+	fmt.Println(figures.FederationCoverage(&tmp))
+	return nil
 }
 
 // federatedSuite runs DisruptionStudy over a 3-vantage wire-mode

@@ -88,12 +88,29 @@ type Impact struct {
 // CheckImpact returns every event that covers a monitored backend IP
 // (prefix events) or a hosting AS (outage events).
 func (f *Feed) CheckImpact(addrs []netip.Addr, table *asdb.Table) []Impact {
-	hostingAS := map[asdb.ASN]struct{}{}
-	for _, a := range addrs {
-		if asn, ok := table.Origin(a); ok {
-			hostingAS[asn] = struct{}{}
-		}
+	return f.CheckImpactAt(addrs, TableOrigin(table))
+}
+
+// OriginAt resolves a monitored address's hosting AS as of a point in
+// time. A static routing table ignores `at` (TableOrigin); a scenario
+// with an AS migration answers differently before and after cutover, so
+// an outage of the abandoned AS stops matching the fleet that left it.
+type OriginAt func(a netip.Addr, at time.Time) (asdb.ASN, bool)
+
+// TableOrigin adapts a static asdb table to the time-aware interface.
+func TableOrigin(table *asdb.Table) OriginAt {
+	return func(a netip.Addr, _ time.Time) (asdb.ASN, bool) {
+		return table.Origin(a)
 	}
+}
+
+// CheckImpactAt is CheckImpact with time-aware origin resolution: each
+// event's hosting-AS match is evaluated at the event's own timestamp,
+// so infrastructure that migrated between ASes mid-study is attributed
+// to the AS it actually sat in when the event fired. Prefix events
+// (leaks, hijacks) match on address containment, which migration does
+// not change.
+func (f *Feed) CheckImpactAt(addrs []netip.Addr, origin OriginAt) []Impact {
 	var out []Impact
 	for _, e := range f.events {
 		switch e.Kind {
@@ -104,8 +121,11 @@ func (f *Feed) CheckImpact(addrs []netip.Addr, table *asdb.Table) []Impact {
 				}
 			}
 		case ASOutage:
-			if _, hit := hostingAS[e.ASN]; hit {
-				out = append(out, Impact{Event: e, ASN: e.ASN})
+			for _, a := range addrs {
+				if asn, ok := origin(a, e.At); ok && asn == e.ASN {
+					out = append(out, Impact{Event: e, ASN: e.ASN})
+					break
+				}
 			}
 		}
 	}

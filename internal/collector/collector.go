@@ -229,6 +229,11 @@ type StreamStat struct {
 	// covers (its share of) the week; one that died Wednesday doesn't.
 	HoursCovered int
 	HoursTotal   int
+	// HourBits is the covered-hours bitset itself (bit h set: study
+	// hour h saw records), so cross-stream coverage algebra — which
+	// hours did THIS feed miss that a sibling covered — doesn't have to
+	// re-derive it from counts.
+	HourBits []uint64
 	Stats
 }
 
@@ -457,6 +462,7 @@ func (c *Collector) finish(st *stream) {
 		Source:       st.source,
 		HoursCovered: covered,
 		HoursTotal:   st.hours,
+		HourBits:     append([]uint64(nil), st.hourBits...),
 		Stats:        st.stats,
 	})
 	c.mu.Unlock()
@@ -1213,6 +1219,18 @@ func (c *Collector) IngestReconnecting(name string, dial func(attempt int) (io.R
 	r := io.Reader(rr)
 	if c.cfg.Tap != nil {
 		r = c.cfg.Tap(st.index, st.source, r)
+	}
+	if c.cfg.StallTimeout > 0 {
+		// Same watchdog ingestIndexed arms: a reconnecting feed that
+		// redials forever against a half-dead exporter (connects, then
+		// never sends a frame) must degrade the vantage, not hang the
+		// stream. The abort target is the reconnectReader itself — its
+		// Close stops further redials as well as the live transport.
+		pr := &progressReader{r: r}
+		r = pr
+		stop := make(chan struct{})
+		defer close(stop)
+		go watchStall(pr, rr, st, c.cfg.StallTimeout, stop)
 	}
 	return c.ingest(st, rr, r)
 }

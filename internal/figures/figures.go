@@ -561,6 +561,39 @@ func DisruptionDeltas(res *iotmap.DisruptionStudyResult) string {
 		}
 		fmt.Fprintf(&b, "  %-12s %9s %10d %9.1f%%\n", "union", "-",
 			sc.UnionBackendsDelta, sc.UnionDownDeltaPct)
+		if ft := sc.FaultTotals; ft != nil {
+			fmt.Fprintf(&b, "  fault ledger: %d corrupted, %d dropped, %d duplicated, %d truncated, %d stalls, killed=%v\n",
+				ft.Corrupted, ft.Dropped, ft.Duplicated, ft.Truncated, ft.Stalls, ft.Killed)
+		}
+	}
+	return b.String()
+}
+
+// SuiteDeltas renders a scenario suite's full outcome: the per-step
+// (and cumulative) delta tables with their fault ledgers, followed by
+// the suite's control-plane view — every injected BGP event and which
+// of them touched a monitored backend under migration-aware AS origin
+// resolution (the §6.2 what-if answered for the suite).
+func SuiteDeltas(res *iotmap.SuiteStudyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario suite %q\n", res.Suite)
+	b.WriteString(DisruptionDeltas(res.DisruptionStudyResult))
+	if len(res.Events) > 0 {
+		fmt.Fprintf(&b, "injected BGP events: %d\n", len(res.Events))
+		fmt.Fprintf(&b, "backend impacts (time-aware origins): %d\n", len(res.Impacts))
+		const maxImpactLines = 12
+		for i, im := range res.Impacts {
+			if i == maxImpactLines {
+				fmt.Fprintf(&b, "  ... and %d more\n", len(res.Impacts)-maxImpactLines)
+				break
+			}
+			switch {
+			case im.Addr.IsValid():
+				fmt.Fprintf(&b, "  %s %s covers backend %s\n", im.Event.Kind, im.Event.Prefix, im.Addr)
+			default:
+				fmt.Fprintf(&b, "  %s AS%d hosts monitored backends\n", im.Event.Kind, im.ASN)
+			}
+		}
 	}
 	return b.String()
 }

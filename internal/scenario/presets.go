@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"sort"
+
+	"iotmap/internal/outage"
+)
+
+// Preset suite names (cmd/iotdisrupt -suite).
+const (
+	// PresetHijackT1 hijacks the largest provider's prefixes for half a
+	// day, visible from the residential ISP and IXP vantages but not
+	// from isp-b (route visibility is vantage-dependent).
+	PresetHijackT1 = "hijack-t1"
+	// PresetOutageFeedLoss replays the Dec 7 2021 AWS us-east-1 outage
+	// with the blast radius extended to isp-b's exporter: that
+	// vantage's wire feed dies mid-outage.
+	PresetOutageFeedLoss = "outage-feedloss"
+	// PresetMigrationD1 migrates the D1 (bosch) fleet to a private AS
+	// mid-study — pure control-plane, so every figure must match the
+	// clean baseline byte for byte.
+	PresetMigrationD1 = "migration-d1"
+	// PresetPaperWeek runs all three steps: per-step deltas plus the
+	// cumulative everything-at-once scenario.
+	PresetPaperWeek = "paper-week"
+)
+
+// MigrationTargetASN is the presets' destination AS for fleet moves: a
+// private-use ASN guaranteed never to collide with the world's
+// generated AS space.
+const MigrationTargetASN = 64512
+
+// Preset vantage names match cmd/iotdisrupt's federation (isp-a,
+// isp-b, ixp); suites are declarative, so callers with different
+// vantage sets just build their own Suite literals.
+
+func presetHijack() Step {
+	return Step{
+		Name: "hijack-t1",
+		Hijack: &Hijack{
+			Provider: "amazon",
+			// Day 2, 10:00-22:00 on the study clock.
+			FromHour: 2*24 + 10, ToHour: 2*24 + 22,
+			Vantages:  []string{"isp-a", "ixp"},
+			Blackhole: true,
+		},
+	}
+}
+
+func presetOutageFeedLoss() Step {
+	return Step{
+		Name: "outage-feedloss",
+		Outage: &RegionalOutage{
+			Outage:          outage.AWSUSEast1(4),
+			KillFeedVantage: "isp-b",
+			// One hour into the outage window (day 4, 16:00).
+			KillAtHour: 4*24 + 16,
+		},
+	}
+}
+
+func presetMigration() Step {
+	return Step{
+		Name: "migration-d1",
+		Migration: &Migration{
+			Provider: "bosch",
+			ToASN:    MigrationTargetASN,
+			// Day 5, noon.
+			AtHour: 5*24 + 12,
+		},
+	}
+}
+
+// Presets returns the paper-grounded suite library, keyed by name.
+// Every preset assumes an 8-day study period (world.StudyDays or
+// world.OutageDays) and the iotdisrupt federation's vantage names.
+func Presets(seed int64) map[string]Suite {
+	return map[string]Suite{
+		PresetHijackT1:       {Name: PresetHijackT1, Seed: seed, Steps: []Step{presetHijack()}},
+		PresetOutageFeedLoss: {Name: PresetOutageFeedLoss, Seed: seed, Steps: []Step{presetOutageFeedLoss()}},
+		PresetMigrationD1:    {Name: PresetMigrationD1, Seed: seed, Steps: []Step{presetMigration()}},
+		PresetPaperWeek: {Name: PresetPaperWeek, Seed: seed, Steps: []Step{
+			presetHijack(), presetOutageFeedLoss(), presetMigration(),
+		}},
+	}
+}
+
+// PresetNames lists the preset suites in stable order.
+func PresetNames() []string {
+	names := make([]string, 0, 4)
+	for name := range Presets(1) {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

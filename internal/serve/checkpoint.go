@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -15,31 +16,46 @@ import (
 )
 
 // Checkpoint container: a magic header followed by tagged,
-// length-prefixed sections, so the window snapshot and each stream's
-// dictionary state stay independently framed (and future sections can
-// be added without breaking old readers that skip unknown tags).
+// length-prefixed, checksummed sections, so the window snapshot and
+// each stream's dictionary state stay independently framed (and future
+// sections can be added without breaking old readers that skip unknown
+// tags).
 //
-//	"IOTCKPT1"                          8-byte magic (version in the tag)
-//	"WIN0" u32-len  flows.Snapshot      the sliding window
-//	"DCT0" u32-len  dictionary bundle   all retained DictStates
+//	"IOTCKPT2"                               8-byte magic (version in the tag)
+//	"WIN0" u32-len u32-crc  flows.Snapshot   the sliding window
+//	"DCT0" u32-len u32-crc  dictionary bundle all retained DictStates
+//
+// The per-section CRC32 (IEEE, over the section body only) is the
+// torn-write detector: a checkpoint that lost its tail in a crash — or
+// had a sector go bad underneath it — fails closed at restore instead
+// of resurrecting a half-window. Version 1 ("IOTCKPT1") containers lack
+// the CRC field and are still readable (trusted as-is, as they always
+// were); writers only emit version 2.
 //
 // The dictionary bundle is itself length-prefixed per entry: source
 // label, exporter epoch, advertised rate, the per-entry address
 // families, and the flows.WireTables snapshot. Everything is
 // little-endian, matching the flows snapshot codec.
 const (
-	checkpointMagic = "IOTCKPT1"
-	sectionWindow   = "WIN0"
-	sectionDicts    = "DCT0"
+	checkpointMagic   = "IOTCKPT2"
+	checkpointMagicV1 = "IOTCKPT1"
+	sectionWindow     = "WIN0"
+	sectionDicts      = "DCT0"
 	// maxSectionBytes bounds one section (and any length field inside
 	// the dictionary bundle) against a corrupt header allocating GBs.
 	maxSectionBytes = 1 << 31
+	// prevSuffix is the rotation keep: the previous checkpoint survives
+	// as path+prevSuffix so a torn newest file is not the end of the
+	// line at restore time.
+	prevSuffix = ".prev"
 )
 
 // writeCheckpoint atomically persists the window and dictionary state:
 // the container is written to a temp file in the destination directory,
 // synced, then renamed over path — a crash mid-write leaves the
-// previous checkpoint intact.
+// previous checkpoint intact. Before the final rename an existing
+// checkpoint rotates to path+".prev", so restore always has a
+// known-good fallback one generation back.
 func writeCheckpoint(path string, win *flows.Window, dicts map[string]*collector.DictState) (int64, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -59,6 +75,11 @@ func writeCheckpoint(path string, win *flows.Window, dicts map[string]*collector
 	}
 	if err != nil {
 		return 0, err
+	}
+	if _, err := os.Stat(path); err == nil {
+		// Rotation is best-effort: a failed rename (exotic filesystems)
+		// must not block the fresh checkpoint from landing.
+		os.Rename(path, path+prevSuffix) //nolint:errcheck
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return 0, err
@@ -99,9 +120,10 @@ func putSection(put func([]byte) error, tag string, body []byte) error {
 	if err := put([]byte(tag)); err != nil {
 		return err
 	}
-	var ln [4]byte
-	binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
-	if err := put(ln[:]); err != nil {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	if err := put(hdr[:]); err != nil {
 		return err
 	}
 	return put(body)
@@ -155,30 +177,50 @@ func encodeDicts(dst *bytes.Buffer, dicts map[string]*collector.DictState) error
 // loadCheckpoint restores a checkpoint container against the given
 // index and window options: the window section is mandatory, the
 // dictionary section optional (old or dict-less checkpoints), and
-// unknown section tags are skipped.
+// unknown section tags are skipped. Version 2 sections are CRC32-
+// verified; version 1 containers (no CRC field) restore as before.
 func loadCheckpoint(path string, idx *flows.BackendIndex, winOpts flows.Options) (*flows.Window, map[string]*collector.DictState, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(data) < len(checkpointMagic) || string(data[:len(checkpointMagic)]) != checkpointMagic {
+	if len(data) < len(checkpointMagic) {
+		return nil, nil, fmt.Errorf("serve: %s is not a checkpoint (too short)", path)
+	}
+	var withCRC bool
+	switch string(data[:len(checkpointMagic)]) {
+	case checkpointMagic:
+		withCRC = true
+	case checkpointMagicV1:
+		withCRC = false
+	default:
 		return nil, nil, fmt.Errorf("serve: %s is not a checkpoint (bad magic)", path)
 	}
 	rest := data[len(checkpointMagic):]
+	hdrLen := 8
+	if withCRC {
+		hdrLen = 12
+	}
 	var win *flows.Window
 	var winBuf []byte
 	var dictBuf []byte
 	for len(rest) > 0 {
-		if len(rest) < 8 {
+		if len(rest) < hdrLen {
 			return nil, nil, fmt.Errorf("serve: truncated section header")
 		}
 		tag := string(rest[:4])
 		ln := binary.LittleEndian.Uint32(rest[4:8])
-		if uint64(ln) > maxSectionBytes || uint64(ln) > uint64(len(rest)-8) {
-			return nil, nil, fmt.Errorf("serve: section %q claims %d bytes, %d remain", tag, ln, len(rest)-8)
+		if uint64(ln) > maxSectionBytes || uint64(ln) > uint64(len(rest)-hdrLen) {
+			return nil, nil, fmt.Errorf("serve: section %q claims %d bytes, %d remain", tag, ln, len(rest)-hdrLen)
 		}
-		body := rest[8 : 8+ln]
-		rest = rest[8+ln:]
+		body := rest[hdrLen : hdrLen+int(ln)]
+		if withCRC {
+			want := binary.LittleEndian.Uint32(rest[8:12])
+			if got := crc32.ChecksumIEEE(body); got != want {
+				return nil, nil, fmt.Errorf("serve: section %q CRC mismatch (got %08x, want %08x)", tag, got, want)
+			}
+		}
+		rest = rest[hdrLen+int(ln):]
 		switch tag {
 		case sectionWindow:
 			winBuf = body

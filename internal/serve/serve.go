@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -55,7 +56,11 @@ type Config struct {
 	// StallTimeout arms the per-stream read-stall watchdog; 0 disables.
 	StallTimeout time.Duration
 	// CheckpointPath, when set, is where checkpoints are written
-	// (atomically: temp file + rename) and restored from at startup.
+	// (atomically: temp file + rename, previous checkpoint kept as
+	// CheckpointPath+".prev") and restored from at startup. A torn or
+	// corrupt newest checkpoint falls back to the ".prev" keep with a
+	// logged warning and a bump of the checkpointFallbacks counter in
+	// GET /stats.
 	CheckpointPath string
 	// CheckpointEvery is the checkpoint timer period; 0 disables the
 	// timer (checkpoints still happen on shutdown and on demand).
@@ -63,6 +68,11 @@ type Config struct {
 	// RenderFigures renders the study as text for GET /figures. Nil
 	// falls back to the JSON summary.
 	RenderFigures func(cc *flows.ContactCounter, col *flows.Collector) string
+	// ReconnectSeed drives the seeded redial jitter of dial feeds
+	// (AttachDial routes through collector.IngestReconnecting): with
+	// the same seed a replayed deployment redials on an identical
+	// schedule. Zero is a valid seed.
+	ReconnectSeed int64
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
 	// mux. Off by default: the profiling endpoints expose goroutine
 	// stacks and heap contents, so they are opt-in per deployment.
@@ -88,6 +98,13 @@ type Service struct {
 
 	// Restored reports whether New loaded a checkpoint.
 	Restored bool
+	// RestoredFrom is the file the restore actually used — the
+	// configured path, or its ".prev" rotation keep after a fallback.
+	RestoredFrom string
+	// CheckpointFallbacks counts restores that had to fall back to the
+	// ".prev" keep because the newest checkpoint was torn or corrupt
+	// (0 or 1 per process; surfaced in GET /stats).
+	CheckpointFallbacks uint64
 }
 
 // Feed is one registry entry: an attached stream's identity and
@@ -136,15 +153,19 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{cfg: cfg, feeds: map[int64]*Feed{}, started: time.Now()}
 	var dicts map[string]*collector.DictState
 	if cfg.CheckpointPath != "" {
-		if _, err := os.Stat(cfg.CheckpointPath); err == nil {
-			win, ds, err := loadCheckpoint(cfg.CheckpointPath, cfg.Index, winOpts)
-			if err != nil {
-				return nil, fmt.Errorf("serve: restoring %s: %w", cfg.CheckpointPath, err)
-			}
+		win, ds, from, fellBack, err := restoreCheckpoint(cfg, winOpts)
+		if err != nil {
+			return nil, err
+		}
+		if win != nil {
 			s.win, dicts = win, ds
 			s.Restored = true
+			s.RestoredFrom = from
+			if fellBack {
+				s.CheckpointFallbacks = 1
+			}
 			cfg.Logf("serve: restored window (end hour %d, %d dictionaries) from %s",
-				win.End(), len(ds), cfg.CheckpointPath)
+				win.End(), len(ds), from)
 		}
 	}
 	if s.win == nil {
@@ -165,6 +186,39 @@ func New(cfg Config) (*Service, error) {
 	s.col = col
 	s.buildMux()
 	return s, nil
+}
+
+// restoreCheckpoint resolves startup state from the configured path:
+// the newest checkpoint when it is intact, the ".prev" rotation keep
+// when the newest is torn/corrupt (CRC or container failure) or went
+// missing mid-rotation, and a nil window (fresh start) when no
+// checkpoint exists at all. Both copies unreadable is a hard error —
+// the operator asked for a restore and neither candidate is safe.
+func restoreCheckpoint(cfg Config, winOpts flows.Options) (win *flows.Window, dicts map[string]*collector.DictState, from string, fellBack bool, err error) {
+	path, prev := cfg.CheckpointPath, cfg.CheckpointPath+prevSuffix
+	_, newestErr := os.Stat(path)
+	_, prevErr := os.Stat(prev)
+	if newestErr == nil {
+		win, dicts, err = loadCheckpoint(path, cfg.Index, winOpts)
+		if err == nil {
+			return win, dicts, path, false, nil
+		}
+		if prevErr != nil {
+			return nil, nil, "", false, fmt.Errorf("serve: restoring %s: %w", path, err)
+		}
+		cfg.Logf("serve: WARNING: checkpoint %s unreadable (%v); falling back to %s", path, err, prev)
+	} else if prevErr == nil {
+		// Crash between the rotation rename and the fresh-file rename:
+		// the newest is gone but the keep survived.
+		cfg.Logf("serve: WARNING: checkpoint %s missing; falling back to %s", path, prev)
+	} else {
+		return nil, nil, "", false, nil // fresh start
+	}
+	win, dicts, err = loadCheckpoint(prev, cfg.Index, winOpts)
+	if err != nil {
+		return nil, nil, "", false, fmt.Errorf("serve: restoring fallback %s: %w", prev, err)
+	}
+	return win, dicts, prev, true, nil
 }
 
 // Window exposes the service's sliding window (read-only use).
@@ -264,7 +318,9 @@ func (s *Service) AttachDial(addr, name, vantage string) (*Feed, error) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.settle(f, s.col.IngestReconnecting(name, dial, collector.ReconnectConfig{}))
+		s.settle(f, s.col.IngestReconnecting(name, dial, collector.ReconnectConfig{
+			Seed: s.cfg.ReconnectSeed,
+		}))
 	}()
 	return f, nil
 }
@@ -421,12 +477,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	start, end := s.win.Span()
 	writeJSON(w, map[string]any{
-		"started":     s.started,
-		"restored":    s.Restored,
-		"windowStart": start,
-		"windowEnd":   end,
-		"window":      s.win.Stats(),
-		"wire":        s.col.Stats(),
+		"started":             s.started,
+		"restored":            s.Restored,
+		"restoredFrom":        s.RestoredFrom,
+		"checkpointFallbacks": s.CheckpointFallbacks,
+		"windowStart":         start,
+		"windowEnd":           end,
+		"window":              s.win.Stats(),
+		"wire":                s.col.Stats(),
 	})
 }
 
@@ -447,13 +505,100 @@ func (s *Service) handleStreams(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
 	start, end := s.win.Span()
 	writeJSON(w, map[string]any{
-		"epoch":   s.win.Epoch(),
-		"hours":   s.win.Hours(),
-		"start":   start,
-		"end":     end,
-		"stats":   s.win.Stats(),
-		"buckets": s.win.BucketStats(),
+		"epoch":    s.win.Epoch(),
+		"hours":    s.win.Hours(),
+		"start":    start,
+		"end":      end,
+		"stats":    s.win.Stats(),
+		"buckets":  s.win.BucketStats(),
+		"vantages": s.vantageCoverage(),
 	})
+}
+
+// vantageWindow is one vantage's feed-coverage row in GET /window.
+type vantageWindow struct {
+	Vantage      string `json:"vantage"`
+	Streams      int    `json:"streams"`
+	HoursCovered int    `json:"hoursCovered"`
+	HoursTotal   int    `json:"hoursTotal"`
+	// Degraded flags a vantage whose settled feeds missed study hours
+	// that some other vantage's feeds covered — the same bitset
+	// algebra flows.Federation.Coverage() runs at batch scale, here
+	// over the collector's per-stream liveness bitsets.
+	Degraded bool `json:"degraded"`
+}
+
+// vantageCoverage groups settled streams by their registry vantage
+// label and runs the cross-vantage hour-coverage comparison: a feed
+// that died mid-week leaves its vantage short of hours its siblings
+// covered, which is exactly what "degraded" means federation-wide.
+// Feeds still running have no settled liveness bitset yet and are
+// counted once they finish.
+func (s *Service) vantageCoverage() []vantageWindow {
+	vantageOf := map[string]string{}
+	s.mu.Lock()
+	for _, f := range s.feeds {
+		vantageOf[f.Name] = f.Vantage
+	}
+	s.mu.Unlock()
+	type agg struct {
+		bits    []uint64
+		streams int
+		total   int
+	}
+	perVantage := map[string]*agg{}
+	var union []uint64
+	or := func(dst *[]uint64, bits []uint64) {
+		for len(*dst) < len(bits) {
+			*dst = append(*dst, 0)
+		}
+		for i, w := range bits {
+			(*dst)[i] |= w
+		}
+	}
+	for _, ss := range s.col.StreamStats() {
+		v := vantageOf[ss.Source]
+		if v == "" {
+			v = ss.Vantage
+		}
+		a := perVantage[v]
+		if a == nil {
+			a = &agg{}
+			perVantage[v] = a
+		}
+		a.streams++
+		if ss.HoursTotal > a.total {
+			a.total = ss.HoursTotal
+		}
+		or(&a.bits, ss.HourBits)
+		or(&union, ss.HourBits)
+	}
+	names := make([]string, 0, len(perVantage))
+	for v := range perVantage {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	out := make([]vantageWindow, 0, len(names))
+	for _, v := range names {
+		a := perVantage[v]
+		covered, missing := 0, false
+		for i, w := range union {
+			var own uint64
+			if i < len(a.bits) {
+				own = a.bits[i]
+			}
+			covered += bits.OnesCount64(own)
+			if w&^own != 0 {
+				missing = true
+			}
+		}
+		out = append(out, vantageWindow{
+			Vantage: v, Streams: a.streams,
+			HoursCovered: covered, HoursTotal: a.total,
+			Degraded: missing,
+		})
+	}
+	return out
 }
 
 // figuresJSON is the machine-readable study summary for

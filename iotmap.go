@@ -44,6 +44,7 @@ import (
 	"iotmap/internal/isp"
 	"iotmap/internal/netflow"
 	"iotmap/internal/outage"
+	"iotmap/internal/scenario"
 	"iotmap/internal/simrand"
 	"iotmap/internal/vnet"
 	"iotmap/internal/world"
@@ -134,6 +135,14 @@ type Config struct {
 	// framed NetFlow v5 encoding (what PR 3-6 recorded files use).
 	// Figures are byte-identical across both. Ignored in memory mode.
 	WireFormat string
+	// VantageModifiers, when set, supplies a per-vantage traffic-plane
+	// modifier for FederationStudy — the seam the scenario engine uses
+	// for vantage-dependent disruptions (a hijack only some vantages'
+	// upstreams accepted). It is composed after Config.Outage's
+	// modifier via isp.ChainModifiers; returning nil for a vantage
+	// leaves that vantage untouched. Ignored by the single-vantage
+	// TrafficStudy.
+	VantageModifiers func(vantage string) isp.FlowModifier
 }
 
 // ErrorPolicy re-exports the collector's stream-fault policy.
@@ -703,10 +712,18 @@ func (s *System) FederationStudy() error {
 				errs[i] = fmt.Errorf("iotmap: vantage %q: %w", sp.Name, err)
 				return
 			}
+			// A backend-side outage is visible from every vantage; the
+			// scenario engine's per-vantage modifiers compose after it
+			// (first drop wins, so unaffected flows stay bit-identical
+			// to a modifier-less baseline).
+			var mods []isp.FlowModifier
 			if s.Cfg.Outage != nil {
-				// A backend-side outage is visible from every vantage.
-				net.Modifier = s.Cfg.Outage.Modifier()
+				mods = append(mods, s.Cfg.Outage.Modifier())
 			}
+			if s.Cfg.VantageModifiers != nil {
+				mods = append(mods, s.Cfg.VantageModifiers(sp.Name))
+			}
+			net.Modifier = isp.ChainModifiers(mods...)
 			opts := flows.Options{
 				ScannerThreshold: s.Cfg.ScannerThreshold,
 				SamplingRate:     net.Cfg.SamplingRate,
@@ -780,7 +797,14 @@ type DisruptionScenario struct {
 	// Wire faults need TrafficModeWire and a non-Abort WirePolicy to
 	// produce a degraded-but-complete study.
 	Faults *faultwire.Scenario
+	// ModifierFor replaces Config.VantageModifiers for this run (nil:
+	// no per-vantage traffic effects) — the scenario engine's compiled
+	// hijack/outage/blip modifiers arrive here.
+	ModifierFor func(vantage string) isp.FlowModifier
 }
+
+// FaultCounts re-exports the chaos harness's fault ledger.
+type FaultCounts = faultwire.Counts
 
 // VantageDelta compares one vantage between the baseline federation and
 // a disruption scenario.
@@ -811,6 +835,10 @@ type ScenarioResult struct {
 	UnionBackendsDelta int
 	// UnionDownDeltaPct is the union downstream-volume change (%).
 	UnionDownDeltaPct float64
+	// FaultTotals is the scenario's reproducible wire-fault ledger
+	// (nil when the scenario injected no wire faults): what the chaos
+	// harness actually did to the feeds during this run.
+	FaultTotals *FaultCounts
 }
 
 // DisruptionStudyResult is DisruptionStudy's output.
@@ -872,6 +900,7 @@ func (s *System) DisruptionStudy(scenarios []DisruptionScenario) (*DisruptionStu
 		tmp := *s
 		tmp.Cfg.Outage = sc.Outage
 		tmp.Cfg.WireFaults = sc.Faults
+		tmp.Cfg.VantageModifiers = sc.ModifierFor
 		tmp.Federation = nil
 		// trafficCrossCheck writes into Validation.Traffic; give the
 		// throwaway run its own map so the baseline stays untouched.
@@ -898,7 +927,66 @@ func (s *System) DisruptionStudy(scenarios []DisruptionScenario) (*DisruptionStu
 		}
 		res.UnionBackendsDelta = fed.Coverage.Union - base.Coverage.Union
 		res.UnionDownDeltaPct = pctDelta(baseUnionDown, studyDownTotal(fed.Union))
+		if sc.Faults != nil {
+			totals := sc.Faults.Totals()
+			res.FaultTotals = &totals
+		}
 		out.Scenarios = append(out.Scenarios, res)
+	}
+	return out, nil
+}
+
+// SuiteStudyResult is DisruptionSuite's output: the per-step (and
+// cumulative) disruption study plus the suite's control-plane view —
+// the BGP events it injected and which of them touched a monitored
+// backend, resolved with migration-aware AS origins.
+type SuiteStudyResult struct {
+	*DisruptionStudyResult
+	// Suite is the suite's name.
+	Suite string
+	// Events are the suite's injected BGP feed entries.
+	Events []bgpstream.Event
+	// Impacts are the Section 6.2 what-if hits: suite events covering a
+	// validated backend address or its (time-aware) hosting AS.
+	Impacts []bgpstream.Impact
+}
+
+// DisruptionSuite compiles a declarative scenario suite against the
+// run's world and drives it through DisruptionStudy: one scenario per
+// step (per-step deltas vs the clean baseline) plus — for multi-step
+// suites — a cumulative everything-at-once scenario, each carrying its
+// wire-fault ledger. The control-plane side runs alongside: the
+// suite's hijack announcements are checked against the validated
+// backend sets with bgpstream.CheckImpactAt, using migration-aware AS
+// origin resolution, so an AS outage of an abandoned AS would stop
+// matching after cutover. Every draw derives from the suite seed;
+// reruns are byte-identical. Requires ValidateAndLocate.
+func (s *System) DisruptionSuite(suite scenario.Suite) (*SuiteStudyResult, error) {
+	compiled, err := suite.Compile(s.World)
+	if err != nil {
+		return nil, err
+	}
+	scenarios := make([]DisruptionScenario, len(compiled))
+	for i, c := range compiled {
+		scenarios[i] = DisruptionScenario{
+			Name:        c.Name,
+			Faults:      c.Faults,
+			ModifierFor: c.ModifierFor,
+		}
+	}
+	study, err := s.DisruptionStudy(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	out := &SuiteStudyResult{DisruptionStudyResult: study, Suite: suite.Name}
+	out.Events = suite.Events(s.World)
+	if len(out.Events) > 0 {
+		var addrs []netip.Addr
+		for _, id := range s.World.Order {
+			addrs = append(addrs, s.Dedicated[id]...)
+		}
+		feed := bgpstream.NewFeed(out.Events)
+		out.Impacts = feed.CheckImpactAt(addrs, suite.OriginAt(s.World))
 	}
 	return out, nil
 }

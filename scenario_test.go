@@ -1,0 +1,319 @@
+package iotmap_test
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"iotmap"
+	"iotmap/internal/asdb"
+	"iotmap/internal/bgpstream"
+	"iotmap/internal/figures"
+	"iotmap/internal/scenario"
+)
+
+// suiteFederation builds the three-vantage federation the scenario
+// suites run over, in wire mode with the v5 encoding pinned: the
+// hour-windowed fault rules a suite compiles (feed death mid-week)
+// clock the study hour from v5 frame headers, which dictionary batches
+// don't carry per frame.
+func suiteFederation(t *testing.T) *iotmap.System {
+	t.Helper()
+	cfg := federationConfig(iotmap.TrafficModeWire)
+	cfg.Days = iotmap.OutageStudyDays()
+	cfg.WirePolicy = iotmap.WireDropFrame
+	cfg.WireFormat = iotmap.WireFormatV5
+	sys, err := iotmap.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// coverageOf renders the federation-coverage figure for one scenario's
+// federation without disturbing the baseline system.
+func coverageOf(sys *iotmap.System, fed *iotmap.FederationResult) string {
+	tmp := *sys
+	tmp.Federation = fed
+	return figures.FederationCoverage(&tmp)
+}
+
+// TestEmptySuiteMatchesBaseline: a suite with no steps is the identity
+// what-if — DisruptionSuite's output is exactly the clean
+// FederationStudy baseline, byte for byte.
+func TestEmptySuiteMatchesBaseline(t *testing.T) {
+	cfg := federationConfig(iotmap.TrafficModeMemory)
+	cfg.Days = iotmap.OutageStudyDays()
+
+	clean, err := iotmap.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(clean.Close)
+	if err := clean.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.FederationStudy(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := iotmap.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if err := sys.Discover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidateAndLocate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.DisruptionSuite(scenario.Suite{Name: "empty", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 0 {
+		t.Fatalf("empty suite compiled %d scenarios", len(res.Scenarios))
+	}
+	if res.Baseline == nil || res.Baseline != sys.Federation {
+		t.Fatal("baseline is not the system's own federation")
+	}
+	if len(res.Events) != 0 || len(res.Impacts) != 0 {
+		t.Fatalf("empty suite injected events (%d) or impacts (%d)", len(res.Events), len(res.Impacts))
+	}
+	if a, b := figures.FederationCoverage(clean), figures.FederationCoverage(sys); a != b {
+		t.Fatalf("empty-suite baseline diverged from a clean FederationStudy:\n--- clean:\n%s\n--- suite:\n%s", a, b)
+	}
+}
+
+// TestScenarioSuite drives each preset shape through the engine over
+// the wire-mode federation and checks its semantic fingerprint:
+// hijacks hit exactly the vantages that accepted the route, a regional
+// outage with feed loss degrades the vantage that lost its feed, and a
+// pure control-plane migration changes nothing at all.
+func TestScenarioSuite(t *testing.T) {
+	run := func(t *testing.T, name string) (*iotmap.System, *iotmap.SuiteStudyResult) {
+		t.Helper()
+		sys := suiteFederation(t)
+		suite, ok := scenario.Presets(5)[name]
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		res, err := sys.DisruptionSuite(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Scenarios) != 1 {
+			t.Fatalf("scenarios = %d, want 1", len(res.Scenarios))
+		}
+		return sys, res
+	}
+	deltaFor := func(t *testing.T, sc iotmap.ScenarioResult, vantage string) iotmap.VantageDelta {
+		t.Helper()
+		for _, vd := range sc.Vantages {
+			if vd.Vantage == vantage {
+				return vd
+			}
+		}
+		t.Fatalf("vantage %s missing from scenario %s", vantage, sc.Name)
+		return iotmap.VantageDelta{}
+	}
+
+	t.Run("hijack", func(t *testing.T) {
+		_, res := run(t, scenario.PresetHijackT1)
+		sc := res.Scenarios[0]
+		if vd := deltaFor(t, sc, "isp-a"); vd.DownDeltaPct >= 0 {
+			t.Fatalf("isp-a accepted the hijack but kept its traffic: %+v", vd)
+		}
+		if vd := deltaFor(t, sc, "ixp"); vd.DownDeltaPct > 0 {
+			t.Fatalf("ixp gained traffic under a blackhole hijack: %+v", vd)
+		}
+		// isp-b's upstream rejected the bogus route: its run is
+		// bit-identical to the baseline.
+		if vd := deltaFor(t, sc, "isp-b"); vd.DownDeltaPct != 0 || vd.HoursLost != 0 || vd.Backends != vd.BaselineBackends {
+			t.Fatalf("isp-b was not part of the hijack's visibility set: %+v", vd)
+		}
+		if sc.UnionDownDeltaPct >= 0 {
+			t.Fatalf("union down delta = %.2f%%, want negative", sc.UnionDownDeltaPct)
+		}
+		for _, vd := range sc.Vantages {
+			if vd.Degraded || vd.HoursLost != 0 {
+				t.Fatalf("a traffic-plane hijack blanked feed hours at %s: %+v", vd.Vantage, vd)
+			}
+		}
+		if sc.FaultTotals != nil {
+			t.Fatalf("hijack scenario carries a wire-fault ledger: %+v", *sc.FaultTotals)
+		}
+		// The control-plane view: announcements went out and they cover
+		// monitored backend space.
+		if len(res.Events) == 0 {
+			t.Fatal("hijack suite injected no BGP events")
+		}
+		if len(res.Impacts) == 0 {
+			t.Fatal("hijack of a provider's own prefixes touched no monitored backend")
+		}
+	})
+
+	t.Run("outage-feeddeath", func(t *testing.T) {
+		sys, res := run(t, scenario.PresetOutageFeedLoss)
+		sc := res.Scenarios[0]
+		vd := deltaFor(t, sc, "isp-b")
+		if vd.HoursLost == 0 {
+			t.Fatalf("isp-b's feed died mid-week but lost no hours: %+v", vd)
+		}
+		if !vd.Degraded {
+			t.Fatalf("isp-b not flagged degraded after feed death: %+v", vd)
+		}
+		if sc.UnionDownDeltaPct >= 0 {
+			t.Fatalf("union down delta = %.2f%% despite a regional outage", sc.UnionDownDeltaPct)
+		}
+		if sc.FaultTotals == nil || !sc.FaultTotals.Killed {
+			t.Fatalf("fault ledger missing the feed kill: %+v", sc.FaultTotals)
+		}
+		// The scenario's own coverage report carries the degraded flag.
+		var flagged bool
+		for _, vc := range sc.Federation.Coverage.Vantages {
+			if vc.Vantage == "isp-b" && vc.Degraded {
+				flagged = true
+			}
+		}
+		if !flagged {
+			t.Fatal("scenario coverage report does not flag isp-b degraded")
+		}
+		// The healthy vantages keep their feed hours.
+		for _, name := range []string{"isp-a", "ixp"} {
+			if vd := deltaFor(t, sc, name); vd.HoursLost != 0 || vd.Degraded {
+				t.Fatalf("%s lost feed hours to isp-b's exporter dying: %+v", name, vd)
+			}
+		}
+		_ = sys
+	})
+
+	t.Run("migration", func(t *testing.T) {
+		sys, res := run(t, scenario.PresetMigrationD1)
+		sc := res.Scenarios[0]
+		// Addresses did not change: a pure control-plane migration is
+		// invisible to every traffic and coverage figure.
+		for _, vd := range sc.Vantages {
+			if vd.DownDeltaPct != 0 || vd.HoursLost != 0 || vd.Degraded || vd.Backends != vd.BaselineBackends {
+				t.Fatalf("control-plane migration moved the traffic plane at %s: %+v", vd.Vantage, vd)
+			}
+		}
+		if sc.UnionBackendsDelta != 0 || sc.UnionDownDeltaPct != 0 {
+			t.Fatalf("union deltas nonzero under a pure migration: %+v", sc)
+		}
+		if sc.FaultTotals != nil {
+			t.Fatal("migration scenario carries a wire-fault ledger")
+		}
+		if a, b := figures.FederationCoverage(sys), coverageOf(sys, sc.Federation); a != b {
+			t.Fatalf("migration changed the coverage report:\n--- baseline:\n%s\n--- scenario:\n%s", a, b)
+		}
+	})
+}
+
+// TestSuiteRerunByteIdentical: the reproducibility contract — the same
+// suite over a fresh world with the same seeds reproduces every
+// figure, coverage report, and fault ledger byte for byte.
+func TestSuiteRerunByteIdentical(t *testing.T) {
+	run := func() (*iotmap.System, *iotmap.SuiteStudyResult) {
+		sys := suiteFederation(t)
+		res, err := sys.DisruptionSuite(scenario.Presets(5)[scenario.PresetOutageFeedLoss])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, res
+	}
+	sys1, res1 := run()
+	sys2, res2 := run()
+
+	if a, b := figures.SuiteDeltas(res1), figures.SuiteDeltas(res2); a != b {
+		t.Fatalf("suite deltas not reproducible:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+	for i := range res1.Scenarios {
+		a := coverageOf(sys1, res1.Scenarios[i].Federation)
+		b := coverageOf(sys2, res2.Scenarios[i].Federation)
+		if a != b {
+			t.Fatalf("scenario %s coverage not reproducible:\n--- run 1:\n%s\n--- run 2:\n%s",
+				res1.Scenarios[i].Name, a, b)
+		}
+		ft1, ft2 := res1.Scenarios[i].FaultTotals, res2.Scenarios[i].FaultTotals
+		if (ft1 == nil) != (ft2 == nil) || (ft1 != nil && *ft1 != *ft2) {
+			t.Fatalf("scenario %s fault ledger diverged: %+v vs %+v", res1.Scenarios[i].Name, ft1, ft2)
+		}
+	}
+}
+
+// TestMigrationOriginSemantics: the time-aware origin resolver answers
+// with the old AS before the cutover and the new AS after, so an AS
+// outage of the abandoned AS stops matching the fleet that left it.
+func TestMigrationOriginSemantics(t *testing.T) {
+	sys, err := iotmap.New(iotmap.Config{Seed: 3, Scale: 0.02, Lines: 500, SkipLiveScan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	w := sys.World
+
+	const cutoverHour = 5*24 + 12
+	suite := scenario.Suite{Name: "mig", Seed: 9, Steps: []scenario.Step{{
+		Name: "move",
+		Migration: &scenario.Migration{
+			Provider: "bosch", ToASN: scenario.MigrationTargetASN, AtHour: cutoverHour,
+		},
+	}}}
+
+	var boschAddr netip.Addr
+	for _, srv := range w.AllServers() {
+		if srv.Provider == "bosch" {
+			boschAddr = srv.Addr
+			break
+		}
+	}
+	if !boschAddr.IsValid() {
+		t.Fatal("world has no bosch servers at this scale")
+	}
+	oldASN, ok := w.AS.Origin(boschAddr)
+	if !ok {
+		t.Fatal("bosch address has no origin AS")
+	}
+
+	origin := suite.OriginAt(w)
+	cutover := w.Days[0].Add(cutoverHour * time.Hour)
+	if asn, _ := origin(boschAddr, cutover.Add(-time.Hour)); asn != oldASN {
+		t.Fatalf("pre-cutover origin = AS%d, want AS%d", asn, oldASN)
+	}
+	if asn, _ := origin(boschAddr, cutover); asn != scenario.MigrationTargetASN {
+		t.Fatalf("post-cutover origin = AS%d, want AS%d", asn, scenario.MigrationTargetASN)
+	}
+
+	// An outage of the abandoned AS matches before the cutover only; an
+	// outage of the new AS matches after only.
+	addrs := []netip.Addr{boschAddr}
+	check := func(asn asdb.ASN, at time.Time) int {
+		feed := bgpstream.NewFeed([]bgpstream.Event{{Kind: bgpstream.ASOutage, ASN: asn, At: at}})
+		return len(feed.CheckImpactAt(addrs, origin))
+	}
+	if n := check(oldASN, cutover.Add(-time.Hour)); n != 1 {
+		t.Fatalf("pre-cutover outage of the old AS: %d impacts, want 1", n)
+	}
+	if n := check(oldASN, cutover.Add(time.Hour)); n != 0 {
+		t.Fatalf("post-cutover outage of the abandoned AS still matches: %d impacts", n)
+	}
+	if n := check(scenario.MigrationTargetASN, cutover.Add(time.Hour)); n != 1 {
+		t.Fatalf("post-cutover outage of the new AS: %d impacts, want 1", n)
+	}
+	if n := check(scenario.MigrationTargetASN, cutover.Add(-time.Hour)); n != 0 {
+		t.Fatalf("pre-cutover outage of the not-yet-occupied AS matches: %d impacts", n)
+	}
+}
